@@ -1,0 +1,56 @@
+"""Throughput benchmarks of the library's own hot paths.
+
+These are classic pytest-benchmark measurements (not paper artefacts):
+how fast the allocator solves the 200-connection use case and how many
+flit cycles per second each simulator executes.  They guard against
+performance regressions in the core data structures.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.flitsim import FlitLevelSimulator
+from repro.simulation.cyclesim import DetailedNetwork
+from repro.usecase.generator import generate_section7
+from repro.usecase.runner import burst_traffic, configure_section7
+
+
+def test_perf_generate_section7(benchmark):
+    instance = benchmark(generate_section7)
+    assert len(instance.use_case.channels) == 200
+
+
+def test_perf_allocate_section7(benchmark, section7):
+    instance, _ = section7
+
+    def allocate():
+        _, config = configure_section7(instance)
+        return config
+
+    config = benchmark.pedantic(allocate, rounds=3, iterations=1)
+    assert len(config.allocation.channels) == 200
+
+
+def test_perf_flitsim_section7(benchmark, section7):
+    _, config = section7
+    traffic = burst_traffic(config)
+
+    def run():
+        sim = FlitLevelSimulator(config)
+        for name, pattern in traffic.items():
+            sim.set_traffic(name, pattern)
+        return sim.run(1000)
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.simulated_slots == 1000
+
+
+def test_perf_detailed_sim_small_mesh(benchmark, mesh_small_config):
+    config, traffic = mesh_small_config
+
+    def run():
+        network = DetailedNetwork(config, clocking="synchronous",
+                                  traffic=traffic, horizon_slots=300)
+        return network.run()
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result.simulated_cycles == 900

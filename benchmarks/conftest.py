@@ -1,0 +1,46 @@
+"""Shared fixtures for the benchmark suite.
+
+The Section VII use case (generation + allocation) is expensive enough
+to share across benchmarks; it is deterministic, so sharing does not
+couple measurements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, UseCase
+from repro.core.configuration import configure
+from repro.core.connection import MB, ChannelSpec
+from repro.experiments.section7 import section7_setup
+from repro.simulation.traffic import ConstantBitRate
+from repro.topology.builders import mesh
+from repro.topology.mapping import Mapping
+
+
+@pytest.fixture(scope="session")
+def section7():
+    """Generated and allocated 200-connection use case."""
+    instance, config = section7_setup()
+    return instance, config
+
+
+@pytest.fixture(scope="session")
+def mesh_small_config():
+    """A small mesh configuration plus CBR traffic for detailed sims."""
+    topo = mesh(2, 2, nis_per_router=1, pipeline_stages=1)
+    channels = (
+        ChannelSpec("c0", "ipA", "ipB", 80 * MB, application="app"),
+        ChannelSpec("c1", "ipB", "ipC", 80 * MB, application="app"),
+        ChannelSpec("c2", "ipC", "ipA", 80 * MB, application="app"),
+    )
+    use_case = UseCase("bench", (Application("app", channels),))
+    mapping = Mapping({"ipA": "ni0_0_0", "ipB": "ni1_0_0",
+                       "ipC": "ni1_1_0"})
+    config = configure(topo, use_case, table_size=8, frequency_hz=500e6,
+                       mapping=mapping)
+    traffic = {
+        spec.name: ConstantBitRate.from_rate(
+            spec.throughput_bytes_per_s, 500e6, config.fmt)
+        for spec in channels}
+    return config, traffic

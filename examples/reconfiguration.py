@@ -1,0 +1,61 @@
+"""Undisrupted reconfiguration: starting and stopping applications live.
+
+aelite's composability extends to reconfiguration ([16] in the paper):
+since applications own disjoint TDM slots, one can be started or stopped
+while the others keep running with bit-identical timing.  The demo
+starts three applications, cycles one of them off and a new one on, and
+audits after each transition that the running applications' reservations
+never moved.
+
+Run with:  python examples/reconfiguration.py
+"""
+
+from __future__ import annotations
+
+from repro.core import MB, Application, ChannelSpec, SlotAllocator
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.topology import mesh, round_robin
+
+
+def app(name: str, pairs, rate_mb: float) -> Application:
+    return Application(name, tuple(
+        ChannelSpec(f"{name}_c{i}", src, dst, rate_mb * MB,
+                    application=name)
+        for i, (src, dst) in enumerate(pairs)))
+
+
+def main() -> None:
+    topology = mesh(2, 2, nis_per_router=2)
+    ips = [f"ip{i}" for i in range(16)]
+    mapping = round_robin(ips, topology)
+    allocator = SlotAllocator(topology, table_size=32,
+                              frequency_hz=500e6)
+    manager = ReconfigurationManager(allocator, mapping)
+
+    decoder = app("decoder", [("ip0", "ip1"), ("ip2", "ip3")], 120)
+    radio = app("radio", [("ip4", "ip5"), ("ip6", "ip7")], 60)
+    logger = app("logger", [("ip8", "ip9")], 20)
+    game = app("game", [("ip10", "ip11"), ("ip12", "ip13")], 150)
+
+    for application in (decoder, radio, logger):
+        report = manager.start_application(application)
+        print(f"start {application.name:8s} -> running "
+              f"{report.running_after}   others untouched: "
+              f"{report.untouched}")
+
+    print("\nuse-case transition: stop 'radio', start 'game'")
+    stop_report, start_report = manager.switch("radio", game)
+    print(f"  stop  radio: released {stop_report.channels_changed}, "
+          f"others untouched: {stop_report.untouched}")
+    print(f"  start game : allocated {start_report.channels_changed}, "
+          f"others untouched: {start_report.untouched}")
+
+    assert all(report.untouched for report in manager.history)
+    print(f"\n{len(manager.history)} transitions, all leaving running "
+          "applications' reservations bit-identical.")
+    print(f"final mean link utilisation: "
+          f"{manager.allocation.mean_link_utilisation():.1%}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""The paper's headline experiment: 200 connections, four applications.
+
+Runs the complete Section VII flow and prints every table:
+
+* allocation of 200 guaranteed-service connections (70 IPs, 4x3
+  concentrated mesh) at 500 MHz;
+* the guaranteed-service verification (every requirement met, every
+  measured latency within its analytical bound);
+* the application-isolation check (bit-identical traces);
+* the best-effort frequency sweep (needs far more than 500 MHz);
+* the router-network cost comparison (roughly 5x).
+
+Run with:  python examples/usecase_200_connections.py
+(takes on the order of half a minute)
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import format_table
+from repro.experiments.section7 import (be_crossing_mhz, be_sweep_rows,
+                                        composability_rows, cost_rows,
+                                        section7_setup, usecase_gs_rows)
+
+
+def main() -> None:
+    instance, config = section7_setup()
+    params = instance.parameters
+    print(f"use case: {params.n_connections} connections, "
+          f"{params.n_applications} applications, {params.n_ips} IPs on "
+          f"a {params.cols}x{params.rows} mesh with "
+          f"{params.nis_per_router} NIs/router")
+    print(f"aggregate demand: "
+          f"{instance.total_throughput_bytes_per_s / 1e9:.1f} GB/s; "
+          f"allocation at {config.frequency_hz / 1e6:.0f} MHz uses "
+          f"{config.allocation.mean_link_utilisation():.1%} of the link "
+          "slots on average\n")
+
+    print(format_table(usecase_gs_rows(config),
+                       title="aelite guaranteed services @ 500 MHz"))
+    print()
+    print(format_table(composability_rows(config),
+                       title="application isolation (trace comparison)"))
+    print()
+    sweep = be_sweep_rows(config)
+    print(format_table(sweep, title="best-effort baseline: frequency "
+                                    "sweep (same paths)"))
+    crossing = be_crossing_mhz(sweep)
+    print(f"\nbest effort meets all requirements only at "
+          f"{crossing:.0f} MHz (aelite: 500 MHz)")
+    print()
+    print(format_table(cost_rows(config, be_required_mhz=crossing or 1000),
+                       title="router-network silicon cost"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,4 @@
+"""Legacy setup shim: the environment's setuptools lacks PEP 660 wheel support."""
+from setuptools import setup
+
+setup()

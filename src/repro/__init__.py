@@ -1,0 +1,67 @@
+"""repro — a from-scratch reproduction of the aelite network on chip.
+
+aelite (Hansson, Subburaman, Goossens — DATE 2009) is a guaranteed-
+services-only NoC built on flit-synchronous time-division multiplexing:
+contention-free routing via slot tables, a three-stage arbiterless router,
+mesochronous link pipeline stages, and asynchronous wrappers that make the
+whole network logically synchronous at flit granularity without global
+clock distribution.
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — slot tables, allocation, analytical bounds;
+* :mod:`repro.topology` — structure, builders, mapping, routing;
+* :mod:`repro.router` / :mod:`repro.link` / :mod:`repro.ni` /
+  :mod:`repro.wrapper` — cycle-accurate hardware models;
+* :mod:`repro.clocking` — synchronous/mesochronous/plesiochronous clocks;
+* :mod:`repro.simulation` — event kernel and both simulators;
+* :mod:`repro.baseline` — the Æthereal GS+BE comparison network;
+* :mod:`repro.synthesis` — calibrated area/frequency models;
+* :mod:`repro.usecase` — the Section VII 200-connection use case;
+* :mod:`repro.experiments` — one module per paper figure/table.
+"""
+
+from __future__ import annotations
+
+import importlib
+
+__version__ = "0.1.0"
+
+_EXPORTS: dict[str, str] = {
+    # The most common entry points, re-exported for convenience.
+    "WordFormat": "repro.core.words",
+    "ChannelSpec": "repro.core.connection",
+    "ConnectionSpec": "repro.core.connection",
+    "Application": "repro.core.application",
+    "UseCase": "repro.core.application",
+    "SlotTable": "repro.core.slot_table",
+    "SlotAllocator": "repro.core.allocation",
+    "Allocation": "repro.core.allocation",
+    "NocConfiguration": "repro.core.configuration",
+    "configure": "repro.core.configuration",
+    "analyse": "repro.core.analysis",
+    "Topology": "repro.topology.graph",
+    "mesh": "repro.topology.builders",
+    "concentrated_mesh": "repro.topology.builders",
+    "FlitLevelSimulator": "repro.simulation.flitsim",
+    "DetailedNetwork": "repro.simulation.cyclesim",
+    "MB": "repro.core.connection",
+    "GB": "repro.core.connection",
+}
+
+__all__ = sorted(_EXPORTS) + ["__version__"]
+
+
+def __getattr__(name: str):
+    """Resolve top-level exports lazily."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(f"module 'repro' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

@@ -1,0 +1,142 @@
+"""Command-line entry point: regenerate the paper's figures and tables.
+
+Usage::
+
+    python -m repro fig5          # Figure 5: area vs target frequency
+    python -m repro fig6a         # Figure 6(a): area/fmax vs arity
+    python -m repro fig6b         # Figure 6(b): area/fmax vs data width
+    python -m repro costs         # FIFO / mesochronous / related work
+    python -m repro usecase       # Section VII GS run + isolation
+    python -m repro sweep         # Section VII best-effort sweep
+    python -m repro ablations     # design-choice ablations
+    python -m repro all           # everything above
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments.report import format_table
+
+
+def _fig5() -> None:
+    from repro.experiments.figures import figure5_rows
+    print(format_table(figure5_rows(),
+                       title="Figure 5 — area vs target frequency "
+                             "(arity-5, 32-bit, 90 nm)"))
+
+
+def _fig6a() -> None:
+    from repro.experiments.figures import figure6a_rows
+    print(format_table(figure6a_rows(),
+                       title="Figure 6(a) — area & fmax vs arity"))
+
+
+def _fig6b() -> None:
+    from repro.experiments.figures import figure6b_rows
+    print(format_table(figure6b_rows(),
+                       title="Figure 6(b) — area & fmax vs data width"))
+
+
+def _costs() -> None:
+    from repro.experiments.area_comparison import (fifo_rows,
+                                                   headline_ratio_rows,
+                                                   mesochronous_rows,
+                                                   related_work_rows,
+                                                   throughput_rows)
+    print(format_table(fifo_rows(), title="Bi-synchronous FIFO cost"))
+    print()
+    print(format_table(mesochronous_rows(),
+                       title="Mesochronous arity-5 router"))
+    print()
+    print(format_table(related_work_rows(),
+                       title="Related-work comparison"))
+    print()
+    print(format_table(headline_ratio_rows(),
+                       title="aelite vs AEthereal GS+BE"))
+    print()
+    print(format_table(throughput_rows(),
+                       title="Raw throughput per area"))
+
+
+def _usecase() -> None:
+    from repro.experiments.section7 import (composability_rows,
+                                            section7_setup,
+                                            usecase_gs_rows)
+    _, config = section7_setup()
+    print(format_table(usecase_gs_rows(config),
+                       title="Section VII — aelite GS @ 500 MHz"))
+    print()
+    print(format_table(composability_rows(config),
+                       title="Section VII — application isolation"))
+
+
+def _sweep() -> None:
+    from repro.experiments.section7 import (be_crossing_mhz, be_sweep_rows,
+                                            cost_rows, section7_setup)
+    _, config = section7_setup()
+    rows = be_sweep_rows(config)
+    print(format_table(rows, title="Section VII — best-effort sweep"))
+    crossing = be_crossing_mhz(rows)
+    if crossing is None:
+        print("\nbest effort never met all requirements in the sweep")
+    else:
+        print(f"\nbest effort needs {crossing:.0f} MHz "
+              "(aelite: 500 MHz)")
+    print()
+    print(format_table(cost_rows(config, be_required_mhz=crossing or
+                                 1000.0),
+                       title="Router-network silicon cost"))
+
+
+def _ablations() -> None:
+    from repro.experiments.ablations import (fifo_depth_rows,
+                                             ordering_rows,
+                                             pipeline_stage_rows,
+                                             table_size_rows)
+    print(format_table(table_size_rows(),
+                       title="Ablation — slot-table size"))
+    print()
+    print(format_table(fifo_depth_rows(),
+                       title="Ablation — link-stage FIFO depth"))
+    print()
+    print(format_table(ordering_rows(),
+                       title="Ablation — allocation order"))
+    print()
+    print(format_table(pipeline_stage_rows(),
+                       title="Ablation — link pipeline stages"))
+
+
+_COMMANDS = {
+    "fig5": _fig5,
+    "fig6a": _fig6a,
+    "fig6b": _fig6b,
+    "costs": _costs,
+    "usecase": _usecase,
+    "sweep": _sweep,
+    "ablations": _ablations,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI dispatcher; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate the aelite paper's figures and tables.")
+    parser.add_argument("experiment",
+                        choices=sorted(_COMMANDS) + ["all"],
+                        help="which artefact to regenerate")
+    args = parser.parse_args(argv)
+    if args.experiment == "all":
+        for name in ("fig5", "fig6a", "fig6b", "costs", "usecase",
+                     "sweep", "ablations"):
+            print(f"\n{'=' * 72}\n{name}\n{'=' * 72}")
+            _COMMANDS[name]()
+    else:
+        _COMMANDS[args.experiment]()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,9 @@
+"""Best-effort Æthereal-style baseline used by the Section VII comparison."""
+
+from repro.baseline.arbitration import (FixedPriorityArbiter,
+                                        RoundRobinArbiter)
+from repro.baseline.be_network import (BeNetworkSimulator, BePacket,
+                                       BeSimResult)
+
+__all__ = ["RoundRobinArbiter", "FixedPriorityArbiter",
+           "BeNetworkSimulator", "BePacket", "BeSimResult"]

@@ -1,0 +1,68 @@
+"""Arbiters for the best-effort baseline router.
+
+aelite needs no arbiter at all — that is its point.  The Æthereal
+combined GS+BE router the paper compares against arbitrates BE packets
+per output port with round-robin among requesting inputs; this module
+provides that (and a fixed-priority variant used in tests as a fairness
+foil).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["RoundRobinArbiter", "FixedPriorityArbiter"]
+
+
+class RoundRobinArbiter:
+    """Classic rotating-priority arbiter.
+
+    :meth:`grant` picks the first requesting index at or after the
+    rotating pointer; the pointer then moves past the winner, giving
+    every requester a bounded wait of one full rotation.
+    """
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ConfigurationError(
+                f"arbiter needs >= 1 requester, got {n_requesters}")
+        self.n = n_requesters
+        self._pointer = 0
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Return the granted index, or ``None`` when nobody requests."""
+        if len(requests) != self.n:
+            raise ConfigurationError(
+                f"expected {self.n} request lines, got {len(requests)}")
+        for offset in range(self.n):
+            index = (self._pointer + offset) % self.n
+            if requests[index]:
+                self._pointer = (index + 1) % self.n
+                return index
+        return None
+
+    def reset(self) -> None:
+        """Return the pointer to its initial position."""
+        self._pointer = 0
+
+
+class FixedPriorityArbiter:
+    """Always grants the lowest requesting index (starvation-prone)."""
+
+    def __init__(self, n_requesters: int):
+        if n_requesters < 1:
+            raise ConfigurationError(
+                f"arbiter needs >= 1 requester, got {n_requesters}")
+        self.n = n_requesters
+
+    def grant(self, requests: Sequence[bool]) -> int | None:
+        """Return the highest-priority (lowest index) requester."""
+        if len(requests) != self.n:
+            raise ConfigurationError(
+                f"expected {self.n} request lines, got {len(requests)}")
+        for index, req in enumerate(requests):
+            if req:
+                return index
+        return None

@@ -1,0 +1,375 @@
+"""Best-effort wormhole network: the Æthereal GS+BE comparison point.
+
+Section VII of the paper re-runs the 200-connection use case with the
+same IP mapping and the same paths, but with every connection demoted
+from guaranteed service to best effort on an Æthereal-style network.
+This module provides that network: input-buffered wormhole routers with
+
+* **source routing** over exactly the paths the allocator chose,
+* **round-robin arbitration** per output port among requesting inputs,
+* **link-level flow control** (a flit moves only when the downstream
+  input buffer has space — credits in hardware, an occupancy check in
+  the model), and
+* **wormhole packet locking**: once a packet's head flit wins an output,
+  the output is held until the tail passes.
+
+The simulator advances in flit cycles ("ticks" of ``flit_size`` word
+cycles), the natural time unit for flit-granularity switching.  Physical
+resource constraints are enforced exactly: a flit moves at most one hop
+per tick, each input buffer feeds at most one output per tick, each
+output forwards at most one flit per tick, and each NI injects at most
+one flit per tick without interleaving packets.
+
+What this network deliberately lacks — and what the experiment shows it
+costs — is isolation: latency now depends on every other application's
+traffic, so composability is lost and worst-case latency grows with
+congestion even though *average* latency often beats TDM (no slot
+waiting when the network is idle).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.baseline.arbitration import RoundRobinArbiter
+from repro.core.configuration import NocConfiguration
+from repro.core.exceptions import ConfigurationError, SimulationError
+from repro.core.words import WordFormat
+from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
+                                       StatsCollector)
+from repro.simulation.traffic import TrafficPattern
+from repro.topology.graph import NodeKind, Topology
+
+__all__ = ["BePacket", "BeNetworkSimulator", "BeSimResult"]
+
+
+@dataclass
+class BePacket:
+    """One wormhole packet in flight.
+
+    A message larger than ``max_packet_flits`` is split into several
+    packets; only the final one (``is_final``) records the message's
+    delivery.
+    """
+
+    channel: str
+    message_id: int
+    created_cycle: int
+    out_ports: tuple[int, ...]
+    n_flits: int
+    payload_bytes: int
+    is_final: bool = True
+    hop: int = 0            # routing progress of the *head* flit
+    flits_sent: int = 0     # injection progress at the source NI
+
+
+@dataclass
+class _BufferedFlit:
+    packet: BePacket
+    flit_index: int
+    arrived_tick: int
+
+
+class _InputBuffer:
+    """A router input queue with link-level flow control."""
+
+    __slots__ = ("name", "capacity", "flits")
+
+    def __init__(self, name: str, capacity: int):
+        self.name = name
+        self.capacity = capacity
+        self.flits: deque[_BufferedFlit] = deque()
+
+    def has_space(self) -> bool:
+        return len(self.flits) < self.capacity
+
+    def push(self, item: _BufferedFlit) -> None:
+        if not self.has_space():
+            raise SimulationError(
+                f"BE buffer {self.name!r} overflow: link-level flow "
+                "control violated")
+        self.flits.append(item)
+
+    def head(self) -> _BufferedFlit | None:
+        return self.flits[0] if self.flits else None
+
+    def pop(self) -> _BufferedFlit:
+        return self.flits.popleft()
+
+    def __len__(self) -> int:
+        return len(self.flits)
+
+
+@dataclass
+class _BeRouter:
+    name: str
+    inputs: list[_InputBuffer]
+    arbiters: list[RoundRobinArbiter]
+    locks: list[int | None] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        if not self.locks:
+            self.locks = [None] * len(self.arbiters)
+
+
+@dataclass
+class _SourceQueue:
+    channel: str
+    packets: deque[BePacket] = field(default_factory=deque)
+
+
+@dataclass
+class _NiState:
+    queues: list[_SourceQueue]
+    arbiter: RoundRobinArbiter
+    active_queue: int | None = None  # packet in progress (no interleaving)
+
+
+@dataclass
+class BeSimResult:
+    """Measurements from a best-effort run."""
+
+    stats: StatsCollector
+    simulated_ticks: int
+    frequency_hz: float
+    fmt: WordFormat
+
+    @property
+    def simulated_ns(self) -> float:
+        """Simulated wall-clock time."""
+        return (self.simulated_ticks * self.fmt.flit_size /
+                self.frequency_hz * 1e9)
+
+
+class BeNetworkSimulator:
+    """Flit-granularity wormhole simulator over an allocated configuration.
+
+    Reuses the configuration's topology, mapping and *paths* but ignores
+    its slot tables (that is the experiment: same routes, no TDM).
+    ``frequency_hz`` may override the configuration's frequency for the
+    Section VII frequency sweep — offered traffic is specified in cycles,
+    so the caller rebuilds patterns per frequency from byte rates.
+    """
+
+    def __init__(self, config: NocConfiguration, *,
+                 frequency_hz: float | None = None,
+                 buffer_flits: int = 4,
+                 max_packet_flits: int = 4):
+        if buffer_flits < 1:
+            raise ConfigurationError("buffer_flits must be >= 1")
+        if max_packet_flits < 1:
+            raise ConfigurationError("max_packet_flits must be >= 1")
+        self.config = config
+        self.fmt = config.fmt
+        self.frequency_hz = frequency_hz or config.frequency_hz
+        self.buffer_flits = buffer_flits
+        self.max_packet_flits = max_packet_flits
+        self._patterns: dict[str, TrafficPattern] = {}
+        self._topo: Topology = config.topology
+        self._router_order: list[str] = list(self._topo.routers)
+
+    def set_traffic(self, channel: str, pattern: TrafficPattern) -> None:
+        """Attach a traffic pattern to one channel."""
+        if channel not in self.config.allocation.channels:
+            raise ConfigurationError(
+                f"channel {channel!r} is not part of the configuration")
+        self._patterns[channel] = pattern
+
+    # -- main loop --------------------------------------------------------------
+
+    def run(self, n_ticks: int) -> BeSimResult:
+        """Simulate ``n_ticks`` flit cycles."""
+        if n_ticks <= 0:
+            raise ConfigurationError(
+                f"n_ticks must be positive, got {n_ticks}")
+        period_ps = round(1e12 / self.frequency_hz)
+        stats = StatsCollector()
+        routers = self._build_routers()
+        arrivals = self._build_arrivals(n_ticks)
+        nis: dict[str, _NiState] = {}
+        channel_queue: dict[str, _SourceQueue] = {}
+        for name, ca in sorted(self.config.allocation.channels.items()):
+            state = nis.setdefault(ca.path.source,
+                                   _NiState([], RoundRobinArbiter(1)))
+            queue = _SourceQueue(channel=name)
+            state.queues.append(queue)
+            channel_queue[name] = queue
+        for state in nis.values():
+            state.arbiter = RoundRobinArbiter(len(state.queues))
+
+        for tick in range(n_ticks):
+            for channel, events in arrivals.items():
+                while events and events[0][0] <= tick:
+                    channel_queue[channel].packets.append(
+                        events.popleft()[1])
+            for router_name in self._router_order:
+                self._route_tick(routers, router_name, tick, period_ps,
+                                 stats)
+            for ni in sorted(nis):
+                self._inject_tick(routers, ni, nis[ni], tick, period_ps,
+                                  stats)
+        return BeSimResult(stats=stats, simulated_ticks=n_ticks,
+                           frequency_hz=self.frequency_hz, fmt=self.fmt)
+
+    # -- construction -------------------------------------------------------------
+
+    def _build_routers(self) -> dict[str, _BeRouter]:
+        routers: dict[str, _BeRouter] = {}
+        for name in self._router_order:
+            graph = self._topo.graph
+            n_in = graph.in_degree(name)
+            n_out = graph.out_degree(name)
+            routers[name] = _BeRouter(
+                name=name,
+                inputs=[_InputBuffer(f"{name}.in{i}", self.buffer_flits)
+                        for i in range(n_in)],
+                arbiters=[RoundRobinArbiter(n_in) for _ in range(n_out)])
+        return routers
+
+    def _build_arrivals(self, n_ticks: int
+                        ) -> dict[str, deque[tuple[int, BePacket]]]:
+        fmt = self.fmt
+        horizon_cycles = n_ticks * fmt.flit_size
+        arrivals: dict[str, deque[tuple[int, BePacket]]] = {}
+        for name, ca in sorted(self.config.allocation.channels.items()):
+            pattern = self._patterns.get(name)
+            queue: deque[tuple[int, BePacket]] = deque()
+            if pattern is not None:
+                for event in pattern.events(horizon_cycles):
+                    tick = -(-event.cycle // fmt.flit_size)
+                    queue.extend(
+                        (tick, p) for p in self._packetise(
+                            name, ca.path.out_ports, event))
+            arrivals[name] = queue
+        return arrivals
+
+    def _packetise(self, channel: str, out_ports: tuple[int, ...],
+                   event) -> list[BePacket]:
+        """Split one message into wormhole packets."""
+        fmt = self.fmt
+        total_flits = max(1, -(-event.words // fmt.payload_words_per_flit))
+        message_bytes = event.words * fmt.bytes_per_word
+        packets: list[BePacket] = []
+        remaining = total_flits
+        while remaining > 0:
+            flits = min(remaining, self.max_packet_flits)
+            remaining -= flits
+            final = remaining == 0
+            # The delivery record (written at the final packet's tail)
+            # reports the whole message's payload, matching the
+            # flit-level simulator's accounting.
+            packets.append(BePacket(
+                channel=channel, message_id=event.message_id,
+                created_cycle=event.cycle, out_ports=out_ports,
+                n_flits=flits,
+                payload_bytes=message_bytes if final else 0,
+                is_final=final))
+        return packets
+
+    # -- per-tick behaviour ----------------------------------------------------------
+
+    def _route_tick(self, routers: dict[str, _BeRouter], router_name: str,
+                    tick: int, period_ps: int,
+                    stats: StatsCollector) -> None:
+        router = routers[router_name]
+        consumed_inputs: set[int] = set()
+        for out_port in range(len(router.arbiters)):
+            locked = router.locks[out_port]
+            if locked is not None:
+                if locked in consumed_inputs:
+                    continue
+                if self._try_advance(routers, router, router_name,
+                                     out_port, locked, tick, period_ps,
+                                     stats, expect_body=True):
+                    consumed_inputs.add(locked)
+                continue
+            requests = []
+            for index, buf in enumerate(router.inputs):
+                head = buf.head()
+                requests.append(
+                    index not in consumed_inputs and
+                    head is not None and head.flit_index == 0 and
+                    head.arrived_tick < tick and
+                    head.packet.out_ports[head.packet.hop] == out_port)
+            winner = router.arbiters[out_port].grant(requests)
+            if winner is None:
+                continue
+            if self._try_advance(routers, router, router_name, out_port,
+                                 winner, tick, period_ps, stats,
+                                 expect_body=False):
+                consumed_inputs.add(winner)
+
+    def _try_advance(self, routers, router, router_name, out_port,
+                     input_index, tick, period_ps, stats, *,
+                     expect_body: bool) -> bool:
+        """Forward the head flit of one input through ``out_port``."""
+        buf = router.inputs[input_index]
+        head = buf.head()
+        if head is None or head.arrived_tick >= tick:
+            return False
+        if expect_body and head.flit_index == 0:
+            # The previous packet's tail has passed; release a stale lock.
+            router.locks[out_port] = None
+            return False
+        neighbour = self._topo.neighbor_on_port(router_name, out_port)
+        if self._topo.kind(neighbour) is NodeKind.NI:
+            item = buf.pop()
+            self._deliver_if_tail(item, tick, period_ps, stats)
+        else:
+            dst_router = routers[neighbour]
+            dst_port = self._topo.link(router_name, neighbour).dst_port
+            dst_buf = dst_router.inputs[dst_port]
+            if not dst_buf.has_space():
+                return False
+            item = buf.pop()
+            if item.flit_index == 0:
+                # The head advances a hop: the next router consumes the
+                # next entry of the source route.
+                item.packet.hop += 1
+            dst_buf.push(_BufferedFlit(item.packet, item.flit_index, tick))
+        # Wormhole lock: hold the output until the tail passes.
+        is_tail = item.flit_index == item.packet.n_flits - 1
+        router.locks[out_port] = None if is_tail else input_index
+        return True
+
+    def _deliver_if_tail(self, item: _BufferedFlit, tick: int,
+                         period_ps: int, stats: StatsCollector) -> None:
+        packet = item.packet
+        if item.flit_index != packet.n_flits - 1 or not packet.is_final:
+            return
+        delivered_cycle = (tick + 1) * self.fmt.flit_size
+        stats.record_delivery(DeliveryRecord(
+            channel=packet.channel, message_id=packet.message_id,
+            created_cycle=packet.created_cycle,
+            created_time_ps=packet.created_cycle * period_ps,
+            delivered_cycle=delivered_cycle,
+            delivered_time_ps=delivered_cycle * period_ps,
+            payload_bytes=packet.payload_bytes))
+
+    def _inject_tick(self, routers, ni: str, state: _NiState, tick: int,
+                     period_ps: int, stats: StatsCollector) -> None:
+        router_name = self._topo.attached_router(ni)
+        dst_port = self._topo.link(ni, router_name).dst_port
+        buf = routers[router_name].inputs[dst_port]
+        if not buf.has_space():
+            return
+        if state.active_queue is None:
+            requests = [bool(q.packets) for q in state.queues]
+            winner = state.arbiter.grant(requests)
+            if winner is None:
+                return
+            state.active_queue = winner
+        queue = state.queues[state.active_queue]
+        packet = queue.packets[0]
+        buf.push(_BufferedFlit(packet, packet.flits_sent, tick))
+        if packet.flits_sent == 0:
+            stats.record_injection(InjectionRecord(
+                channel=packet.channel, message_id=packet.message_id,
+                sequence=0, slot_index=tick,
+                cycle=tick * self.fmt.flit_size,
+                time_ps=tick * self.fmt.flit_size * period_ps))
+        packet.flits_sent += 1
+        if packet.flits_sent == packet.n_flits:
+            queue.packets.popleft()
+            state.active_queue = None

@@ -1,0 +1,11 @@
+"""Clock domains: synchronous, mesochronous and plesiochronous timing."""
+
+from repro.clocking.clock import PS_PER_S, ClockDomain, period_ps_from_hz
+from repro.clocking.domains import (mesochronous_domains,
+                                    plesiochronous_domains,
+                                    synchronous_domains)
+
+__all__ = [
+    "ClockDomain", "PS_PER_S", "period_ps_from_hz",
+    "synchronous_domains", "mesochronous_domains", "plesiochronous_domains",
+]

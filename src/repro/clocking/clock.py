@@ -1,0 +1,113 @@
+"""Clock domains with integer-picosecond timing.
+
+All detailed simulation in this library is driven by clock edges placed on
+an integer picosecond timeline — integers so that event ordering is exact
+and runs are bit-reproducible (no floating-point accumulation).
+
+A :class:`ClockDomain` is defined by its period and phase.  Three
+relationships between domains matter for aelite (Section V/VI and [17]):
+
+* **synchronous** — same period, same phase;
+* **mesochronous** — same period, arbitrary but constant phase difference
+  (the case the link pipeline stage of Section V absorbs, up to half a
+  period of skew);
+* **plesiochronous / heterochronous** — slightly or arbitrarily different
+  periods (the case requiring the asynchronous wrapper of Section VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["ClockDomain", "PS_PER_S", "period_ps_from_hz"]
+
+PS_PER_S = 1_000_000_000_000
+
+
+def period_ps_from_hz(frequency_hz: float) -> int:
+    """Clock period in integer picoseconds for a frequency in Hz."""
+    if frequency_hz <= 0:
+        raise ConfigurationError(
+            f"frequency must be positive, got {frequency_hz}")
+    period = round(PS_PER_S / frequency_hz)
+    if period < 1:
+        raise ConfigurationError(
+            f"frequency {frequency_hz} Hz is above the 1 ps resolution")
+    return period
+
+
+@dataclass(frozen=True)
+class ClockDomain:
+    """A free-running clock: rising edges at ``phase_ps + n * period_ps``."""
+
+    name: str
+    period_ps: int
+    phase_ps: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ConfigurationError("clock domain name must be non-empty")
+        if self.period_ps <= 0:
+            raise ConfigurationError(
+                f"clock {self.name!r}: period must be positive, "
+                f"got {self.period_ps}")
+        if not 0 <= self.phase_ps < self.period_ps:
+            raise ConfigurationError(
+                f"clock {self.name!r}: phase {self.phase_ps} must lie in "
+                f"[0, period={self.period_ps})")
+
+    @property
+    def frequency_hz(self) -> float:
+        """Nominal frequency in Hz."""
+        return PS_PER_S / self.period_ps
+
+    def edge_time(self, n: int) -> int:
+        """Time of the ``n``-th rising edge (0-based)."""
+        if n < 0:
+            raise ConfigurationError(f"edge index must be >= 0, got {n}")
+        return self.phase_ps + n * self.period_ps
+
+    def edges_until(self, t_end_ps: int) -> Iterator[tuple[int, int]]:
+        """Yield ``(edge_index, time_ps)`` for all edges strictly before
+        ``t_end_ps``."""
+        n = 0
+        t = self.phase_ps
+        while t < t_end_ps:
+            yield n, t
+            n += 1
+            t += self.period_ps
+
+    def cycles_in(self, duration_ps: int) -> int:
+        """Number of rising edges in ``[0, duration_ps)``."""
+        if duration_ps <= self.phase_ps:
+            return 0
+        return 1 + (duration_ps - self.phase_ps - 1) // self.period_ps
+
+    def skew_to(self, other: "ClockDomain") -> int:
+        """Phase difference to another domain of equal period, in ps.
+
+        Returned in ``(-period/2, period/2]`` — the paper's mesochronous
+        stage assumes its magnitude is at most half a period.  Raises for
+        domains of different period (those are plesiochronous; skew is not
+        a constant).
+        """
+        if other.period_ps != self.period_ps:
+            raise ConfigurationError(
+                f"skew between {self.name!r} ({self.period_ps} ps) and "
+                f"{other.name!r} ({other.period_ps} ps) is undefined: "
+                "periods differ")
+        diff = (other.phase_ps - self.phase_ps) % self.period_ps
+        if diff > self.period_ps // 2:
+            diff -= self.period_ps
+        return diff
+
+    def is_mesochronous_with(self, other: "ClockDomain") -> bool:
+        """Same period (phase may differ arbitrarily)."""
+        return self.period_ps == other.period_ps
+
+    def __repr__(self) -> str:
+        return (f"ClockDomain({self.name!r}, {self.frequency_hz / 1e6:.1f} MHz"
+                f", phase={self.phase_ps} ps)")

@@ -1,0 +1,414 @@
+"""Contention-free TDM slot allocation.
+
+This is the software counterpart of the Æthereal resource-allocation tools
+the paper reuses ([16]): given a topology, a mapping of IPs to NIs, and a
+set of guaranteed-service channels, find for every channel a source route
+and a set of injection slots such that **no two flits ever use the same
+link in the same slot** (Section III's contention-free routing invariant).
+
+The algorithm is a deterministic greedy allocator in the UMARS tradition:
+
+1. channels are ordered hardest-first (most slots needed, then tightest
+   latency, then name for determinism);
+2. for each channel a small set of candidate paths is considered —
+   k-shortest plus a congestion-aware shortest path that weighs links by
+   their current slot occupancy;
+3. on each candidate path, the set of injection slots that are free on
+   *every* traversed link (after per-hop shifting) is computed, and the
+   spreading heuristic of :mod:`repro.core.slot_table` picks slots that
+   minimise the worst-case injection wait;
+4. the first path that satisfies both the slot count and the latency gap
+   constraint wins; its reservations are committed to the per-link
+   occupancy tables.
+
+Committed allocations are never revisited (no backtracking); this mirrors
+the incremental allocation used for undisrupted reconfiguration: channels
+of a new application can be added to an existing allocation without
+touching running applications, and removed again without leaving state
+behind.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.core.connection import ChannelSpec
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.path import Path
+from repro.core.requirements import slots_for_channel
+from repro.core.slot_table import (SlotTable, shifted, spread_slots,
+                                   worst_case_wait_slots)
+from repro.core.words import WordFormat
+from repro.topology.graph import Topology
+from repro.topology.mapping import Mapping
+from repro.topology.routing import candidate_paths
+
+__all__ = ["ChannelAllocation", "Allocation", "AllocatorOptions",
+           "SlotAllocator"]
+
+
+@dataclass(frozen=True)
+class ChannelAllocation:
+    """The route and injection slots granted to one channel."""
+
+    spec: ChannelSpec
+    path: Path
+    slots: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.slots:
+            raise AllocationError(
+                f"channel {self.spec.name!r} allocated zero slots",
+                channel=self.spec.name)
+        if tuple(sorted(set(self.slots))) != self.slots:
+            raise AllocationError(
+                f"channel {self.spec.name!r} slots must be sorted and unique",
+                channel=self.spec.name)
+
+    @property
+    def n_slots(self) -> int:
+        """Number of slots held per table rotation."""
+        return len(self.slots)
+
+    def worst_wait_slots(self, table_size: int) -> int:
+        """Worst-case whole-slot injection wait (max cyclic gap)."""
+        return worst_case_wait_slots(self.slots, table_size)
+
+    def link_slots(self, table_size: int) -> dict[tuple[str, str], frozenset[int]]:
+        """Slots this channel occupies on each traversed link."""
+        out: dict[tuple[str, str], frozenset[int]] = {}
+        for link, shift in zip(self.path.links, self.path.link_shifts):
+            out[link.key] = frozenset(
+                shifted(s, shift, table_size) for s in self.slots)
+        return out
+
+
+@dataclass
+class Allocation:
+    """A complete, validated set of channel allocations.
+
+    ``link_tables`` holds the occupancy of every topology link; it is the
+    authoritative record from which NI injection tables are derived and
+    against which contention-freedom is (re)validated.
+    """
+
+    topology: Topology
+    table_size: int
+    frequency_hz: float
+    fmt: WordFormat
+    channels: dict[str, ChannelAllocation] = field(default_factory=dict)
+    link_tables: dict[tuple[str, str], SlotTable] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.link_tables:
+            self.link_tables = {key: SlotTable(self.table_size)
+                                for key in self.topology.iter_link_keys()}
+
+    # -- queries ------------------------------------------------------------
+
+    def channel(self, name: str) -> ChannelAllocation:
+        """Allocation of one channel by name."""
+        try:
+            return self.channels[name]
+        except KeyError:
+            raise AllocationError(f"channel {name!r} is not allocated",
+                                  channel=name)
+
+    def channels_from_ni(self, ni: str) -> tuple[ChannelAllocation, ...]:
+        """All channels injecting at ``ni``, sorted by name."""
+        return tuple(sorted(
+            (ca for ca in self.channels.values() if ca.path.source == ni),
+            key=lambda ca: ca.spec.name))
+
+    def channels_to_ni(self, ni: str) -> tuple[ChannelAllocation, ...]:
+        """All channels delivering to ``ni``, sorted by name."""
+        return tuple(sorted(
+            (ca for ca in self.channels.values() if ca.path.dest == ni),
+            key=lambda ca: ca.spec.name))
+
+    def ni_injection_table(self, ni: str) -> SlotTable:
+        """The TDM table programmed into NI ``ni``."""
+        table = SlotTable(self.table_size)
+        for ca in self.channels_from_ni(ni):
+            table.reserve_all(ca.slots, ca.spec.name)
+        return table
+
+    def link_utilisation(self) -> dict[tuple[str, str], float]:
+        """Reserved-slot fraction per link."""
+        return {key: table.utilisation()
+                for key, table in self.link_tables.items()}
+
+    def mean_link_utilisation(self) -> float:
+        """Average reserved fraction over all links."""
+        utils = self.link_utilisation()
+        return sum(utils.values()) / len(utils) if utils else 0.0
+
+    def applications(self) -> tuple[str, ...]:
+        """All application names with allocated channels, sorted."""
+        return tuple(sorted({ca.spec.application
+                             for ca in self.channels.values()}))
+
+    # -- mutation (incremental reconfiguration) -------------------------------
+
+    def commit(self, ca: ChannelAllocation) -> None:
+        """Add one channel's reservations; rolls back on any conflict."""
+        if ca.spec.name in self.channels:
+            raise AllocationError(
+                f"channel {ca.spec.name!r} is already allocated",
+                channel=ca.spec.name)
+        committed: list[tuple[tuple[str, str], int]] = []
+        try:
+            for key, slots in ca.link_slots(self.table_size).items():
+                table = self._table(key)
+                for slot in sorted(slots):
+                    table.reserve(slot, ca.spec.name)
+                    committed.append((key, slot))
+        except AllocationError:
+            for key, slot in committed:
+                self.link_tables[key].release(slot)
+            raise
+        self.channels[ca.spec.name] = ca
+
+    def release(self, channel_name: str) -> ChannelAllocation:
+        """Remove one channel, freeing its slots on every link."""
+        ca = self.channel(channel_name)
+        for key, slots in ca.link_slots(self.table_size).items():
+            table = self._table(key)
+            for slot in slots:
+                table.release(slot)
+        del self.channels[channel_name]
+        return ca
+
+    def release_application(self, application: str) -> tuple[str, ...]:
+        """Remove all channels of one application (use-case transition)."""
+        names = tuple(sorted(
+            name for name, ca in self.channels.items()
+            if ca.spec.application == application))
+        for name in names:
+            self.release(name)
+        return names
+
+    # -- validation ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Re-derive all link occupancy from scratch and compare.
+
+        Raises :class:`AllocationError` on any contention (two channels on
+        one link-slot) or bookkeeping divergence.  This is the programmatic
+        statement of the paper's contention-free routing invariant.
+        """
+        fresh: dict[tuple[str, str], dict[int, str]] = {
+            key: {} for key in self.topology.iter_link_keys()}
+        for ca in self.channels.values():
+            for key, slots in ca.link_slots(self.table_size).items():
+                if key not in fresh:
+                    raise AllocationError(
+                        f"channel {ca.spec.name!r} uses unknown link {key}",
+                        channel=ca.spec.name)
+                for slot in slots:
+                    holder = fresh[key].get(slot)
+                    if holder is not None:
+                        raise AllocationError(
+                            f"contention on link {key} slot {slot}: "
+                            f"{holder!r} vs {ca.spec.name!r}",
+                            channel=ca.spec.name, reason="slot contention")
+                    fresh[key][slot] = ca.spec.name
+        for key, owners in fresh.items():
+            recorded = {s: self.link_tables[key].owner(s)
+                        for s in self.link_tables[key].reserved_slots()}
+            if recorded != owners:
+                raise AllocationError(
+                    f"occupancy bookkeeping diverged on link {key}: "
+                    f"recorded {recorded}, derived {owners}")
+
+    # -- internals -----------------------------------------------------------
+
+    def _table(self, key: tuple[str, str]) -> SlotTable:
+        try:
+            return self.link_tables[key]
+        except KeyError:
+            raise AllocationError(f"unknown link {key} in allocation")
+
+    def __repr__(self) -> str:
+        return (f"Allocation({len(self.channels)} channels, "
+                f"table={self.table_size}, "
+                f"util={self.mean_link_utilisation():.1%})")
+
+
+@dataclass(frozen=True)
+class AllocatorOptions:
+    """Tunables of the greedy allocator (all deterministic).
+
+    Attributes
+    ----------
+    path_candidates:
+        Number of k-shortest paths considered per channel.
+    load_aware_path:
+        Also try a congestion-weighted shortest path first.
+    order:
+        Channel processing order: ``"tightness"`` (hardest first — most
+        slots, then tightest latency), ``"throughput"`` (highest bandwidth
+        first), or ``"input"`` (caller-supplied order, for ablations).
+    """
+
+    path_candidates: int = 4
+    load_aware_path: bool = True
+    order: str = "tightness"
+
+    def __post_init__(self) -> None:
+        if self.path_candidates < 1:
+            raise ConfigurationError("path_candidates must be >= 1")
+        if self.order not in ("tightness", "throughput", "input"):
+            raise ConfigurationError(f"unknown order {self.order!r}")
+
+
+class SlotAllocator:
+    """Greedy contention-free slot allocator over a fixed topology."""
+
+    def __init__(self, topology: Topology, *, table_size: int,
+                 frequency_hz: float, fmt: WordFormat | None = None,
+                 options: AllocatorOptions | None = None):
+        if table_size <= 0:
+            raise ConfigurationError(
+                f"slot table size must be positive, got {table_size}")
+        if frequency_hz <= 0:
+            raise ConfigurationError(
+                f"frequency must be positive, got {frequency_hz}")
+        topology.validate()
+        self.topology = topology
+        self.table_size = table_size
+        self.frequency_hz = frequency_hz
+        self.fmt = fmt or WordFormat()
+        self.options = options or AllocatorOptions()
+
+    # -- public API -----------------------------------------------------------
+
+    def allocate(self, channels: Sequence[ChannelSpec],
+                 mapping: Mapping) -> Allocation:
+        """Allocate all ``channels``; raises on the first infeasible one."""
+        allocation = Allocation(self.topology, self.table_size,
+                                self.frequency_hz, self.fmt)
+        self.extend(allocation, channels, mapping)
+        return allocation
+
+    def extend(self, allocation: Allocation, channels: Sequence[ChannelSpec],
+               mapping: Mapping) -> None:
+        """Add channels to an existing allocation without disturbing it.
+
+        This is the reconfiguration primitive: running applications keep
+        their reservations; only new channels acquire slots.
+        """
+        self._check_compatible(allocation)
+        mapping.validate(self.topology)
+        for spec in self._ordered(channels, mapping):
+            allocation.commit(self._allocate_one(allocation, spec, mapping))
+        allocation.validate()
+
+    # -- internals --------------------------------------------------------------
+
+    def _check_compatible(self, allocation: Allocation) -> None:
+        if allocation.table_size != self.table_size:
+            raise ConfigurationError(
+                f"allocation table size {allocation.table_size} != "
+                f"allocator table size {self.table_size}")
+        if allocation.topology is not self.topology:
+            raise ConfigurationError(
+                "allocation was built for a different topology object")
+
+    def _ordered(self, channels: Sequence[ChannelSpec],
+                 mapping: Mapping) -> list[ChannelSpec]:
+        seen: set[str] = set()
+        for spec in channels:
+            if spec.name in seen:
+                raise ConfigurationError(
+                    f"duplicate channel name {spec.name!r}")
+            seen.add(spec.name)
+        if self.options.order == "input":
+            return list(channels)
+        if self.options.order == "throughput":
+            return sorted(channels,
+                          key=lambda c: (-c.throughput_bytes_per_s, c.name))
+
+        def tightness(spec: ChannelSpec) -> tuple[float, float, str]:
+            # Hardest first: estimate slots on a shortest path, then the
+            # latency requirement (tighter = smaller), then name.
+            path = self._candidates(spec, mapping, None)[0]
+            try:
+                n, gap = slots_for_channel(spec, path, self.table_size,
+                                           self.frequency_hz, self.fmt)
+            except AllocationError:
+                # Let _allocate_one produce the detailed error.
+                return (-float("inf"), 0.0, spec.name)
+            gap_rank = float(gap) if gap is not None else float("inf")
+            return (-float(n), gap_rank, spec.name)
+
+        return sorted(channels, key=tightness)
+
+    def _candidates(self, spec: ChannelSpec, mapping: Mapping,
+                    allocation: Allocation | None) -> list[Path]:
+        src_ni = mapping.ni_of(spec.src_ip)
+        dst_ni = mapping.ni_of(spec.dst_ip)
+        if src_ni == dst_ni:
+            raise ConfigurationError(
+                f"channel {spec.name!r}: both endpoints map to NI "
+                f"{src_ni!r}; NI-local communication does not use the NoC")
+        weight = None
+        if self.options.load_aware_path and allocation is not None:
+            tables = allocation.link_tables
+
+            def weight(key: tuple[str, str]) -> float:
+                table = tables.get(key)
+                return 4.0 * table.utilisation() if table is not None else 0.0
+
+        paths = candidate_paths(self.topology, src_ni, dst_ni,
+                                k=self.options.path_candidates,
+                                link_weight=weight)
+        # Paths longer than the header can encode are unusable.
+        usable = [p for p in paths if len(p.out_ports) <= self.fmt.max_hops]
+        if not usable:
+            raise AllocationError(
+                f"channel {spec.name!r}: no route from {src_ni!r} to "
+                f"{dst_ni!r} fits in {self.fmt.max_hops} header hops",
+                channel=spec.name, reason="path too long for header")
+        return usable
+
+    def _free_injection_slots(self, allocation: Allocation,
+                              path: Path) -> set[int]:
+        """Injection slots free on every link of ``path`` after shifting."""
+        size = self.table_size
+        free: set[int] = set(range(size))
+        for link, shift in zip(path.links, path.link_shifts):
+            table = allocation.link_tables[link.key]
+            free = {s for s in free if table.is_free(shifted(s, shift, size))}
+            if not free:
+                break
+        return free
+
+    def _allocate_one(self, allocation: Allocation, spec: ChannelSpec,
+                      mapping: Mapping) -> ChannelAllocation:
+        failures: list[str] = []
+        for path in self._candidates(spec, mapping, allocation):
+            try:
+                n, gap = slots_for_channel(spec, path, self.table_size,
+                                           self.frequency_hz, self.fmt)
+            except AllocationError as exc:
+                failures.append(f"{path!r}: {exc.reason}")
+                continue
+            free = self._free_injection_slots(allocation, path)
+            if len(free) < n:
+                failures.append(
+                    f"{path!r}: {len(free)} free slots < {n} needed")
+                continue
+            slots = spread_slots(free, n, self.table_size, max_gap=gap)
+            if slots is None:
+                failures.append(
+                    f"{path!r}: free slots cannot satisfy gap <= {gap}")
+                continue
+            return ChannelAllocation(spec=spec, path=path, slots=slots)
+        detail = "; ".join(failures) if failures else "no candidate paths"
+        raise AllocationError(
+            f"cannot allocate channel {spec.name!r} "
+            f"({spec.throughput_bytes_per_s / 1e6:.3g} MB/s, "
+            f"latency {spec.max_latency_ns} ns): {detail}",
+            channel=spec.name, reason=detail)

@@ -1,0 +1,74 @@
+"""Error hierarchy for the aelite reproduction.
+
+All library-specific exceptions derive from :class:`ReproError` so callers can
+catch a single base class.  Errors carry enough structured context (channel
+names, link identities, slot numbers) to make allocation and simulation
+failures diagnosable without re-running with a debugger.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """An inconsistent or unsupported configuration was supplied.
+
+    Raised for structural problems detected before any allocation or
+    simulation starts: unknown nodes, mismatched port counts, slot-table
+    sizes that do not match between NIs, header formats too small for the
+    requested path length, and similar.
+    """
+
+
+class TopologyError(ConfigurationError):
+    """The topology graph is malformed (dangling link, duplicate port, ...)."""
+
+
+class HeaderFormatError(ConfigurationError):
+    """A packet header cannot encode the requested path or field value."""
+
+
+class AllocationError(ReproError):
+    """The TDM slot allocator could not satisfy a set of requirements.
+
+    Attributes
+    ----------
+    channel:
+        Name of the first channel that could not be allocated, or ``None``
+        when the failure is not attributable to a single channel.
+    reason:
+        Human-readable explanation (no free slots, no path, latency
+        infeasible, ...).
+    """
+
+    def __init__(self, message: str, *, channel: str | None = None,
+                 reason: str = ""):
+        super().__init__(message)
+        self.channel = channel
+        self.reason = reason or message
+
+
+class CapacityError(AllocationError):
+    """Aggregate demand exceeds what the topology can ever carry."""
+
+
+class SimulationError(ReproError):
+    """An invariant was violated while simulating the network.
+
+    The cycle-accurate models raise this for conditions that correspond to
+    hardware failures: two valid flits contending for one output port,
+    a bi-synchronous FIFO overflowing, or a flit arriving outside its
+    assigned slot.  A passing simulation is therefore also an invariant
+    check.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The asynchronous wrapper network stopped making progress."""
+
+
+class FlowControlError(SimulationError):
+    """End-to-end credit accounting went negative or a buffer overflowed."""

@@ -1,0 +1,161 @@
+"""Translating channel requirements into slot counts and gap constraints.
+
+The TDM arithmetic (Sections III and VII of the paper):
+
+* the network runs at frequency ``f``; a flit/slot takes ``flit_size``
+  cycles, so a slot lasts ``flit_size / f`` seconds;
+* a table of ``S`` slots rotates every ``S * flit_size / f`` seconds;
+* a channel holding ``n`` slots moves at most ``n`` flits per rotation, so
+  its guaranteed payload throughput is
+  ``n * payload_bytes_per_flit * f / (S * flit_size)``;
+* its worst-case injection wait is the maximum cyclic gap ``g`` between its
+  reserved slots (in slots), so its worst-case flit latency is
+  ``(g + traversal_slots) * flit_size / f``.
+
+Payload accounting is conservative by default: every flit is assumed to
+spend one word on a packet header, which is exact for single-flit packets
+and pessimistic (never optimistic) for longer packets.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core.connection import ChannelSpec
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.path import Path
+from repro.core.words import WordFormat
+
+__all__ = [
+    "slot_duration_s",
+    "table_rotation_s",
+    "link_raw_bytes_per_s",
+    "link_payload_bytes_per_s",
+    "slots_for_throughput",
+    "throughput_of_slots",
+    "max_gap_for_latency",
+    "latency_bound_ns",
+    "check_frequency",
+]
+
+
+def check_frequency(frequency_hz: float) -> None:
+    """Reject non-physical operating frequencies."""
+    if frequency_hz <= 0:
+        raise ConfigurationError(
+            f"operating frequency must be positive, got {frequency_hz}")
+
+
+def slot_duration_s(frequency_hz: float, fmt: WordFormat) -> float:
+    """Wall-clock duration of one TDM slot (one flit cycle)."""
+    check_frequency(frequency_hz)
+    return fmt.flit_size / frequency_hz
+
+
+def table_rotation_s(table_size: int, frequency_hz: float,
+                     fmt: WordFormat) -> float:
+    """Wall-clock duration of one full slot-table rotation."""
+    if table_size <= 0:
+        raise ConfigurationError(
+            f"slot table size must be positive, got {table_size}")
+    return table_size * slot_duration_s(frequency_hz, fmt)
+
+
+def link_raw_bytes_per_s(frequency_hz: float, fmt: WordFormat) -> float:
+    """Raw link bandwidth: one word per cycle."""
+    check_frequency(frequency_hz)
+    return frequency_hz * fmt.bytes_per_word
+
+
+def link_payload_bytes_per_s(frequency_hz: float, fmt: WordFormat) -> float:
+    """Maximum guaranteed payload bandwidth of one fully reserved link."""
+    return (link_raw_bytes_per_s(frequency_hz, fmt) *
+            fmt.payload_words_per_flit / fmt.flit_size)
+
+
+def slots_for_throughput(throughput_bytes_per_s: float, table_size: int,
+                         frequency_hz: float, fmt: WordFormat) -> int:
+    """Minimum slots per table rotation for a throughput requirement.
+
+    Always at least one: a channel with no bandwidth requirement still
+    needs a slot to be able to communicate at all.
+    """
+    if throughput_bytes_per_s < 0:
+        raise ConfigurationError("throughput requirement must be >= 0")
+    rotation = table_rotation_s(table_size, frequency_hz, fmt)
+    bytes_per_rotation = throughput_bytes_per_s * rotation
+    n = math.ceil(bytes_per_rotation / fmt.payload_bytes_per_flit - 1e-12)
+    n = max(n, 1)
+    if n > table_size:
+        raise AllocationError(
+            f"throughput {throughput_bytes_per_s:.3g} B/s needs {n} slots "
+            f"but the table only has {table_size}",
+            reason="throughput exceeds link capacity")
+    return n
+
+
+def throughput_of_slots(n_slots: int, table_size: int, frequency_hz: float,
+                        fmt: WordFormat) -> float:
+    """Guaranteed payload throughput of ``n_slots`` reservations."""
+    if n_slots < 0 or n_slots > table_size:
+        raise ConfigurationError(
+            f"slot count {n_slots} outside table of size {table_size}")
+    rotation = table_rotation_s(table_size, frequency_hz, fmt)
+    return n_slots * fmt.payload_bytes_per_flit / rotation
+
+
+def max_gap_for_latency(max_latency_ns: float, path: Path, table_size: int,
+                        frequency_hz: float, fmt: WordFormat) -> int:
+    """Largest admissible slot gap for a latency requirement on ``path``.
+
+    Solves ``(gap + traversal_slots) * flit_size / f <= L`` for ``gap``.
+    Raises :class:`AllocationError` when even a fully reserved table
+    (gap 1) cannot meet the requirement, i.e. the path alone is too slow.
+    """
+    check_frequency(frequency_hz)
+    if max_latency_ns <= 0:
+        raise ConfigurationError("latency requirement must be positive")
+    budget_cycles = max_latency_ns * 1e-9 * frequency_hz
+    traversal_cycles = path.traversal_cycles(fmt)
+    wait_cycles = budget_cycles - traversal_cycles
+    gap = math.floor(wait_cycles / fmt.flit_size + 1e-12)
+    if gap < 1:
+        raise AllocationError(
+            f"latency {max_latency_ns:.4g} ns infeasible on {path!r}: "
+            f"traversal alone takes {traversal_cycles} cycles "
+            f"({traversal_cycles / frequency_hz * 1e9:.4g} ns) and the "
+            "injection wait cannot go below one slot",
+            reason="latency below path traversal time")
+    return min(gap, table_size)
+
+
+def latency_bound_ns(worst_wait_slots: int, path: Path, frequency_hz: float,
+                     fmt: WordFormat) -> float:
+    """Worst-case flit latency of a reservation with the given wait.
+
+    ``worst_wait_slots`` is the maximum cyclic gap of the reserved slots
+    (see :func:`repro.core.slot_table.worst_case_wait_slots`).
+    """
+    check_frequency(frequency_hz)
+    cycles = (worst_wait_slots + path.traversal_slots) * fmt.flit_size
+    return cycles / frequency_hz * 1e9
+
+
+def slots_for_channel(spec: ChannelSpec, path: Path, table_size: int,
+                      frequency_hz: float, fmt: WordFormat
+                      ) -> tuple[int, int | None]:
+    """Slot count and gap constraint for one channel on one path.
+
+    Returns ``(n_slots, max_gap)`` where ``max_gap`` is ``None`` for
+    channels without a latency requirement.
+    """
+    n = slots_for_throughput(spec.throughput_bytes_per_s, table_size,
+                             frequency_hz, fmt)
+    gap: int | None = None
+    if spec.max_latency_ns is not None:
+        gap = max_gap_for_latency(spec.max_latency_ns, path, table_size,
+                                  frequency_hz, fmt)
+        # A gap of g requires at least ceil(S / g) slots; reflect that in
+        # the slot count so the spreading heuristic aims high enough.
+        n = max(n, math.ceil(table_size / gap))
+    return n, gap

@@ -1,0 +1,30 @@
+"""One module per paper figure/table; see DESIGN.md's experiment index."""
+
+from repro.experiments.ablations import (fifo_depth_rows, ordering_rows,
+                                         pipeline_stage_rows,
+                                         table_size_rows)
+from repro.experiments.area_comparison import (fifo_rows,
+                                               headline_ratio_rows,
+                                               mesochronous_rows,
+                                               related_work_rows,
+                                               throughput_rows)
+from repro.experiments.figures import (FIG5_TARGETS_MHZ, FIG6A_ARITIES,
+                                       FIG6B_WIDTHS, figure5_rows,
+                                       figure6a_rows, figure6b_rows)
+from repro.experiments.report import format_table, format_value
+from repro.experiments.section7 import (DEFAULT_SWEEP_MHZ, be_crossing_mhz,
+                                        be_sweep_rows, composability_rows,
+                                        cost_rows, section7_setup,
+                                        usecase_gs_rows)
+
+__all__ = [
+    "figure5_rows", "figure6a_rows", "figure6b_rows",
+    "FIG5_TARGETS_MHZ", "FIG6A_ARITIES", "FIG6B_WIDTHS",
+    "section7_setup", "usecase_gs_rows", "be_sweep_rows", "cost_rows",
+    "composability_rows", "be_crossing_mhz", "DEFAULT_SWEEP_MHZ",
+    "fifo_rows", "mesochronous_rows", "related_work_rows",
+    "headline_ratio_rows", "throughput_rows",
+    "table_size_rows", "fifo_depth_rows", "ordering_rows",
+    "pipeline_stage_rows",
+    "format_table", "format_value",
+]

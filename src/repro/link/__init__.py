@@ -1,0 +1,9 @@
+"""Links: plain wires, bi-synchronous FIFOs, mesochronous pipeline stages."""
+
+from repro.link.bisync_fifo import BisyncFifo
+from repro.link.mesochronous import (MesochronousLinkStage, MesoReader,
+                                     MesoWriter, make_stage)
+from repro.link.wire import join
+
+__all__ = ["BisyncFifo", "MesochronousLinkStage", "MesoReader",
+           "MesoWriter", "make_stage", "join"]

@@ -1,0 +1,44 @@
+"""Plain synchronous links.
+
+In basic aelite (Section IV) neighbouring elements are cycle-level
+synchronous and the link delay must be at most one cycle: a registered
+output drives a wire segment that the next element's input register samples
+on the following edge.  In the model this is simply *wire sharing*: the
+producing element's output :class:`~repro.simulation.signals.WordWire`
+object is handed to the consuming element as its input wire.
+
+:func:`join` performs that sharing and returns the shared wire so network
+builders can attach monitors to it.  The paper's alternative of moving the
+input register onto the link does not change cycle counts (the register
+moves, it is not added), so it needs no separate model; links that add a
+whole TDM slot are the mesochronous pipeline stages in
+:mod:`repro.link.mesochronous`.
+"""
+
+from __future__ import annotations
+
+from typing import Protocol
+
+from repro.simulation.signals import WordWire
+
+__all__ = ["join"]
+
+
+class _HasPorts(Protocol):  # pragma: no cover - typing helper
+    inputs: list[WordWire]
+    outputs: list[WordWire]
+
+
+def join(producer: _HasPorts, out_port: int, consumer: _HasPorts,
+         in_port: int) -> WordWire:
+    """Share one wire: ``producer.outputs[out_port]`` becomes
+    ``consumer.inputs[in_port]``.
+
+    Returns the shared wire.  The wire remains registered on the
+    *producer's* clock domain (its value changes at producer commits),
+    which models a link delay within one cycle as the paper requires for
+    non-pipelined links.
+    """
+    wire = producer.outputs[out_port]
+    consumer.inputs[in_port] = wire
+    return wire

@@ -1,0 +1,8 @@
+"""Network interfaces: TDM injection, packetisation, end-to-end credits."""
+
+from repro.ni.network_interface import (NetworkInterface, RxQueueConfig,
+                                        TxChannelConfig)
+from repro.ni.packetizer import Packetizer, TxMessage
+
+__all__ = ["NetworkInterface", "TxChannelConfig", "RxQueueConfig",
+           "Packetizer", "TxMessage"]

@@ -1,0 +1,7 @@
+"""The aelite router: HPU, arbiterless switch, three-stage pipeline."""
+
+from repro.router.hpu import HeaderParsingUnit
+from repro.router.switch import Switch
+from repro.router.synchronous import SynchronousRouter
+
+__all__ = ["HeaderParsingUnit", "Switch", "SynchronousRouter"]

@@ -1,0 +1,52 @@
+"""The aelite switch: one-hot input-to-output assignment without arbitration.
+
+Because contention is excluded by the off-line TDM schedule, the switch has
+no arbiter at all (Section IV): it simply connects each requesting input to
+its requested output.  Two inputs requesting the same output in the same
+cycle is not possible in a correctly allocated network, so the model treats
+it as a hard simulation error — making every detailed simulation double as
+a check of the contention-free-routing invariant.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.signals import IDLE, Phit
+
+__all__ = ["Switch"]
+
+
+class Switch:
+    """Combinational one-hot crossbar with contention checking."""
+
+    __slots__ = ("n_outputs", "name")
+
+    def __init__(self, n_outputs: int, name: str = "switch"):
+        self.n_outputs = n_outputs
+        self.name = name
+
+    def route(self, requests: list[tuple[int | None, Phit]]
+              ) -> list[Phit]:
+        """Map per-input ``(output_port, phit)`` pairs to per-output phits.
+
+        Raises :class:`SimulationError` when an input requests a port that
+        does not exist or when two inputs collide on one output — the
+        hardware equivalent of a TDM schedule violation.
+        """
+        outputs: list[Phit] = [IDLE] * self.n_outputs
+        claimed_by: list[int | None] = [None] * self.n_outputs
+        for input_index, (port, phit) in enumerate(requests):
+            if port is None or not phit.valid:
+                continue
+            if not 0 <= port < self.n_outputs:
+                raise SimulationError(
+                    f"{self.name}: input {input_index} requests output "
+                    f"{port}, but the switch has {self.n_outputs} outputs")
+            if claimed_by[port] is not None:
+                raise SimulationError(
+                    f"{self.name}: contention on output {port}: inputs "
+                    f"{claimed_by[port]} and {input_index} both hold valid "
+                    "words (TDM schedule violated)")
+            claimed_by[port] = input_index
+            outputs[port] = phit
+        return outputs

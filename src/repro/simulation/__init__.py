@@ -1,0 +1,52 @@
+"""Simulation: event kernel, flit-level and word-level simulators."""
+
+from __future__ import annotations
+
+import importlib
+
+_EXPORTS: dict[str, str] = {
+    "Engine": "repro.simulation.engine",
+    "Clocked": "repro.simulation.engine",
+    "Phit": "repro.simulation.signals",
+    "WordWire": "repro.simulation.signals",
+    "IDLE": "repro.simulation.signals",
+    "FlitLevelSimulator": "repro.simulation.flitsim",
+    "FlitSimResult": "repro.simulation.flitsim",
+    "DetailedNetwork": "repro.simulation.cyclesim",
+    "DetailedSimResult": "repro.simulation.cyclesim",
+    "MessageEvent": "repro.simulation.traffic",
+    "TrafficPattern": "repro.simulation.traffic",
+    "ConstantBitRate": "repro.simulation.traffic",
+    "PeriodicBurst": "repro.simulation.traffic",
+    "BernoulliMessages": "repro.simulation.traffic",
+    "Replay": "repro.simulation.traffic",
+    "Saturating": "repro.simulation.traffic",
+    "GeneratorComponent": "repro.simulation.traffic",
+    "InjectionRecord": "repro.simulation.monitors",
+    "DeliveryRecord": "repro.simulation.monitors",
+    "ChannelStats": "repro.simulation.monitors",
+    "StatsCollector": "repro.simulation.monitors",
+    "TraceRecorder": "repro.simulation.monitors",
+    "LatencySummary": "repro.simulation.monitors",
+    "ComposabilityReport": "repro.simulation.composability",
+    "run_with_channels": "repro.simulation.composability",
+    "compare_subsets": "repro.simulation.composability",
+}
+
+__all__ = sorted(_EXPORTS)
+
+
+def __getattr__(name: str):
+    """Resolve exports lazily to keep imports cycle-free."""
+    try:
+        module_name = _EXPORTS[name]
+    except KeyError:
+        raise AttributeError(
+            f"module 'repro.simulation' has no attribute {name!r}")
+    value = getattr(importlib.import_module(module_name), name)
+    globals()[name] = value
+    return value
+
+
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_EXPORTS))

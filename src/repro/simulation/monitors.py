@@ -1,0 +1,208 @@
+"""Measurement infrastructure: latency, throughput and trace records.
+
+Both simulators (the fast flit-level one and the detailed word-level one)
+emit the same record types, so analyses and composability comparisons can
+consume either.  All figures derive from two event logs:
+
+* :class:`InjectionRecord` — a flit left its source NI in a given slot;
+* :class:`DeliveryRecord` — a message's final word arrived at the
+  destination NI.
+
+:class:`ChannelStats` aggregates per-channel latency/throughput;
+:class:`TraceRecorder` keeps exact per-flit timing for bit-identical
+composability comparison (the paper's isolation claim is about *identical
+timing*, not merely similar averages).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.core.exceptions import SimulationError
+
+__all__ = ["InjectionRecord", "DeliveryRecord", "ChannelStats",
+           "StatsCollector", "TraceRecorder", "LatencySummary"]
+
+
+@dataclass(frozen=True)
+class InjectionRecord:
+    """One flit departure from a source NI."""
+
+    channel: str
+    message_id: int
+    sequence: int
+    slot_index: int          # absolute slot count since reset
+    cycle: int               # source-NI cycle of the first word
+    time_ps: int             # wall-clock time of the first word
+
+
+@dataclass(frozen=True)
+class DeliveryRecord:
+    """Completion of one message at the destination NI."""
+
+    channel: str
+    message_id: int
+    created_cycle: int       # source-NI cycle the message became ready
+    created_time_ps: int     # wall-clock equivalent
+    delivered_cycle: int     # destination-NI cycle of the final word
+    delivered_time_ps: int   # wall-clock time of the final word
+    payload_bytes: int
+
+    @property
+    def latency_ps(self) -> int:
+        """Message latency on the wall clock."""
+        return self.delivered_time_ps - self.created_time_ps
+
+    @property
+    def latency_ns(self) -> float:
+        """Message latency in nanoseconds."""
+        return self.latency_ps / 1000.0
+
+
+@dataclass(frozen=True)
+class LatencySummary:
+    """Order statistics of a latency population, in nanoseconds."""
+
+    count: int
+    minimum: float
+    mean: float
+    p50: float
+    p99: float
+    maximum: float
+
+    @staticmethod
+    def of(latencies_ns: Iterable[float]) -> "LatencySummary":
+        """Summarise a latency sample; raises on an empty sample."""
+        data = sorted(latencies_ns)
+        if not data:
+            raise SimulationError("cannot summarise an empty latency sample")
+
+        def pct(p: float) -> float:
+            index = min(len(data) - 1, max(0, math.ceil(p * len(data)) - 1))
+            return data[index]
+
+        return LatencySummary(
+            count=len(data), minimum=data[0],
+            mean=sum(data) / len(data),
+            p50=pct(0.50), p99=pct(0.99), maximum=data[-1])
+
+
+@dataclass
+class ChannelStats:
+    """Per-channel aggregate measurements."""
+
+    channel: str
+    deliveries: list[DeliveryRecord] = field(default_factory=list)
+    injections: list[InjectionRecord] = field(default_factory=list)
+
+    @property
+    def delivered_bytes(self) -> int:
+        """Total payload bytes delivered."""
+        return sum(r.payload_bytes for r in self.deliveries)
+
+    def latency_summary(self) -> LatencySummary:
+        """Latency order statistics over all delivered messages."""
+        return LatencySummary.of(r.latency_ns for r in self.deliveries)
+
+    def throughput_bytes_per_s(self, measured_from_ps: int,
+                               measured_to_ps: int) -> float:
+        """Delivered payload rate over an observation window.
+
+        Counts messages delivered inside ``[measured_from_ps,
+        measured_to_ps)``; use a window that starts after warm-up.
+        """
+        if measured_to_ps <= measured_from_ps:
+            raise SimulationError("empty measurement window")
+        window_bytes = sum(
+            r.payload_bytes for r in self.deliveries
+            if measured_from_ps <= r.delivered_time_ps < measured_to_ps)
+        return window_bytes * 1e12 / (measured_to_ps - measured_from_ps)
+
+
+class StatsCollector:
+    """Shared sink for all simulation records."""
+
+    def __init__(self):
+        self._by_channel: dict[str, ChannelStats] = {}
+
+    def record_injection(self, record: InjectionRecord) -> None:
+        """Log one flit injection."""
+        self._channel(record.channel).injections.append(record)
+
+    def record_delivery(self, record: DeliveryRecord) -> None:
+        """Log one message completion."""
+        self._channel(record.channel).deliveries.append(record)
+
+    def _channel(self, name: str) -> ChannelStats:
+        stats = self._by_channel.get(name)
+        if stats is None:
+            stats = ChannelStats(name)
+            self._by_channel[name] = stats
+        return stats
+
+    def channel(self, name: str) -> ChannelStats:
+        """Stats of one channel (empty stats if nothing recorded)."""
+        return self._channel(name)
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        """All channels with at least one record, sorted."""
+        return tuple(sorted(self._by_channel))
+
+    def all_deliveries(self) -> list[DeliveryRecord]:
+        """Every delivery record across channels (stable order)."""
+        out: list[DeliveryRecord] = []
+        for name in self.channels:
+            out.extend(self._by_channel[name].deliveries)
+        return out
+
+
+class TraceRecorder:
+    """Exact per-flit timing traces for composability comparison.
+
+    A trace is, per channel, the ordered list of ``(message_id,
+    injection_slot, delivery_cycle)`` triples.  Two runs are *composable-
+    equal* for a channel set when their traces over those channels are
+    identical — the strong, bit-level form of the paper's isolation claim.
+    """
+
+    def __init__(self):
+        self._events: dict[str, list[tuple[int, int, int]]] = \
+            defaultdict(list)
+
+    def record(self, channel: str, message_id: int, injection_slot: int,
+               delivery_cycle: int) -> None:
+        """Append one flit/message event to a channel's trace."""
+        self._events[channel].append(
+            (message_id, injection_slot, delivery_cycle))
+
+    def trace(self, channel: str) -> tuple[tuple[int, int, int], ...]:
+        """The immutable trace of one channel."""
+        return tuple(self._events.get(channel, ()))
+
+    def channels(self) -> tuple[str, ...]:
+        """Channels with at least one event, sorted."""
+        return tuple(sorted(self._events))
+
+    def restricted_to(self, channels: Iterable[str]
+                      ) -> dict[str, tuple[tuple[int, int, int], ...]]:
+        """Traces of a subset of channels, keyed by channel."""
+        return {ch: self.trace(ch) for ch in channels}
+
+    @staticmethod
+    def equal_on(a: "TraceRecorder", b: "TraceRecorder",
+                 channels: Iterable[str]) -> bool:
+        """True when both recorders agree exactly on ``channels``."""
+        channels = list(channels)
+        return a.restricted_to(channels) == b.restricted_to(channels)
+
+    def first_divergence(self, other: "TraceRecorder", channels:
+                         Iterable[str]) -> str | None:
+        """Name of the first channel whose traces differ, or ``None``."""
+        for ch in sorted(channels):
+            if self.trace(ch) != other.trace(ch):
+                return ch
+        return None

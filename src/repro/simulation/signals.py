@@ -1,0 +1,88 @@
+"""Wires and phits: how the cycle-accurate models exchange values.
+
+The detailed models follow a strict two-phase discipline per clock edge
+(see :mod:`repro.simulation.engine`): during *compute* every component
+reads its input wires (which still hold last cycle's values) and prepares
+its next state; during *commit* every component latches and drives its
+output wires.  A :class:`WordWire` is therefore exactly a registered
+output: its value changes only at commit time.
+
+A :class:`Phit` couples the electrical content of one word-time on a wire
+(data word, valid, end-of-packet sideband) with a reference to the flit it
+belongs to.  Hardware models only branch on ``word``/``valid``/``eop``;
+the flit reference exists so monitors can attribute latency to channels
+without altering the data path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.flits import Flit
+
+__all__ = ["Phit", "WordWire", "IDLE"]
+
+
+@dataclass(frozen=True)
+class Phit:
+    """One word-time on a link: data plus sideband plus tracing reference."""
+
+    word: int
+    valid: bool
+    eop: bool
+    flit: Optional[Flit] = None
+    word_index: int = 0
+
+    def __repr__(self) -> str:
+        if not self.valid:
+            return "Phit(idle)"
+        eop = ", eop" if self.eop else ""
+        return f"Phit(0x{self.word:x}, w{self.word_index}{eop})"
+
+
+IDLE = Phit(word=0, valid=False, eop=False)
+
+
+class WordWire:
+    """A registered point-to-point word connection.
+
+    The producer calls :meth:`drive` during its commit phase; consumers
+    call :meth:`sample` during their compute phase of the *next* edge and
+    observe the driven value.  Driving twice in one commit phase is a
+    hardware short and raises.
+    """
+
+    __slots__ = ("name", "_current", "_next", "_driven")
+
+    def __init__(self, name: str = "wire"):
+        self.name = name
+        self._current: Phit = IDLE
+        self._next: Phit = IDLE
+        self._driven = False
+
+    def drive(self, phit: Phit) -> None:
+        """Set the value the wire will carry after the edge (commit phase)."""
+        from repro.core.exceptions import SimulationError
+        if self._driven:
+            raise SimulationError(
+                f"wire {self.name!r} driven twice in one cycle")
+        self._next = phit
+        self._driven = True
+
+    def sample(self) -> Phit:
+        """Read the value currently on the wire (compute phase)."""
+        return self._current
+
+    def latch(self) -> None:
+        """Advance to the next value; idle when nobody drove the wire.
+
+        Called by the engine once per edge of the *producer's* clock, after
+        all commits.
+        """
+        self._current = self._next if self._driven else IDLE
+        self._next = IDLE
+        self._driven = False
+
+    def __repr__(self) -> str:
+        return f"WordWire({self.name!r}, {self._current!r})"

@@ -1,0 +1,137 @@
+"""Process-technology parameters and scaling rules.
+
+The paper reports pre-layout cell area from a commercial 90 nm low-power
+flow and compares against numbers published for 130 nm designs.  We have
+no commercial library, so this module defines a small parameter set —
+NAND2-equivalent gate area, flip-flop area, characteristic delays — whose
+values are **calibrated once** against the paper's anchor points (see
+DESIGN.md section 6):
+
+* arity-5, 32-bit aelite router ≈ 14,000 µm² at moderate target frequency;
+* its maximum synthesisable frequency ≈ 875 MHz;
+* a custom 4-word bi-synchronous FIFO ≈ 1,500 µm² (non-custom ≈ 3,300);
+* the Æthereal GS+BE router ≈ 0.13 mm² at 500 MHz in 130 nm.
+
+Everything downstream (figures 5, 6a, 6b, the cost comparisons) is
+*derived* from structural gate counts using these constants; the curve
+shapes are consequences of the structure, not of per-figure fitting.
+
+Scaling between nodes follows the classic rules the paper itself uses:
+area scales with the square of the feature-size ratio; delay scales
+sub-linearly (wires do not shrink as well as gates), captured by
+``delay_scaling_exponent``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.exceptions import ConfigurationError
+
+__all__ = ["Technology", "TECH_90LP", "TECH_130", "TECH_65",
+           "scale_area_um2", "scale_frequency_hz"]
+
+
+@dataclass(frozen=True)
+class Technology:
+    """Cell-library abstraction for one process node.
+
+    Attributes
+    ----------
+    name:
+        Human-readable node name.
+    node_nm:
+        Feature size in nanometres.
+    nand2_area_um2:
+        Area of a NAND2-equivalent gate (the unit of random logic).
+    flipflop_area_um2:
+        Area of a scan flip-flop.
+    custom_fifo_bit_area_um2 / custom_fifo_overhead_um2:
+        Per-bit area and fixed control overhead of the custom embedded
+        FIFO of [18] (Wielage et al.).
+    fifo_sync_overhead_um2:
+        Fixed overhead (gray pointers, synchronisers, comparators) of a
+        standard-cell bi-synchronous FIFO ([14]).
+    t_flipflop_ps / t_mux2_ps / t_port_load_ps / t_bit_load_ps:
+        Timing primitives of the router's critical path: register
+        clk-to-q plus setup; one 2:1 mux stage; per-port fan-out/wiring
+        penalty; per-data-bit loading penalty.
+    """
+
+    name: str
+    node_nm: float
+    nand2_area_um2: float
+    flipflop_area_um2: float
+    custom_fifo_bit_area_um2: float
+    custom_fifo_overhead_um2: float
+    fifo_sync_overhead_um2: float
+    t_flipflop_ps: float
+    t_mux2_ps: float
+    t_port_load_ps: float
+    t_bit_load_ps: float
+
+    def __post_init__(self) -> None:
+        if self.node_nm <= 0:
+            raise ConfigurationError("node_nm must be positive")
+
+
+#: 90 nm low power — the paper's synthesis target.  Calibrated: see
+#: module docstring and DESIGN.md section 6.
+TECH_90LP = Technology(
+    name="90nm LP",
+    node_nm=90,
+    nand2_area_um2=3.1,
+    flipflop_area_um2=14.0,
+    custom_fifo_bit_area_um2=8.2,
+    custom_fifo_overhead_um2=450.0,
+    fifo_sync_overhead_um2=1508.0,
+    t_flipflop_ps=559.0,
+    t_mux2_ps=110.0,
+    t_port_load_ps=45.0,
+    t_bit_load_ps=0.9,
+)
+
+
+def _scaled(base: Technology, name: str, node_nm: float) -> Technology:
+    """Derive a node by classical area/delay scaling from ``base``."""
+    area = (node_nm / base.node_nm) ** 2
+    delay = (node_nm / base.node_nm) ** DELAY_SCALING_EXPONENT
+    return Technology(
+        name=name, node_nm=node_nm,
+        nand2_area_um2=base.nand2_area_um2 * area,
+        flipflop_area_um2=base.flipflop_area_um2 * area,
+        custom_fifo_bit_area_um2=base.custom_fifo_bit_area_um2 * area,
+        custom_fifo_overhead_um2=base.custom_fifo_overhead_um2 * area,
+        fifo_sync_overhead_um2=base.fifo_sync_overhead_um2 * area,
+        t_flipflop_ps=base.t_flipflop_ps * delay,
+        t_mux2_ps=base.t_mux2_ps * delay,
+        t_port_load_ps=base.t_port_load_ps * delay,
+        t_bit_load_ps=base.t_bit_load_ps * delay,
+    )
+
+
+#: Delay improves slower than the linear node ratio (wire-dominated
+#: paths scale roughly with the square root of the feature-size ratio);
+#: 0.5 reproduces the paper's "1.5x the frequency" comparison between
+#: the 90 nm aelite and the 130 nm Æthereal numbers.
+DELAY_SCALING_EXPONENT = 0.5
+
+TECH_130 = _scaled(TECH_90LP, "130nm", 130)
+TECH_65 = _scaled(TECH_90LP, "65nm", 65)
+
+
+def scale_area_um2(area_um2: float, from_tech: Technology,
+                   to_tech: Technology) -> float:
+    """Scale a published cell area between nodes (quadratic rule)."""
+    if area_um2 < 0:
+        raise ConfigurationError("area must be >= 0")
+    return area_um2 * (to_tech.node_nm / from_tech.node_nm) ** 2
+
+
+def scale_frequency_hz(frequency_hz: float, from_tech: Technology,
+                       to_tech: Technology) -> float:
+    """Scale a published frequency between nodes (sub-linear rule)."""
+    if frequency_hz <= 0:
+        raise ConfigurationError("frequency must be positive")
+    ratio = (from_tech.node_nm / to_tech.node_nm) ** DELAY_SCALING_EXPONENT
+    return frequency_hz * ratio

@@ -1,0 +1,362 @@
+"""NoC topology graph: routers, network interfaces, and directed links.
+
+The topology is the structural substrate everything else builds on: the
+allocator reserves slots on its links, the simulators instantiate one model
+per node, and the synthesis model sums areas over its routers and link
+pipeline stages.
+
+Conventions
+-----------
+* Nodes are identified by unique string names.  Builders in
+  :mod:`repro.topology.builders` use ``r{x}_{y}`` for mesh routers and
+  ``ni{x}_{y}_{k}`` for their NIs, but any names work.
+* Links are **directed**; a bidirectional cable is two links.
+* Each link records the output-port index at its source and the input-port
+  index at its destination.  Ports are numbered in connection order, giving
+  a deterministic port map that the header encoding relies on.
+* ``pipeline_stages`` on a link counts mesochronous link pipeline stages
+  (Section V of the paper); each stage adds one TDM slot to the traversal.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+import networkx as nx
+
+from repro.core.exceptions import TopologyError
+
+__all__ = ["NodeKind", "Link", "Topology"]
+
+
+class NodeKind(enum.Enum):
+    """The two node types of an aelite network."""
+
+    ROUTER = "router"
+    NI = "ni"
+
+
+@dataclass(frozen=True)
+class Link:
+    """A directed physical link.
+
+    Attributes
+    ----------
+    src, dst:
+        Node names of the driving and receiving element.
+    src_port:
+        Output-port index at the source (0 for an NI, which has a single
+        network-facing port).
+    dst_port:
+        Input-port index at the destination.
+    pipeline_stages:
+        Number of mesochronous link pipeline stages on this link; each one
+        delays the flit by exactly one TDM slot (three cycles).
+    """
+
+    src: str
+    dst: str
+    src_port: int
+    dst_port: int
+    pipeline_stages: int = 0
+
+    @property
+    def key(self) -> tuple[str, str]:
+        """Dictionary key ``(src, dst)`` identifying this link."""
+        return (self.src, self.dst)
+
+    def __repr__(self) -> str:
+        stages = f" +{self.pipeline_stages}ps" if self.pipeline_stages else ""
+        return (f"Link({self.src}[p{self.src_port}] -> "
+                f"{self.dst}[p{self.dst_port}]{stages})")
+
+
+class Topology:
+    """Mutable NoC structure with validation and convenience queries."""
+
+    def __init__(self, name: str = "noc"):
+        self.name = name
+        self._graph = nx.DiGraph()
+        self._next_out_port: dict[str, int] = {}
+        self._next_in_port: dict[str, int] = {}
+
+    # -- construction -------------------------------------------------------
+
+    def add_router(self, name: str, **attrs: object) -> None:
+        """Add a router node; extra attributes (e.g. mesh coords) are kept."""
+        self._add_node(name, NodeKind.ROUTER, attrs)
+
+    def add_ni(self, name: str, **attrs: object) -> None:
+        """Add a network-interface node."""
+        self._add_node(name, NodeKind.NI, attrs)
+
+    def _add_node(self, name: str, kind: NodeKind,
+                  attrs: Mapping[str, object]) -> None:
+        if not name:
+            raise TopologyError("node name must be non-empty")
+        if name in self._graph:
+            raise TopologyError(f"duplicate node name {name!r}")
+        self._graph.add_node(name, kind=kind, **attrs)
+        self._next_out_port[name] = 0
+        self._next_in_port[name] = 0
+
+    def connect(self, src: str, dst: str, *, pipeline_stages: int = 0) -> Link:
+        """Add a directed link, auto-assigning the next free port numbers."""
+        self._require_node(src)
+        self._require_node(dst)
+        if src == dst:
+            raise TopologyError(f"self-loop on {src!r} is not allowed")
+        if self._graph.has_edge(src, dst):
+            raise TopologyError(f"link {src!r} -> {dst!r} already exists")
+        if pipeline_stages < 0:
+            raise TopologyError("pipeline_stages must be >= 0")
+        if self.kind(src) is NodeKind.NI and self.kind(dst) is NodeKind.NI:
+            raise TopologyError(
+                f"NIs may not be directly connected ({src!r} -> {dst!r})")
+        link = Link(src=src, dst=dst,
+                    src_port=self._take_out_port(src),
+                    dst_port=self._take_in_port(dst),
+                    pipeline_stages=pipeline_stages)
+        self._graph.add_edge(src, dst, link=link)
+        return link
+
+    def connect_bidir(self, a: str, b: str, *,
+                      pipeline_stages: int = 0) -> tuple[Link, Link]:
+        """Add links in both directions and return ``(a->b, b->a)``."""
+        return (self.connect(a, b, pipeline_stages=pipeline_stages),
+                self.connect(b, a, pipeline_stages=pipeline_stages))
+
+    def set_pipeline_stages(self, src: str, dst: str, stages: int) -> Link:
+        """Replace the pipeline-stage count of an existing link."""
+        old = self.link(src, dst)
+        if stages < 0:
+            raise TopologyError("pipeline_stages must be >= 0")
+        new = Link(src=old.src, dst=old.dst, src_port=old.src_port,
+                   dst_port=old.dst_port, pipeline_stages=stages)
+        self._graph.edges[src, dst]["link"] = new
+        return new
+
+    def _take_out_port(self, node: str) -> int:
+        if self.kind(node) is NodeKind.NI:
+            if self._next_out_port[node] > 0:
+                raise TopologyError(
+                    f"NI {node!r} already has a network-facing output link")
+            self._next_out_port[node] = 1
+            return 0
+        port = self._next_out_port[node]
+        self._next_out_port[node] = port + 1
+        return port
+
+    def _take_in_port(self, node: str) -> int:
+        if self.kind(node) is NodeKind.NI:
+            if self._next_in_port[node] > 0:
+                raise TopologyError(
+                    f"NI {node!r} already has a network-facing input link")
+            self._next_in_port[node] = 1
+            return 0
+        port = self._next_in_port[node]
+        self._next_in_port[node] = port + 1
+        return port
+
+    # -- queries ------------------------------------------------------------
+
+    @property
+    def graph(self) -> nx.DiGraph:
+        """The underlying directed graph (read-only by convention)."""
+        return self._graph
+
+    def kind(self, name: str) -> NodeKind:
+        """Node kind of ``name``."""
+        self._require_node(name)
+        return self._graph.nodes[name]["kind"]
+
+    def node_attrs(self, name: str) -> Mapping[str, object]:
+        """All attributes stored on a node (includes ``kind``)."""
+        self._require_node(name)
+        return dict(self._graph.nodes[name])
+
+    @property
+    def routers(self) -> tuple[str, ...]:
+        """All router names, sorted for determinism."""
+        return tuple(sorted(n for n, d in self._graph.nodes(data=True)
+                            if d["kind"] is NodeKind.ROUTER))
+
+    @property
+    def nis(self) -> tuple[str, ...]:
+        """All NI names, sorted for determinism."""
+        return tuple(sorted(n for n, d in self._graph.nodes(data=True)
+                            if d["kind"] is NodeKind.NI))
+
+    @property
+    def links(self) -> tuple[Link, ...]:
+        """All directed links, sorted by ``(src, dst)``."""
+        return tuple(sorted((d["link"] for _, _, d in
+                             self._graph.edges(data=True)),
+                            key=lambda l: l.key))
+
+    def link(self, src: str, dst: str) -> Link:
+        """The link ``src -> dst``; raises :class:`TopologyError` if absent."""
+        if not self._graph.has_edge(src, dst):
+            raise TopologyError(f"no link {src!r} -> {dst!r}")
+        return self._graph.edges[src, dst]["link"]
+
+    def has_link(self, src: str, dst: str) -> bool:
+        """True when a directed link ``src -> dst`` exists."""
+        return self._graph.has_edge(src, dst)
+
+    def successors(self, name: str) -> tuple[str, ...]:
+        """Downstream neighbours, sorted."""
+        self._require_node(name)
+        return tuple(sorted(self._graph.successors(name)))
+
+    def predecessors(self, name: str) -> tuple[str, ...]:
+        """Upstream neighbours, sorted."""
+        self._require_node(name)
+        return tuple(sorted(self._graph.predecessors(name)))
+
+    def arity(self, router: str) -> int:
+        """Port count of a router: ``max(#inputs, #outputs)``."""
+        if self.kind(router) is not NodeKind.ROUTER:
+            raise TopologyError(f"{router!r} is not a router")
+        return max(self._graph.in_degree(router),
+                   self._graph.out_degree(router))
+
+    def attached_router(self, ni: str) -> str:
+        """The router an NI is cabled to (validated to be unique)."""
+        if self.kind(ni) is not NodeKind.NI:
+            raise TopologyError(f"{ni!r} is not an NI")
+        succ = list(self._graph.successors(ni))
+        if len(succ) != 1:
+            raise TopologyError(
+                f"NI {ni!r} must have exactly one outgoing link, has {len(succ)}")
+        return succ[0]
+
+    def nis_of_router(self, router: str) -> tuple[str, ...]:
+        """All NIs attached to ``router``, sorted."""
+        if self.kind(router) is not NodeKind.ROUTER:
+            raise TopologyError(f"{router!r} is not a router")
+        return tuple(sorted(n for n in self._graph.predecessors(router)
+                            if self.kind(n) is NodeKind.NI))
+
+    def router_graph(self) -> nx.DiGraph:
+        """Subgraph induced by the routers (for path search)."""
+        return self._graph.subgraph(self.routers).copy()
+
+    def out_port(self, src: str, dst: str) -> int:
+        """Output-port index used by ``src`` to reach ``dst``."""
+        return self.link(src, dst).src_port
+
+    def neighbor_on_port(self, router: str, out_port: int) -> str:
+        """Inverse of :meth:`out_port`: which node hangs off a given port."""
+        for succ in self._graph.successors(router):
+            if self.link(router, succ).src_port == out_port:
+                return succ
+        raise TopologyError(f"router {router!r} has no output port {out_port}")
+
+    def iter_link_keys(self) -> Iterator[tuple[str, str]]:
+        """Iterate directed link keys, sorted."""
+        for link in self.links:
+            yield link.key
+
+    def max_pipeline_stages(self) -> int:
+        """Largest pipeline-stage count over all links."""
+        return max((l.pipeline_stages for l in self.links), default=0)
+
+    # -- validation ---------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check structural invariants; raises :class:`TopologyError`.
+
+        * every NI has exactly one outgoing and one incoming link, both to
+          a router;
+        * the router subgraph is weakly connected (if there are >= 2
+          routers);
+        * every router has at least one input and one output.
+        """
+        for ni in self.nis:
+            out = list(self._graph.successors(ni))
+            inc = list(self._graph.predecessors(ni))
+            if len(out) != 1 or len(inc) != 1:
+                raise TopologyError(
+                    f"NI {ni!r} needs exactly one link each way, has "
+                    f"{len(out)} out / {len(inc)} in")
+            if self.kind(out[0]) is not NodeKind.ROUTER or \
+                    self.kind(inc[0]) is not NodeKind.ROUTER:
+                raise TopologyError(f"NI {ni!r} must attach to a router")
+        routers = self.routers
+        if len(routers) >= 2:
+            rg = self._graph.subgraph(routers)
+            if not nx.is_weakly_connected(rg):
+                raise TopologyError("router network is not connected")
+        for r in routers:
+            if self._graph.in_degree(r) == 0 or self._graph.out_degree(r) == 0:
+                raise TopologyError(f"router {r!r} has a dangling side")
+
+    # -- (de)serialisation ---------------------------------------------------
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-serialisable structural description."""
+        return {
+            "name": self.name,
+            "routers": list(self.routers),
+            "nis": list(self.nis),
+            "links": [
+                {"src": l.src, "dst": l.dst, "src_port": l.src_port,
+                 "dst_port": l.dst_port, "pipeline_stages": l.pipeline_stages}
+                for l in self.links
+            ],
+        }
+
+    @staticmethod
+    def from_dict(data: Mapping[str, object]) -> "Topology":
+        """Rebuild a topology saved with :meth:`to_dict`.
+
+        Port numbers are re-derived from link order, so the serialised link
+        list must be in the original connection order; :meth:`to_dict`
+        preserves sorted order which keeps the mapping deterministic either
+        way because readers must use the stored port numbers, which are
+        re-checked here.
+        """
+        topo = Topology(str(data.get("name", "noc")))
+        for r in data["routers"]:  # type: ignore[union-attr]
+            topo.add_router(str(r))
+        for n in data["nis"]:  # type: ignore[union-attr]
+            topo.add_ni(str(n))
+        for ld in data["links"]:  # type: ignore[union-attr]
+            topo._connect_explicit(
+                Link(src=str(ld["src"]), dst=str(ld["dst"]),
+                     src_port=int(ld["src_port"]), dst_port=int(ld["dst_port"]),
+                     pipeline_stages=int(ld["pipeline_stages"])))
+        return topo
+
+    def _connect_explicit(self, link: Link) -> None:
+        """Insert a link with pre-assigned port numbers (deserialisation)."""
+        self._require_node(link.src)
+        self._require_node(link.dst)
+        if self._graph.has_edge(link.src, link.dst):
+            raise TopologyError(f"link {link.src!r} -> {link.dst!r} already exists")
+        for succ in self._graph.successors(link.src):
+            if self.link(link.src, succ).src_port == link.src_port:
+                raise TopologyError(
+                    f"output port {link.src_port} of {link.src!r} already used")
+        for pred in self._graph.predecessors(link.dst):
+            if self.link(pred, link.dst).dst_port == link.dst_port:
+                raise TopologyError(
+                    f"input port {link.dst_port} of {link.dst!r} already used")
+        self._graph.add_edge(link.src, link.dst, link=link)
+        self._next_out_port[link.src] = max(self._next_out_port[link.src],
+                                            link.src_port + 1)
+        self._next_in_port[link.dst] = max(self._next_in_port[link.dst],
+                                           link.dst_port + 1)
+
+    # -- internals ----------------------------------------------------------
+
+    def _require_node(self, name: str) -> None:
+        if name not in self._graph:
+            raise TopologyError(f"unknown node {name!r}")
+
+    def __repr__(self) -> str:
+        return (f"Topology({self.name!r}: {len(self.routers)} routers, "
+                f"{len(self.nis)} NIs, {len(self.links)} links)")

@@ -1,0 +1,173 @@
+"""IP-to-NI mapping heuristics.
+
+The paper's Section VII use case maps 70 IPs onto the 48 NIs of a 4x3
+concentrated mesh.  The mapping determines which NI serialises each IP's
+connections, and therefore how much slot-table pressure each NI link sees.
+Three heuristics are provided, all deterministic:
+
+* :func:`round_robin` — simplest possible; IPs are dealt to NIs in order;
+* :func:`traffic_balanced` — greedy bin-packing by aggregate IP bandwidth,
+  heaviest first onto the lightest NI (ties broken by name);
+* :func:`communication_clustered` — greedily co-locates heavily
+  communicating IP pairs on nearby routers to shorten paths.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence
+
+import networkx as nx
+
+from repro.core.connection import ChannelSpec
+from repro.core.exceptions import ConfigurationError, TopologyError
+from repro.topology.graph import Topology
+
+__all__ = ["Mapping", "round_robin", "traffic_balanced",
+           "communication_clustered"]
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """Immutable assignment of IP names to NI names."""
+
+    ip_to_ni: Mapping[str, str] = field(default_factory=dict)
+
+    def ni_of(self, ip: str) -> str:
+        """NI hosting ``ip``; raises :class:`ConfigurationError` if unmapped."""
+        try:
+            return self.ip_to_ni[ip]
+        except KeyError:
+            raise ConfigurationError(f"IP {ip!r} is not mapped to any NI")
+
+    def ips_of(self, ni: str) -> tuple[str, ...]:
+        """All IPs hosted on ``ni``, sorted."""
+        return tuple(sorted(ip for ip, n in self.ip_to_ni.items() if n == ni))
+
+    @property
+    def ips(self) -> tuple[str, ...]:
+        """All mapped IPs, sorted."""
+        return tuple(sorted(self.ip_to_ni))
+
+    @property
+    def nis(self) -> tuple[str, ...]:
+        """All NIs that host at least one IP, sorted."""
+        return tuple(sorted(set(self.ip_to_ni.values())))
+
+    def validate(self, topo: Topology) -> None:
+        """Every target must be an NI of ``topo``."""
+        ni_set = set(topo.nis)
+        for ip, ni in self.ip_to_ni.items():
+            if ni not in ni_set:
+                raise TopologyError(
+                    f"IP {ip!r} mapped to unknown NI {ni!r}")
+
+    def to_dict(self) -> dict[str, str]:
+        """JSON-serialisable representation."""
+        return dict(self.ip_to_ni)
+
+    @staticmethod
+    def from_dict(data: Mapping[str, str]) -> "Mapping":
+        """Inverse of :meth:`to_dict`."""
+        return Mapping(dict(data))
+
+
+def round_robin(ips: Sequence[str], topo: Topology) -> Mapping:
+    """Deal IPs to NIs in sorted order, wrapping around."""
+    nis = topo.nis
+    if not nis:
+        raise TopologyError("topology has no NIs to map onto")
+    assignment = {ip: nis[i % len(nis)] for i, ip in enumerate(sorted(ips))}
+    return Mapping(assignment)
+
+
+def traffic_balanced(ips: Sequence[str], channels: Iterable[ChannelSpec],
+                     topo: Topology) -> Mapping:
+    """Greedy balance of aggregate bandwidth across NIs.
+
+    Each IP's weight is the sum of the throughput of all channels it
+    sources or sinks.  IPs are placed heaviest-first onto the NI with the
+    least accumulated weight.
+    """
+    nis = topo.nis
+    if not nis:
+        raise TopologyError("topology has no NIs to map onto")
+    weight: dict[str, float] = defaultdict(float)
+    for ch in channels:
+        weight[ch.src_ip] += ch.throughput_bytes_per_s
+        weight[ch.dst_ip] += ch.throughput_bytes_per_s
+    load = {ni: 0.0 for ni in nis}
+    assignment: dict[str, str] = {}
+    ordered = sorted(ips, key=lambda ip: (-weight.get(ip, 0.0), ip))
+    for ip in ordered:
+        target = min(nis, key=lambda ni: (load[ni], ni))
+        assignment[ip] = target
+        load[target] += weight.get(ip, 0.0)
+    return Mapping(assignment)
+
+
+def communication_clustered(ips: Sequence[str],
+                            channels: Iterable[ChannelSpec],
+                            topo: Topology, *,
+                            max_ips_per_ni: int | None = None) -> Mapping:
+    """Co-locate communicating IPs on nearby routers.
+
+    Channels are visited heaviest-first.  When one endpoint is already
+    placed, the other is put on the free-est NI of the nearest router with
+    spare capacity; when neither is placed, both are placed around the
+    globally least-loaded router.  ``max_ips_per_ni`` defaults to a uniform
+    capacity that fits all IPs.
+    """
+    nis = topo.nis
+    if not nis:
+        raise TopologyError("topology has no NIs to map onto")
+    all_ips = sorted(ips)
+    capacity = max_ips_per_ni or -(-len(all_ips) // len(nis))  # ceil division
+    count: dict[str, int] = {ni: 0 for ni in nis}
+    assignment: dict[str, str] = {}
+    rg = topo.router_graph().to_undirected()
+    dist = dict(nx.all_pairs_shortest_path_length(rg))
+
+    def place(ip: str, near_router: str | None,
+              avoid_ni: str | None = None) -> None:
+        if ip in assignment:
+            return
+        candidates = [ni for ni in nis if count[ni] < capacity]
+        if not candidates:
+            raise ConfigurationError(
+                f"cannot place IP {ip!r}: all NIs at capacity {capacity}")
+        # Never share an NI with a communication partner when any other
+        # NI is available: NI-local pairs cannot use the NoC at all.
+        if avoid_ni is not None and len(candidates) > 1:
+            candidates = [ni for ni in candidates if ni != avoid_ni]
+        if near_router is None:
+            target = min(candidates, key=lambda ni: (count[ni], ni))
+        else:
+            target = min(
+                candidates,
+                key=lambda ni: (dist[near_router][topo.attached_router(ni)],
+                                count[ni], ni))
+        assignment[ip] = target
+        count[target] += 1
+
+    ordered = sorted(channels,
+                     key=lambda c: (-c.throughput_bytes_per_s, c.name))
+    for ch in ordered:
+        a_placed = ch.src_ip in assignment
+        b_placed = ch.dst_ip in assignment
+        if a_placed and b_placed:
+            continue
+        if a_placed:
+            place(ch.dst_ip, topo.attached_router(assignment[ch.src_ip]),
+                  avoid_ni=assignment[ch.src_ip])
+        elif b_placed:
+            place(ch.src_ip, topo.attached_router(assignment[ch.dst_ip]),
+                  avoid_ni=assignment[ch.dst_ip])
+        else:
+            place(ch.src_ip, None)
+            place(ch.dst_ip, topo.attached_router(assignment[ch.src_ip]),
+                  avoid_ni=assignment[ch.src_ip])
+    for ip in all_ips:
+        place(ip, None)
+    return Mapping(assignment)

@@ -1,0 +1,137 @@
+"""Path selection for source routing.
+
+Provides deterministic XY routing for meshes (the classic dimension-ordered
+route, which is what the Æthereal tool flow defaults to), generic k-shortest
+path enumeration for arbitrary topologies, and a congestion-aware variant
+that weighs links by their current slot occupancy so the allocator can steer
+later channels around crowded regions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterator, Mapping
+
+import networkx as nx
+
+from repro.core.exceptions import TopologyError
+from repro.core.path import Path, make_path
+from repro.topology.builders import router_coords
+from repro.topology.graph import Topology
+
+__all__ = [
+    "xy_route",
+    "xy_path",
+    "k_shortest_paths",
+    "weighted_shortest_path",
+    "candidate_paths",
+]
+
+
+def xy_route(topo: Topology, src_router: str, dst_router: str) -> list[str]:
+    """Dimension-ordered (X then Y) router sequence on a mesh.
+
+    Requires the builder-stored ``x``/``y`` coordinates and the mesh links
+    to exist; raises :class:`TopologyError` otherwise.
+    """
+    sx, sy = router_coords(topo, src_router)
+    dx, dy = router_coords(topo, dst_router)
+    route = [src_router]
+    x, y = sx, sy
+    while x != dx:
+        x += 1 if dx > x else -1
+        nxt = f"r{x}_{y}"
+        if not topo.has_link(route[-1], nxt):
+            raise TopologyError(
+                f"XY routing expects mesh link {route[-1]!r} -> {nxt!r}")
+        route.append(nxt)
+    while y != dy:
+        y += 1 if dy > y else -1
+        nxt = f"r{x}_{y}"
+        if not topo.has_link(route[-1], nxt):
+            raise TopologyError(
+                f"XY routing expects mesh link {route[-1]!r} -> {nxt!r}")
+        route.append(nxt)
+    return route
+
+
+def xy_path(topo: Topology, src_ni: str, dst_ni: str) -> Path:
+    """End-to-end XY-routed path between two NIs."""
+    src_router = topo.attached_router(src_ni)
+    dst_router = topo.attached_router(dst_ni)
+    routers = xy_route(topo, src_router, dst_router)
+    return make_path(topo, src_ni, routers, dst_ni)
+
+
+def k_shortest_paths(topo: Topology, src_ni: str, dst_ni: str,
+                     k: int = 4) -> list[Path]:
+    """Up to ``k`` loop-free shortest router paths between two NIs.
+
+    Paths are ordered by hop count (ties broken by networkx's deterministic
+    enumeration), so the first entry is always a minimal route.
+    """
+    if k < 1:
+        raise TopologyError(f"k must be >= 1, got {k}")
+    src_router = topo.attached_router(src_ni)
+    dst_router = topo.attached_router(dst_ni)
+    rg = topo.router_graph()
+    paths: list[Path] = []
+    if src_router == dst_router:
+        return [make_path(topo, src_ni, [src_router], dst_ni)]
+    try:
+        generator: Iterator[list[str]] = nx.shortest_simple_paths(
+            rg, src_router, dst_router)
+        for routers in generator:
+            paths.append(make_path(topo, src_ni, routers, dst_ni))
+            if len(paths) >= k:
+                break
+    except nx.NetworkXNoPath:
+        raise TopologyError(
+            f"no router path from {src_router!r} to {dst_router!r}")
+    return paths
+
+
+def weighted_shortest_path(topo: Topology, src_ni: str, dst_ni: str,
+                           link_weight: Callable[[tuple[str, str]], float]
+                           ) -> Path:
+    """Shortest path under a caller-supplied per-link weight.
+
+    ``link_weight`` maps a directed link key to a non-negative cost; the
+    allocator passes current slot occupancy so loaded links are avoided.
+    """
+    src_router = topo.attached_router(src_ni)
+    dst_router = topo.attached_router(dst_ni)
+    if src_router == dst_router:
+        return make_path(topo, src_ni, [src_router], dst_ni)
+    rg = topo.router_graph()
+
+    def weight(u: str, v: str, _d: Mapping[str, object]) -> float:
+        return 1.0 + link_weight((u, v))
+
+    try:
+        routers = nx.shortest_path(rg, src_router, dst_router, weight=weight)
+    except nx.NetworkXNoPath:
+        raise TopologyError(
+            f"no router path from {src_router!r} to {dst_router!r}")
+    return make_path(topo, src_ni, routers, dst_ni)
+
+
+def candidate_paths(topo: Topology, src_ni: str, dst_ni: str, *,
+                    k: int = 4,
+                    link_weight: Callable[[tuple[str, str]], float] | None = None
+                    ) -> list[Path]:
+    """Candidate routes for the allocator: k-shortest plus one load-aware.
+
+    The load-aware path (when ``link_weight`` is given) is prepended if it
+    is not already among the k-shortest candidates, so the allocator tries
+    the least-congested route first.
+    """
+    paths = k_shortest_paths(topo, src_ni, dst_ni, k)
+    if link_weight is not None:
+        weighted = weighted_shortest_path(topo, src_ni, dst_ni, link_weight)
+        keys = {p.link_keys() for p in paths}
+        if weighted.link_keys() not in keys:
+            paths.insert(0, weighted)
+        else:
+            # Move the load-aware route to the front so it is tried first.
+            paths.sort(key=lambda p: p.link_keys() != weighted.link_keys())
+    return paths

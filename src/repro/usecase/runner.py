@@ -1,0 +1,335 @@
+"""End-to-end flows for the Section VII experiments.
+
+Chains the whole design flow for the 200-connection use case —
+generate, allocate, analyse, simulate — for both networks:
+
+* :func:`configure_section7` — slot allocation at 500 MHz; the paper's
+  claim is that this succeeds with every requirement guaranteed;
+* :func:`run_gs` — flit-level simulation of the aelite configuration
+  with per-connection CBR traffic at the required rates; verifies that
+  measured latencies stay within both the analytical bounds and the
+  requirements;
+* :func:`run_be` / :func:`be_frequency_sweep` — the same traffic on the
+  best-effort baseline across operating frequencies; reports, per
+  frequency, how many connections the measured worst-case latency
+  satisfies (the paper finds all of them only above ~900 MHz, versus
+  500 MHz for aelite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.baseline.be_network import BeNetworkSimulator, BeSimResult
+from repro.core.configuration import NocConfiguration, configure
+from repro.core.exceptions import SimulationError
+from repro.simulation.flitsim import FlitLevelSimulator, FlitSimResult
+from repro.simulation.traffic import (ConstantBitRate, PeriodicBurst,
+                                      TrafficPattern)
+from repro.usecase.generator import Section7Instance, generate_section7
+
+__all__ = ["configure_section7", "cbr_traffic", "burst_traffic",
+           "service_latencies_ns", "run_gs", "GsOutcome", "run_be",
+           "BeOutcome", "be_frequency_sweep", "SweepRow"]
+
+#: Slot-table size used for the Section VII allocation.  32 slots give
+#: tight-latency channels enough granularity at 500 MHz while keeping
+#: NI table pressure moderate.
+SECTION7_TABLE_SIZE = 32
+
+
+def configure_section7(instance: Section7Instance | None = None, *,
+                       table_size: int = SECTION7_TABLE_SIZE,
+                       frequency_hz: float | None = None,
+                       max_negotiations: int = 40
+                       ) -> tuple[Section7Instance, NocConfiguration]:
+    """Allocate the use case, negotiating infeasible latencies.
+
+    The generator's feasibility pass works on XY estimates; the allocator
+    occasionally disagrees (different paths, different ordering).  Like
+    the Æthereal tool flow, allocation failures are negotiated: the
+    channel the allocator names gets its latency requirement relaxed by
+    30 % (never beyond the range maximum) and allocation retries.  The
+    returned instance reflects any relaxations.
+    """
+    from repro.core.exceptions import AllocationError
+    instance = instance or generate_section7()
+    use_case = instance.use_case
+    for _ in range(max_negotiations):
+        try:
+            config = configure(
+                instance.topology, use_case,
+                table_size=table_size,
+                frequency_hz=(frequency_hz or
+                              instance.parameters.frequency_hz),
+                fmt=instance.fmt,
+                mapping=instance.mapping,
+                require_met=True)
+            instance.use_case = use_case
+            return instance, config
+        except AllocationError as exc:
+            if exc.channel is None:
+                raise
+            use_case = _relax_channel(
+                use_case, exc.channel,
+                cap_ns=instance.parameters.max_latency_ns)
+    raise AllocationError(
+        f"use case still infeasible after {max_negotiations} "
+        "requirement negotiations")
+
+
+def _relax_channel(use_case, channel_name: str, *, cap_ns: float):
+    """Return a use case with one channel's latency relaxed by 30 %."""
+    from dataclasses import replace
+
+    from repro.core.application import Application, UseCase
+    from repro.core.exceptions import AllocationError
+
+    apps = []
+    found = False
+    for app in use_case.applications:
+        channels = []
+        for spec in app.channels:
+            if spec.name == channel_name:
+                found = True
+                if spec.max_latency_ns is None or \
+                        spec.max_latency_ns >= cap_ns:
+                    raise AllocationError(
+                        f"channel {channel_name!r} infeasible even at the "
+                        f"range maximum of {cap_ns} ns",
+                        channel=channel_name)
+                spec = replace(spec, max_latency_ns=min(
+                    spec.max_latency_ns * 1.3, cap_ns))
+            channels.append(spec)
+        apps.append(Application(app.name, tuple(channels)))
+    if not found:
+        raise AllocationError(
+            f"allocator failed on unknown channel {channel_name!r}",
+            channel=channel_name)
+    return UseCase(use_case.name, tuple(apps))
+
+
+def cbr_traffic(config: NocConfiguration, *,
+                frequency_hz: float | None = None,
+                rate_factor: float = 1.0) -> dict[str, TrafficPattern]:
+    """Per-connection CBR sources at the required rates.
+
+    Offsets are staggered deterministically per channel so sources do
+    not all burst in the same cycle (the stagger is stable across runs).
+    """
+    frequency = frequency_hz or config.frequency_hz
+    patterns: dict[str, TrafficPattern] = {}
+    for index, (name, ca) in enumerate(
+            sorted(config.allocation.channels.items())):
+        patterns[name] = ConstantBitRate.from_rate(
+            ca.spec.throughput_bytes_per_s * rate_factor, frequency,
+            config.fmt, offset_cycles=(index * 7) % 64)
+    return patterns
+
+
+def burst_traffic(config: NocConfiguration, *,
+                  frequency_hz: float | None = None,
+                  burst_messages: int = 3) -> dict[str, TrafficPattern]:
+    """Bursty transaction sources at the required average rates.
+
+    Each connection issues ``burst_messages`` flit-sized messages
+    back-to-back, with the burst period chosen so the average byte rate
+    equals the requirement — a small-DMA transaction pattern.  This is
+    the canonical Section VII workload: bursts expose exactly the
+    difference the paper reports, since TDM isolation bounds each flit's
+    network latency regardless of everyone else's bursts while the
+    best-effort network's tails grow with contention.
+    """
+    frequency = frequency_hz or config.frequency_hz
+    fmt = config.fmt
+    patterns: dict[str, TrafficPattern] = {}
+    for index, (name, ca) in enumerate(
+            sorted(config.allocation.channels.items())):
+        bytes_per_burst = burst_messages * fmt.payload_bytes_per_flit
+        period = max(1, round(frequency * bytes_per_burst /
+                              ca.spec.throughput_bytes_per_s))
+        patterns[name] = PeriodicBurst(
+            burst_messages, fmt.payload_words_per_flit, period,
+            offset_cycles=(index * 13) % 97)
+    return patterns
+
+
+def service_latencies_ns(stats, channel: str) -> list[float]:
+    """Per-message network service latencies of one channel.
+
+    The service latency of a message excludes queueing behind the
+    channel's *own* earlier messages: it runs from
+    ``max(creation, injection of the previous message)`` to delivery.
+    This is the paper's "flit latency": the time the network takes once
+    a flit is at the head of its NI queue.  The analytical bound covers
+    exactly this quantity, for any arrival process; end-to-end latency
+    additionally contains self-queueing, which is the IP's contract
+    violation, not the network's.
+    """
+    channel_stats = stats.channel(channel)
+    injections = {r.message_id: r.time_ps
+                  for r in channel_stats.injections}
+    deliveries = sorted(channel_stats.deliveries,
+                        key=lambda d: d.message_id)
+    latencies: list[float] = []
+    previous_injection: int | None = None
+    for record in deliveries:
+        ready = record.created_time_ps
+        if previous_injection is not None:
+            ready = max(ready, previous_injection)
+        latencies.append((record.delivered_time_ps - ready) / 1000.0)
+        previous_injection = injections.get(record.message_id,
+                                            previous_injection)
+    return latencies
+
+
+@dataclass(frozen=True)
+class GsOutcome:
+    """Result of the guaranteed-service run."""
+
+    result: FlitSimResult
+    n_connections: int
+    n_measured: int
+    n_latency_ok: int
+    n_within_bound: int
+    worst_margin_ns: float
+
+    @property
+    def all_requirements_met(self) -> bool:
+        """Every measured connection met its latency requirement."""
+        return self.n_latency_ok == self.n_measured == self.n_connections
+
+    @property
+    def all_within_bounds(self) -> bool:
+        """No connection ever exceeded its analytical bound."""
+        return self.n_within_bound == self.n_measured
+
+
+def run_gs(config: NocConfiguration, *, n_slots: int = 4000,
+           traffic: dict[str, TrafficPattern] | None = None) -> GsOutcome:
+    """Simulate aelite under the use-case traffic and check guarantees.
+
+    Checks measured *service* latencies (see :func:`service_latencies_ns`)
+    against both the per-connection requirement and the analytical bound.
+    """
+    traffic = traffic or burst_traffic(config)
+    sim = FlitLevelSimulator(config)
+    for name, pattern in traffic.items():
+        sim.set_traffic(name, pattern)
+    result = sim.run(n_slots)
+    bounds = config.bounds()
+    n_measured = n_ok = n_bound = 0
+    worst_margin = float("inf")
+    for name, ca in config.allocation.channels.items():
+        latencies = service_latencies_ns(result.stats, name)
+        if not latencies:
+            continue
+        n_measured += 1
+        worst = max(latencies)
+        required = ca.spec.max_latency_ns
+        if required is not None:
+            margin = required - worst
+            worst_margin = min(worst_margin, margin)
+            if margin >= 0:
+                n_ok += 1
+        else:
+            n_ok += 1
+        if worst <= bounds[name].latency_ns + 1e-9:
+            n_bound += 1
+    return GsOutcome(result=result,
+                     n_connections=len(config.allocation.channels),
+                     n_measured=n_measured, n_latency_ok=n_ok,
+                     n_within_bound=n_bound,
+                     worst_margin_ns=worst_margin)
+
+
+@dataclass(frozen=True)
+class BeOutcome:
+    """Result of one best-effort run at one frequency."""
+
+    frequency_hz: float
+    result: BeSimResult
+    n_connections: int
+    n_measured: int
+    n_latency_ok: int
+    mean_latency_ns: float
+    max_latency_ns: float
+
+    @property
+    def all_requirements_met(self) -> bool:
+        """Every connection's measured worst case met its requirement."""
+        return self.n_latency_ok == self.n_measured == self.n_connections
+
+
+def run_be(config: NocConfiguration, *, frequency_hz: float,
+           n_ticks: int = 4000,
+           traffic: dict[str, TrafficPattern] | None = None,
+           buffer_flits: int = 2) -> BeOutcome:
+    """Simulate the best-effort baseline at one operating frequency.
+
+    Uses the same service-latency metric as :func:`run_gs` for a fair
+    comparison: self-queueing behind the channel's own messages is
+    excluded, contention with other channels is in.
+    """
+    traffic = traffic or burst_traffic(config, frequency_hz=frequency_hz)
+    sim = BeNetworkSimulator(config, frequency_hz=frequency_hz,
+                             buffer_flits=buffer_flits)
+    for name, pattern in traffic.items():
+        sim.set_traffic(name, pattern)
+    result = sim.run(n_ticks)
+    n_measured = n_ok = 0
+    latencies: list[float] = []
+    worst = 0.0
+    for name, ca in config.allocation.channels.items():
+        channel_latencies = service_latencies_ns(result.stats, name)
+        if not channel_latencies:
+            continue
+        n_measured += 1
+        channel_worst = max(channel_latencies)
+        latencies.extend(channel_latencies)
+        worst = max(worst, channel_worst)
+        required = ca.spec.max_latency_ns
+        if required is None or channel_worst <= required:
+            n_ok += 1
+    mean = sum(latencies) / len(latencies) if latencies else 0.0
+    return BeOutcome(frequency_hz=frequency_hz, result=result,
+                     n_connections=len(config.allocation.channels),
+                     n_measured=n_measured, n_latency_ok=n_ok,
+                     mean_latency_ns=mean, max_latency_ns=worst)
+
+
+@dataclass(frozen=True)
+class SweepRow:
+    """One row of the best-effort frequency sweep table."""
+
+    frequency_mhz: float
+    n_latency_ok: int
+    n_connections: int
+    mean_latency_ns: float
+    max_latency_ns: float
+    all_met: bool
+
+
+def be_frequency_sweep(config: NocConfiguration,
+                       frequencies_hz: list[float], *,
+                       n_ticks: int = 4000,
+                       buffer_flits: int = 2) -> list[SweepRow]:
+    """Run the BE baseline across frequencies (the paper's >900 MHz scan).
+
+    Traffic is rebuilt per frequency from the byte rates, so the offered
+    load in bytes per second is constant while the network speed varies.
+    """
+    if not frequencies_hz:
+        raise SimulationError("frequency sweep needs at least one point")
+    rows = []
+    for frequency in frequencies_hz:
+        outcome = run_be(config, frequency_hz=frequency, n_ticks=n_ticks,
+                         buffer_flits=buffer_flits)
+        rows.append(SweepRow(
+            frequency_mhz=frequency / 1e6,
+            n_latency_ok=outcome.n_latency_ok,
+            n_connections=outcome.n_connections,
+            mean_latency_ns=outcome.mean_latency_ns,
+            max_latency_ns=outcome.max_latency_ns,
+            all_met=outcome.all_requirements_met))
+    return rows

@@ -1,0 +1,270 @@
+"""The asynchronous wrapper: stallable routers and NIs (Section VI).
+
+The wrapper turns a synchronous element (router or NI) into a *stallable
+process* in the sense of latency-insensitive design ([20] in the paper):
+the element advances from one flit cycle to the next only when all
+neighbours have synchronised, established by the token discipline of the
+port interfaces and the PIC.
+
+Model semantics, mirroring the paper:
+
+* The wrapper runs on the element's local clock, three cycles per flit
+  cycle (window).  At each window boundary the PIC fires iff every IPI
+  holds a token (a whole flit — data or empty) and every OPI can reserve
+  space for one.
+* A fired **router** window feeds the consumed tokens' words into the
+  free-running router pipeline; the fire signal, delayed by the router's
+  data-path depth, forms the capture window during which the emerging
+  words are assembled into output tokens (one per output port — an
+  *empty token* when no data was routed there, so neighbours can always
+  synchronise).
+* A fired **NI** window advances the NI by one flit cycle of *logical*
+  time (its slot table indexes by firing count, not wall cycles) — this
+  is what keeps the TDM schedule intact under stalling.
+* At reset every IPI is primed with ``initial_tokens`` empty tokens
+  (the paper's "a few cycles are spent at reset to produce initial empty
+  tokens ... otherwise the system deadlocks").  Two tokens cover the
+  token-loop pipeline depth so a fully synchronous system sustains one
+  firing per window.
+
+Because each firing consumes exactly one token per input in FIFO order,
+the n-th firing of every element processes exactly the flits that the
+globally synchronous network would process in that element's n-th slot:
+the network is *flit-synchronous*, and the allocation's contention-free
+guarantee transfers unchanged.  Link and clock latencies shift wall-clock
+timing only — which the throughput and schedule tests verify.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.clocking.clock import ClockDomain
+from repro.core.exceptions import ConfigurationError, DeadlockError
+from repro.core.flits import Flit, FlitKind
+from repro.core.words import WordFormat
+from repro.simulation.signals import IDLE, Phit, WordWire
+from repro.wrapper.controller import PortInterfaceController
+from repro.wrapper.port_interface import (InputPortInterface,
+                                          OutputPortInterface, TokenChannel)
+
+__all__ = ["AsyncWrapper", "connect_wrappers", "DeadlockWatchdog",
+           "DEFAULT_INITIAL_TOKENS"]
+
+#: Tokens primed into every IPI at reset; two cover the production
+#: pipeline (fire -> capture -> transfer) so equal clocks sustain one
+#: firing per flit cycle.
+DEFAULT_INITIAL_TOKENS = 2
+
+
+class _Wrappable(Protocol):  # pragma: no cover - typing helper
+    name: str
+    inputs: list[WordWire]
+    outputs: list[WordWire]
+
+    def compute(self, cycle: int, time_ps: int) -> None: ...
+    def commit(self, cycle: int, time_ps: int) -> None: ...
+
+
+@dataclass
+class _Capture:
+    """An in-progress output-token assembly for one firing."""
+
+    start_cycle: int
+    collected: list[list[Phit]] = field(default_factory=list)
+
+
+class AsyncWrapper:
+    """Wraps one router or NI into a stallable process (``Clocked``)."""
+
+    def __init__(self, name: str, inner: _Wrappable, clock: ClockDomain,
+                 fmt: WordFormat, *, is_ni: bool,
+                 ipi_capacity: int = 3, opi_capacity: int = 2,
+                 initial_tokens: int = DEFAULT_INITIAL_TOKENS):
+        if initial_tokens < 0:
+            raise ConfigurationError("initial_tokens must be >= 0")
+        if initial_tokens > ipi_capacity:
+            raise ConfigurationError(
+                f"wrapper {name!r}: {initial_tokens} initial tokens exceed "
+                f"IPI capacity {ipi_capacity}")
+        self.name = name
+        self.inner = inner
+        self.clock = clock
+        self.fmt = fmt
+        self.is_ni = is_ni
+        self.ipis = [InputPortInterface(f"{name}.ipi{i}", ipi_capacity)
+                     for i in range(len(inner.inputs))]
+        self.opis = [OutputPortInterface(f"{name}.opi{o}", opi_capacity)
+                     for o in range(len(inner.outputs))]
+        self.pic = PortInterfaceController(f"{name}.pic", self.ipis,
+                                           self.opis)
+        for ipi in self.ipis:
+            for _ in range(initial_tokens):
+                ipi.prime(Flit.empty(fmt))
+        self.in_channels: list[TokenChannel] = []
+        self.out_channels: list[TokenChannel] = []
+        self._window_tokens: list[Flit] | None = None
+        self._captures: deque[_Capture] = deque()
+        self._virtual_cycle = 0  # NI logical time (advances when fired)
+        self.last_fire_time_ps: int | None = None
+
+    # -- Clocked protocol ---------------------------------------------------
+
+    def compute(self, cycle: int, time_ps: int) -> None:
+        """Service links, decide firing, feed the inner element."""
+        for channel in self.in_channels:
+            channel.service(time_ps)
+        for channel in self.out_channels:
+            channel.service(time_ps)
+        pos = cycle % self.fmt.flit_size
+        if pos == 0:
+            self._begin_window(cycle, time_ps)
+        self._feed_inner(pos)
+        if not self.is_ni:
+            self.inner.compute(cycle, time_ps)
+        elif self._window_tokens is not None:
+            self.inner.compute(self._virtual_cycle, time_ps)
+
+    def commit(self, cycle: int, time_ps: int) -> None:
+        """Advance the inner element and collect output tokens."""
+        if not self.is_ni:
+            self.inner.commit(cycle, time_ps)
+            for wire in self.inner.outputs:
+                wire.latch()
+            self._collect_outputs(cycle)
+        elif self._window_tokens is not None:
+            self.inner.commit(self._virtual_cycle, time_ps)
+            for wire in self.inner.outputs:
+                wire.latch()
+            self._collect_outputs(cycle)
+            self._virtual_cycle += 1
+
+    # -- firing ----------------------------------------------------------------
+
+    def _begin_window(self, cycle: int, time_ps: int) -> None:
+        if self.pic.can_fire:
+            self._window_tokens = self.pic.fire()
+            self.last_fire_time_ps = time_ps
+            # NI emissions are captured within the fired window; router
+            # outputs emerge after the data path's delay (the paper's
+            # delayed fire signal: flit_size - 1 cycles for the two
+            # register stages past the IPI).
+            delay = 0 if self.is_ni else self.fmt.flit_size - 1
+            self._captures.append(_Capture(start_cycle=cycle + delay))
+        else:
+            self.pic.note_stall()
+            self._window_tokens = None
+
+    def _feed_inner(self, pos: int) -> None:
+        tokens = self._window_tokens
+        for i, wire in enumerate(self.inner.inputs):
+            if tokens is None or tokens[i].is_empty:
+                phit = IDLE
+            else:
+                flit = tokens[i]
+                phit = Phit(word=flit.words[pos], valid=True,
+                            eop=flit.eop and pos == self.fmt.flit_size - 1,
+                            flit=flit, word_index=pos)
+            wire.drive(phit)
+            wire.latch()
+
+    # -- output collection ---------------------------------------------------------
+
+    def _collect_outputs(self, cycle: int) -> None:
+        """Sample the inner element's outputs into the pending capture.
+
+        Captures are strictly ordered and non-overlapping (each spans
+        ``flit_size`` cycles and consecutive firings start ``flit_size``
+        apart), so only the head capture can be active.
+        """
+        if not self._captures:
+            return
+        head = self._captures[0]
+        if cycle < head.start_cycle:
+            return
+        head.collected.append([wire.sample() for wire in self.inner.outputs])
+        if len(head.collected) == self.fmt.flit_size:
+            self._captures.popleft()
+            self._deliver_tokens(head)
+
+    def _deliver_tokens(self, capture: _Capture) -> None:
+        for o, opi in enumerate(self.opis):
+            phits = [row[o] for row in capture.collected]
+            if not any(p.valid for p in phits):
+                opi.deliver(Flit.empty(self.fmt))
+                continue
+            source = next((p.flit for p in phits
+                           if p.valid and p.flit is not None), None)
+            token = Flit(words=tuple(p.word for p in phits),
+                         eop=phits[-1].eop,
+                         kind=FlitKind.DATA,
+                         has_header=(source.has_header
+                                     if source is not None else True),
+                         meta=source.meta if source is not None else None)
+            opi.deliver(token)
+
+    # -- introspection ------------------------------------------------------------
+
+    @property
+    def firings(self) -> int:
+        """Completed firings (logical flit cycles) of this element."""
+        return self.pic.firings
+
+    def __repr__(self) -> str:
+        kind = "NI" if self.is_ni else "router"
+        return (f"AsyncWrapper({self.name!r} [{kind}], "
+                f"{self.pic.firings} firings)")
+
+
+def connect_wrappers(source: AsyncWrapper, out_port: int,
+                     sink: AsyncWrapper, in_port: int, *,
+                     latency_ps: int = 0) -> TokenChannel:
+    """Create the asynchronous token link between two wrapped elements."""
+    channel = TokenChannel(
+        f"{source.name}.out{out_port}->{sink.name}.in{in_port}",
+        source.opis[out_port], sink.ipis[in_port], latency_ps=latency_ps)
+    source.out_channels.append(channel)
+    sink.in_channels.append(channel)
+    return channel
+
+
+class DeadlockWatchdog:
+    """Engine watcher that detects a stalled wrapper network.
+
+    The wrapper network is deadlock-free by construction (initial tokens
+    put a token on every dependency cycle); the watchdog exists to fail
+    fast — with a diagnostic — if a modelling or configuration error
+    breaks that argument, rather than spinning forever.
+    """
+
+    def __init__(self, wrappers: list[AsyncWrapper], *,
+                 timeout_ps: int):
+        if timeout_ps <= 0:
+            raise ConfigurationError("watchdog timeout must be positive")
+        self.wrappers = wrappers
+        self.timeout_ps = timeout_ps
+
+    def __call__(self, now_ps: int) -> None:
+        """Raise :class:`DeadlockError` when an element stopped firing.
+
+        Each wrapper gets an individual grace period: from reset (for its
+        first firing) and from its own last firing afterwards.
+        """
+        stuck: list[AsyncWrapper] = []
+        for wrapper in self.wrappers:
+            anchor = wrapper.last_fire_time_ps
+            if anchor is None:
+                if now_ps > self.timeout_ps:
+                    stuck.append(wrapper)
+            elif now_ps - anchor > self.timeout_ps:
+                stuck.append(wrapper)
+        if not stuck:
+            return
+        details = "; ".join(
+            f"{w.name}: blocked on {w.pic.blocking_ports()}"
+            for w in stuck[:4])
+        raise DeadlockError(
+            f"{len(stuck)} wrapped element(s) made no progress for "
+            f"{self.timeout_ps} ps: {details}")

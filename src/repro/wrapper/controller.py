@@ -1,0 +1,68 @@
+"""The Port Interface Controller: the wrapper's firing rule.
+
+The PIC implements the dataflow-actor semantics of Section VI: the wrapped
+element proceeds from one flit cycle to the next only when **every** input
+port interface holds a whole flit and **every** output port interface has
+space for one.  The combined fire signal
+
+* consumes one token per IPI (acting as the input FIFOs' accept),
+* reserves one token of space per OPI (early reservation), and
+* is re-distributed, delayed by the router data path (two cycles), as the
+  valid signal that writes the produced words into the OPIs.
+
+The controller is pure bookkeeping; the wrapper in
+:mod:`repro.wrapper.asynchronous` sequences it against the inner element.
+"""
+
+from __future__ import annotations
+
+from repro.core.exceptions import SimulationError
+from repro.core.flits import Flit
+from repro.wrapper.port_interface import (InputPortInterface,
+                                          OutputPortInterface)
+
+__all__ = ["PortInterfaceController"]
+
+
+class PortInterfaceController:
+    """AND-firing rule over all port interfaces of one wrapped element."""
+
+    def __init__(self, name: str, ipis: list[InputPortInterface],
+                 opis: list[OutputPortInterface]):
+        self.name = name
+        self.ipis = ipis
+        self.opis = opis
+        self.firings = 0
+        self.stalled_flit_cycles = 0
+
+    @property
+    def can_fire(self) -> bool:
+        """True when every IPI has a flit and every OPI has space."""
+        return (all(ipi.fireable for ipi in self.ipis) and
+                all(opi.fireable for opi in self.opis))
+
+    def fire(self) -> list[Flit]:
+        """Consume one token per input and reserve space per output.
+
+        Returns the consumed input tokens, in port order.  Raises when
+        called while :attr:`can_fire` is false — the wrapper must check
+        first (hardware gates the fire signal combinationally).
+        """
+        if not self.can_fire:
+            raise SimulationError(
+                f"PIC {self.name!r}: fire() while not fireable")
+        for opi in self.opis:
+            opi.reserve()
+        tokens = [ipi.pop() for ipi in self.ipis]
+        self.firings += 1
+        return tokens
+
+    def note_stall(self) -> None:
+        """Record a flit cycle in which the element could not fire."""
+        self.stalled_flit_cycles += 1
+
+    def blocking_ports(self) -> list[str]:
+        """Names of the ports preventing a firing (for diagnostics)."""
+        blocked = [ipi.name for ipi in self.ipis if not ipi.fireable]
+        blocked += [opi.name for opi in self.opis if not opi.fireable]
+        return blocked

@@ -1,0 +1,254 @@
+"""Unit and property tests for the contention-free slot allocator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.allocation import (Allocation, AllocatorOptions,
+                                   SlotAllocator)
+from repro.core.analysis import analyse
+from repro.core.connection import MB, ChannelSpec
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.slot_table import shifted
+from repro.core.words import WordFormat
+from repro.topology.builders import mesh, single_router
+from repro.topology.mapping import Mapping, round_robin
+
+
+def _allocator(topo, table_size=16, frequency_hz=500e6, **kw):
+    return SlotAllocator(topo, table_size=table_size,
+                         frequency_hz=frequency_hz, **kw)
+
+
+class TestBasicAllocation:
+    def test_single_channel(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        alloc = _allocator(topo).allocate(
+            [ChannelSpec("c", "a", "b", 100 * MB)], mapping)
+        assert "c" in alloc.channels
+        alloc.validate()
+
+    def test_slots_shift_along_path(self):
+        topo = mesh(2, 1, nis_per_router=1)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni1_0_0"})
+        alloc = _allocator(topo).allocate(
+            [ChannelSpec("c", "a", "b", 100 * MB)], mapping)
+        ca = alloc.channel("c")
+        for link, shift in zip(ca.path.links, ca.path.link_shifts):
+            table = alloc.link_tables[link.key]
+            for slot in ca.slots:
+                assert table.owner(shifted(slot, shift, 16)) == "c"
+
+    def test_zero_throughput_still_gets_one_slot(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        alloc = _allocator(topo).allocate(
+            [ChannelSpec("c", "a", "b", 0.0)], mapping)
+        assert alloc.channel("c").n_slots == 1
+
+    def test_throughput_slot_count(self):
+        # 500 MHz, 32-bit, table 16: one slot guarantees
+        # 8 B / (16*3 cycles) * 500 MHz = 83.3 MB/s.
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        alloc = _allocator(topo).allocate(
+            [ChannelSpec("c", "a", "b", 200 * MB)], mapping)
+        assert alloc.channel("c").n_slots == 3
+
+    def test_latency_requirement_adds_slots(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        alloc = _allocator(topo).allocate(
+            [ChannelSpec("c", "a", "b", 10 * MB, max_latency_ns=40.0)],
+            mapping)
+        bounds = analyse(alloc)["c"]
+        assert bounds.latency_ns <= 40.0
+
+    def test_infeasible_latency_raises(self):
+        topo = mesh(4, 1, nis_per_router=1)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni3_0_0"})
+        # Path traversal alone exceeds 10 ns at 500 MHz.
+        with pytest.raises(AllocationError):
+            _allocator(topo).allocate(
+                [ChannelSpec("c", "a", "b", 10 * MB, max_latency_ns=10.0)],
+                mapping)
+
+    def test_capacity_exhaustion_raises(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        # Each channel needs > half the table; two cannot fit.
+        channels = [ChannelSpec(f"c{i}", "a", "b", 700 * MB)
+                    for i in range(2)]
+        with pytest.raises(AllocationError):
+            _allocator(topo).allocate(channels, mapping)
+
+    def test_error_carries_channel_name(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        channels = [ChannelSpec(f"c{i}", "a", "b", 700 * MB)
+                    for i in range(2)]
+        with pytest.raises(AllocationError) as exc:
+            _allocator(topo).allocate(channels, mapping)
+        assert exc.value.channel is not None
+
+    def test_duplicate_channel_names_rejected(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        channels = [ChannelSpec("c", "a", "b", 1 * MB)] * 2
+        with pytest.raises(ConfigurationError):
+            _allocator(topo).allocate(channels, mapping)
+
+    def test_same_ni_endpoints_rejected(self):
+        topo = single_router(1)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_0"})
+        with pytest.raises(ConfigurationError):
+            _allocator(topo).allocate(
+                [ChannelSpec("c", "a", "b", 1 * MB)], mapping)
+
+
+class TestDeterminismAndOrdering:
+    def _workload(self, topo, n=12, seed=3):
+        rng = random.Random(seed)
+        ips = [f"ip{i}" for i in range(10)]
+        mapping = round_robin(ips, topo)
+        channels = []
+        for i in range(n):
+            src, dst = rng.sample(ips, 2)
+            while mapping.ni_of(src) == mapping.ni_of(dst):
+                src, dst = rng.sample(ips, 2)
+            channels.append(ChannelSpec(
+                f"c{i}", src, dst, rng.uniform(10, 120) * MB,
+                application=f"app{i % 3}"))
+        return channels, mapping
+
+    def test_identical_runs_identical_results(self):
+        topo = mesh(3, 2, nis_per_router=1)
+        channels, mapping = self._workload(topo)
+        a1 = _allocator(topo, table_size=24).allocate(channels, mapping)
+        a2 = _allocator(topo, table_size=24).allocate(channels, mapping)
+        assert {n: c.slots for n, c in a1.channels.items()} == \
+            {n: c.slots for n, c in a2.channels.items()}
+
+    def test_order_options_all_validate(self):
+        topo = mesh(3, 2, nis_per_router=1)
+        channels, mapping = self._workload(topo)
+        for order in ("tightness", "throughput", "input"):
+            alloc = _allocator(
+                topo, table_size=24,
+                options=AllocatorOptions(order=order)).allocate(
+                    channels, mapping)
+            alloc.validate()
+
+    def test_unknown_order_rejected(self):
+        with pytest.raises(ConfigurationError):
+            AllocatorOptions(order="random")
+
+
+class TestIncrementalReconfiguration:
+    def test_extend_preserves_existing_reservations(self):
+        topo = mesh(2, 2, nis_per_router=1)
+        mapping = round_robin([f"ip{i}" for i in range(4)], topo)
+        allocator = _allocator(topo)
+        first = [ChannelSpec("a", "ip0", "ip1", 50 * MB,
+                             application="app1")]
+        alloc = allocator.allocate(first, mapping)
+        before = alloc.channel("a").slots
+        allocator.extend(alloc, [ChannelSpec("b", "ip2", "ip3", 50 * MB,
+                                             application="app2")], mapping)
+        assert alloc.channel("a").slots == before
+        alloc.validate()
+
+    def test_release_application_frees_slots(self):
+        topo = mesh(2, 2, nis_per_router=1)
+        mapping = round_robin([f"ip{i}" for i in range(4)], topo)
+        allocator = _allocator(topo)
+        channels = [
+            ChannelSpec("a", "ip0", "ip1", 50 * MB, application="app1"),
+            ChannelSpec("b", "ip2", "ip3", 50 * MB, application="app2"),
+        ]
+        alloc = allocator.allocate(channels, mapping)
+        released = alloc.release_application("app1")
+        assert released == ("a",)
+        assert "a" not in alloc.channels
+        alloc.validate()
+        # The freed slots are reusable.
+        allocator.extend(alloc, [ChannelSpec(
+            "a2", "ip0", "ip1", 50 * MB, application="app3")], mapping)
+        alloc.validate()
+
+    def test_commit_rolls_back_cleanly_on_conflict(self):
+        topo = single_router(2)
+        mapping = Mapping({"a": "ni0_0_0", "b": "ni0_0_1"})
+        allocator = _allocator(topo, table_size=4)
+        alloc = allocator.allocate(
+            [ChannelSpec("c1", "a", "b", 1 * MB)], mapping)
+        from repro.core.allocation import ChannelAllocation
+        taken = alloc.channel("c1")
+        clash = ChannelAllocation(
+            spec=ChannelSpec("c2", "a", "b", 1 * MB),
+            path=taken.path, slots=taken.slots)
+        with pytest.raises(AllocationError):
+            alloc.commit(clash)
+        assert "c2" not in alloc.channels
+        alloc.validate()
+
+
+class TestAllocationProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 10))
+    def test_random_workloads_contention_free(self, seed, n_channels):
+        """Any random feasible workload yields a valid, bounded allocation."""
+        rng = random.Random(seed)
+        topo = mesh(2, 2, nis_per_router=1)
+        ips = [f"ip{i}" for i in range(8)]
+        mapping = round_robin(ips, topo)
+        channels = []
+        for i in range(n_channels):
+            src, dst = rng.sample(ips, 2)
+            while mapping.ni_of(src) == mapping.ni_of(dst):
+                src, dst = rng.sample(ips, 2)
+            channels.append(ChannelSpec(
+                f"c{i}", src, dst, rng.uniform(5, 80) * MB))
+        try:
+            alloc = _allocator(topo, table_size=16).allocate(
+                channels, mapping)
+        except AllocationError:
+            return  # infeasible draws are acceptable — never wrong answers
+        alloc.validate()
+        bounds = analyse(alloc)
+        for b in bounds.values():
+            assert b.meets_throughput
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_release_then_reallocate_is_clean(self, seed):
+        """Releasing any subset leaves a consistent, extendable state."""
+        rng = random.Random(seed)
+        topo = mesh(2, 2, nis_per_router=1)
+        ips = [f"ip{i}" for i in range(8)]
+        mapping = round_robin(ips, topo)
+        channels = []
+        for i in range(6):
+            src, dst = rng.sample(ips, 2)
+            while mapping.ni_of(src) == mapping.ni_of(dst):
+                src, dst = rng.sample(ips, 2)
+            channels.append(ChannelSpec(f"c{i}", src, dst, 30 * MB))
+        allocator = _allocator(topo, table_size=16)
+        try:
+            alloc = allocator.allocate(channels, mapping)
+        except AllocationError:
+            return
+        victims = rng.sample(sorted(alloc.channels), k=3)
+        for name in victims:
+            alloc.release(name)
+        alloc.validate()
+        total = sum(t.utilisation() for t in alloc.link_tables.values())
+        # Only surviving channels hold slots.
+        expected = set(alloc.channels)
+        for table in alloc.link_tables.values():
+            assert table.owners() <= expected
+        assert total >= 0

@@ -1,0 +1,192 @@
+"""Tests for the best-effort baseline network."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baseline.arbitration import (FixedPriorityArbiter,
+                                        RoundRobinArbiter)
+from repro.baseline.be_network import BeNetworkSimulator
+from repro.core.application import Application, UseCase
+from repro.core.configuration import configure
+from repro.core.connection import MB, ChannelSpec
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.traffic import (ConstantBitRate, PeriodicBurst,
+                                      Saturating)
+from repro.topology.builders import mesh, single_router
+from repro.topology.mapping import Mapping, round_robin
+
+
+class TestArbiters:
+    def test_round_robin_rotates(self):
+        arbiter = RoundRobinArbiter(3)
+        grants = [arbiter.grant([True, True, True]) for _ in range(6)]
+        assert grants == [0, 1, 2, 0, 1, 2]
+
+    def test_round_robin_skips_idle(self):
+        arbiter = RoundRobinArbiter(3)
+        assert arbiter.grant([False, False, True]) == 2
+        assert arbiter.grant([True, False, True]) == 0
+
+    def test_round_robin_none_when_idle(self):
+        assert RoundRobinArbiter(2).grant([False, False]) is None
+
+    def test_round_robin_bounded_wait(self):
+        """No requester waits more than one full rotation."""
+        arbiter = RoundRobinArbiter(4)
+        waits = {i: 0 for i in range(4)}
+        pending = {i: True for i in range(4)}
+        for _ in range(16):
+            winner = arbiter.grant([pending[i] for i in range(4)])
+            for i in range(4):
+                if pending[i] and i != winner:
+                    waits[i] += 1
+                    assert waits[i] <= 4
+            waits[winner] = 0
+
+    def test_fixed_priority_starves(self):
+        arbiter = FixedPriorityArbiter(2)
+        grants = [arbiter.grant([True, True]) for _ in range(5)]
+        assert grants == [0] * 5
+
+    def test_wrong_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RoundRobinArbiter(2).grant([True])
+
+
+def _two_router_config():
+    topo = mesh(2, 1, nis_per_router=2)
+    channels = (
+        ChannelSpec("x0", "a0", "b0", 60 * MB, max_latency_ns=300.0,
+                    application="appA"),
+        ChannelSpec("x1", "a1", "b1", 60 * MB, max_latency_ns=300.0,
+                    application="appB"),
+    )
+    use_case = UseCase("be", (
+        Application("appA", channels[:1]),
+        Application("appB", channels[1:])))
+    mapping = Mapping({"a0": "ni0_0_0", "a1": "ni0_0_1",
+                       "b0": "ni1_0_0", "b1": "ni1_0_1"})
+    return configure(topo, use_case, table_size=8, frequency_hz=500e6,
+                     mapping=mapping)
+
+
+class TestBeNetwork:
+    def test_delivers_everything_offered(self):
+        config = _two_router_config()
+        sim = BeNetworkSimulator(config)
+        sim.set_traffic("x0", ConstantBitRate.from_rate(
+            60 * MB, 500e6, config.fmt))
+        sim.set_traffic("x1", ConstantBitRate.from_rate(
+            60 * MB, 500e6, config.fmt))
+        result = sim.run(2000)
+        for name in ("x0", "x1"):
+            deliveries = result.stats.channel(name).deliveries
+            # ~2000 ticks * 6ns = 12 us at 60 MB/s and 8 B messages.
+            assert len(deliveries) > 80
+
+    def test_in_order_delivery(self):
+        config = _two_router_config()
+        sim = BeNetworkSimulator(config)
+        sim.set_traffic("x0", Saturating(2, 3))
+        result = sim.run(500)
+        ids = [d.message_id
+               for d in result.stats.channel("x0").deliveries]
+        assert ids == sorted(ids)
+        assert len(ids) > 100
+
+    def test_multi_flit_packets_complete(self):
+        config = _two_router_config()
+        sim = BeNetworkSimulator(config, max_packet_flits=4)
+        # 16-word messages: two 4-flit packets each.
+        sim.set_traffic("x0", PeriodicBurst(1, 16, 40))
+        result = sim.run(800)
+        deliveries = result.stats.channel("x0").deliveries
+        assert deliveries
+        assert all(d.payload_bytes == 64 for d in deliveries)
+
+    def test_contention_inflates_latency(self):
+        """Two saturated channels sharing a link interfere."""
+        config = _two_router_config()
+        solo = BeNetworkSimulator(config)
+        solo.set_traffic("x0", Saturating(2, 3))
+        solo_result = solo.run(800)
+        both = BeNetworkSimulator(config)
+        both.set_traffic("x0", Saturating(2, 3))
+        both.set_traffic("x1", Saturating(2, 3))
+        both_result = both.run(800)
+        solo_count = len(solo_result.stats.channel("x0").deliveries)
+        both_count = len(both_result.stats.channel("x0").deliveries)
+        # The shared link halves each channel's share.
+        assert both_count < solo_count
+        assert both_count >= int(0.4 * solo_count)
+
+    def test_no_tdm_lower_idle_latency(self):
+        """An uncontended BE flit beats the TDM slot wait on average."""
+        config = _two_router_config()
+        from repro.simulation.flitsim import FlitLevelSimulator
+        pattern = ConstantBitRate.from_rate(20 * MB, 500e6, config.fmt,
+                                            offset_cycles=1)
+        be = BeNetworkSimulator(config)
+        be.set_traffic("x0", pattern)
+        be_result = be.run(1500)
+        gs = FlitLevelSimulator(config)
+        gs.set_traffic("x0", pattern)
+        gs_result = gs.run(1500)
+        be_mean = be_result.stats.channel("x0").latency_summary().mean
+        gs_mean = gs_result.stats.channel("x0").latency_summary().mean
+        assert be_mean < gs_mean
+
+    def test_frequency_speeds_up_network(self):
+        config = _two_router_config()
+        results = {}
+        for frequency in (500e6, 1000e6):
+            sim = BeNetworkSimulator(config, frequency_hz=frequency)
+            sim.set_traffic("x0", ConstantBitRate.from_rate(
+                60 * MB, frequency, config.fmt))
+            result = sim.run(1000)
+            results[frequency] = \
+                result.stats.channel("x0").latency_summary().mean
+        assert results[1000e6] < results[500e6]
+
+    def test_unknown_channel_rejected(self):
+        config = _two_router_config()
+        sim = BeNetworkSimulator(config)
+        with pytest.raises(ConfigurationError):
+            sim.set_traffic("nope", Saturating(2, 3))
+
+    def test_invalid_parameters_rejected(self):
+        config = _two_router_config()
+        with pytest.raises(ConfigurationError):
+            BeNetworkSimulator(config, buffer_flits=0)
+        with pytest.raises(ConfigurationError):
+            BeNetworkSimulator(config, max_packet_flits=0)
+        with pytest.raises(ConfigurationError):
+            BeNetworkSimulator(config).run(0)
+
+    def test_wormhole_no_packet_interleaving(self):
+        """Flits of two packets never interleave on one link.
+
+        Uses a single-router config where both channels eject at the
+        same NI: deliveries must alternate whole packets, never words
+        of different packets.
+        """
+        topo = single_router(3)
+        channels = (
+            ChannelSpec("p0", "s0", "d", 50 * MB, application="a"),
+            ChannelSpec("p1", "s1", "d", 50 * MB, application="a"),
+        )
+        use_case = UseCase("wh", (Application("a", channels),))
+        mapping = Mapping({"s0": "ni0_0_0", "s1": "ni0_0_1",
+                           "d": "ni0_0_2"})
+        config = configure(topo, use_case, table_size=8,
+                           frequency_hz=500e6, mapping=mapping)
+        sim = BeNetworkSimulator(config, max_packet_flits=4)
+        sim.set_traffic("p0", PeriodicBurst(1, 8, 20))
+        sim.set_traffic("p1", PeriodicBurst(1, 8, 20, offset_cycles=3))
+        result = sim.run(600)
+        # Both channels' multi-flit messages all complete intact.
+        for name in ("p0", "p1"):
+            deliveries = result.stats.channel(name).deliveries
+            assert deliveries
+            assert all(d.payload_bytes == 32 for d in deliveries)

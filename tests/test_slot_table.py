@@ -1,0 +1,193 @@
+"""Unit and property tests for slot tables and slot arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.slot_table import (SlotTable, ideal_positions,
+                                   max_consecutive_gap, shifted,
+                                   shifted_slots, spread_slots,
+                                   worst_case_wait_slots)
+
+
+class TestShift:
+    def test_wraps_modulo_size(self):
+        assert shifted(7, 3, 8) == 2
+
+    def test_zero_shift_identity(self):
+        assert shifted(5, 0, 8) == 5
+
+    def test_shifted_slots_set(self):
+        assert shifted_slots({0, 7}, 1, 8) == frozenset({1, 0})
+
+    def test_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            shifted(0, 1, 0)
+
+
+class TestGaps:
+    def test_single_slot_gap_is_table_size(self):
+        assert max_consecutive_gap([3], 8) == 8
+
+    def test_adjacent_slots(self):
+        assert max_consecutive_gap([0, 1, 2, 3, 4, 5, 6, 7], 8) == 1
+
+    def test_wraparound_gap(self):
+        # Slots 0 and 2 in size 8: gaps 2 and 6 (wrap).
+        assert max_consecutive_gap([0, 2], 8) == 6
+
+    def test_empty_reservation_rejected(self):
+        with pytest.raises(AllocationError):
+            max_consecutive_gap([], 8)
+
+    def test_out_of_range_slot_rejected(self):
+        with pytest.raises(ConfigurationError):
+            max_consecutive_gap([9], 8)
+
+    @given(st.sets(st.integers(0, 15), min_size=1, max_size=16))
+    def test_matches_brute_force_wait(self, slots):
+        """The max gap equals the worst over arrival phases of the wait."""
+        size = 16
+        worst = 0
+        for arrival in range(size):
+            # A message arriving during slot `arrival` catches the next
+            # reserved slot strictly after it.
+            wait = next(d for d in range(1, size + 1)
+                        if (arrival + d) % size in slots)
+            worst = max(worst, wait)
+        assert worst_case_wait_slots(slots, size) == worst
+
+
+class TestIdealPositions:
+    def test_evenly_spread(self):
+        assert ideal_positions(4, 16) == [0, 4, 8, 12]
+
+    def test_rounding(self):
+        assert ideal_positions(3, 8) == [0, 3, 5]
+
+    def test_zero(self):
+        assert ideal_positions(0, 8) == []
+
+
+class TestSpreadSlots:
+    def test_exact_when_all_free(self):
+        chosen = spread_slots(range(16), 4, 16)
+        assert chosen is not None
+        assert max_consecutive_gap(chosen, 16) == 4
+
+    def test_insufficient_free(self):
+        assert spread_slots([1, 2], 3, 16) is None
+
+    def test_respects_max_gap_by_adding_slots(self):
+        chosen = spread_slots(range(16), 2, 16, max_gap=4)
+        assert chosen is not None
+        assert len(chosen) >= 4
+        assert max_consecutive_gap(chosen, 16) <= 4
+
+    def test_max_gap_infeasible(self):
+        # Free slots clustered: a gap of 2 cannot be met.
+        assert spread_slots([0, 1, 2], 2, 16, max_gap=4) is None
+
+    @given(st.data())
+    def test_properties(self, data):
+        size = data.draw(st.integers(4, 32))
+        free = data.draw(st.sets(st.integers(0, size - 1), min_size=1,
+                                 max_size=size))
+        n = data.draw(st.integers(1, len(free)))
+        chosen = spread_slots(free, n, size)
+        assert chosen is not None
+        assert len(chosen) == n
+        assert set(chosen) <= set(free)
+        assert list(chosen) == sorted(set(chosen))
+
+    @given(st.data())
+    def test_gap_constraint_honoured_when_satisfied(self, data):
+        size = data.draw(st.integers(4, 24))
+        free = data.draw(st.sets(st.integers(0, size - 1), min_size=2,
+                                 max_size=size))
+        n = data.draw(st.integers(1, len(free)))
+        max_gap = data.draw(st.integers(1, size))
+        chosen = spread_slots(free, n, size, max_gap=max_gap)
+        if chosen is not None:
+            assert max_consecutive_gap(chosen, size) <= max_gap
+        else:
+            # Verify infeasibility: even using *all* free slots the gap
+            # constraint fails (spread_slots may add slots beyond n).
+            assert max_consecutive_gap(free, size) > max_gap
+
+
+class TestSlotTable:
+    def test_reserve_and_query(self):
+        table = SlotTable(8)
+        table.reserve(3, "ch")
+        assert table.owner(3) == "ch"
+        assert not table.is_free(3)
+        assert table.reserved_slots("ch") == frozenset({3})
+
+    def test_conflict_raises(self):
+        table = SlotTable(8)
+        table.reserve(3, "a")
+        with pytest.raises(AllocationError):
+            table.reserve(3, "b")
+
+    def test_same_owner_reserve_idempotent(self):
+        table = SlotTable(8)
+        table.reserve(3, "a")
+        table.reserve(3, "a")
+        assert table.reserved_slots("a") == frozenset({3})
+
+    def test_reserve_all_rolls_back_on_conflict(self):
+        table = SlotTable(8)
+        table.reserve(2, "other")
+        with pytest.raises(AllocationError):
+            table.reserve_all([0, 1, 2], "mine")
+        assert table.reserved_slots("mine") == frozenset()
+        assert table.owner(2) == "other"
+
+    def test_release_owner(self):
+        table = SlotTable(8)
+        table.reserve_all([1, 4, 6], "a")
+        table.reserve(2, "b")
+        table.release_owner("a")
+        assert table.reserved_slots("a") == frozenset()
+        assert table.owner(2) == "b"
+
+    def test_utilisation(self):
+        table = SlotTable(8)
+        table.reserve_all([0, 1], "a")
+        assert table.utilisation() == pytest.approx(0.25)
+
+    def test_free_slots(self):
+        table = SlotTable(4)
+        table.reserve(1, "x")
+        assert table.free_slots() == frozenset({0, 2, 3})
+
+    def test_iteration_order(self):
+        table = SlotTable(3, {2: "c", 0: "a"})
+        assert list(table) == [(0, "a"), (1, None), (2, "c")]
+
+    def test_copy_is_independent(self):
+        table = SlotTable(4, {0: "a"})
+        clone = table.copy()
+        clone.reserve(1, "b")
+        assert table.is_free(1)
+
+    def test_dict_roundtrip(self):
+        table = SlotTable(6, {0: "a", 5: "b"})
+        assert SlotTable.from_dict(table.to_dict()) == table
+
+    def test_bad_slot_rejected(self):
+        table = SlotTable(4)
+        with pytest.raises(ConfigurationError):
+            table.reserve(4, "x")
+
+    def test_empty_owner_rejected(self):
+        table = SlotTable(4)
+        with pytest.raises(ConfigurationError):
+            table.reserve(0, "")
+
+    def test_zero_size_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlotTable(0)

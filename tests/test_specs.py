@@ -1,0 +1,126 @@
+"""Tests for channel/connection/application/use-case specifications."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.application import Application, UseCase
+from repro.core.connection import GB, MB, NS, US, ChannelSpec, ConnectionSpec
+from repro.core.exceptions import ConfigurationError
+
+
+class TestChannelSpec:
+    def test_valid_spec(self):
+        spec = ChannelSpec("c", "a", "b", 100 * MB, max_latency_ns=50.0)
+        assert spec.throughput_bytes_per_s == 100e6
+
+    def test_unit_helpers(self):
+        assert MB == 1e6 and GB == 1e9
+        assert NS == 1e-9 and US == 1e-6
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec("c", "a", "a", 1 * MB)
+
+    def test_negative_throughput_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec("c", "a", "b", -1.0)
+
+    def test_zero_latency_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec("c", "a", "b", 1 * MB, max_latency_ns=0.0)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChannelSpec("", "a", "b", 1 * MB)
+
+    def test_scaled(self):
+        spec = ChannelSpec("c", "a", "b", 100 * MB)
+        assert spec.scaled(2.0).throughput_bytes_per_s == 200e6
+        assert spec.throughput_bytes_per_s == 100e6
+
+    def test_dict_roundtrip(self):
+        spec = ChannelSpec("c", "a", "b", 100 * MB, max_latency_ns=55.0,
+                           application="app", burst_bytes=32)
+        assert ChannelSpec.from_dict(spec.to_dict()) == spec
+
+    def test_dict_roundtrip_no_latency(self):
+        spec = ChannelSpec("c", "a", "b", 100 * MB)
+        assert ChannelSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestConnectionSpec:
+    def test_forward_only(self):
+        conn = ConnectionSpec("x", ChannelSpec("f", "a", "b", 1 * MB))
+        assert conn.channels == (conn.forward,)
+
+    def test_reverse_must_mirror(self):
+        forward = ChannelSpec("f", "a", "b", 1 * MB)
+        wrong = ChannelSpec("r", "a", "b", 1 * MB)
+        with pytest.raises(ConfigurationError):
+            ConnectionSpec("x", forward, wrong)
+
+    def test_with_credit_return(self):
+        forward = ChannelSpec("f", "a", "b", 100 * MB, application="app")
+        conn = ConnectionSpec("x", forward).with_credit_return()
+        assert conn.reverse is not None
+        assert conn.reverse.src_ip == "b"
+        assert conn.reverse.dst_ip == "a"
+        assert conn.reverse.application == "app"
+        assert conn.reverse.throughput_bytes_per_s == \
+            pytest.approx(5 * MB)
+
+    def test_with_credit_return_idempotent(self):
+        forward = ChannelSpec("f", "a", "b", 1 * MB)
+        conn = ConnectionSpec("x", forward).with_credit_return()
+        assert conn.with_credit_return() is conn
+
+
+class TestApplicationAndUseCase:
+    def test_duplicate_channel_rejected(self):
+        spec = ChannelSpec("c", "a", "b", 1 * MB)
+        with pytest.raises(ConfigurationError):
+            Application("app", (spec, spec))
+
+    def test_wrong_application_tag_rejected(self):
+        spec = ChannelSpec("c", "a", "b", 1 * MB, application="other")
+        with pytest.raises(ConfigurationError):
+            Application("app", (spec,))
+
+    def test_application_aggregates(self):
+        app = Application("app", (
+            ChannelSpec("c1", "a", "b", 10 * MB, application="app"),
+            ChannelSpec("c2", "b", "c", 20 * MB, application="app")))
+        assert app.total_throughput_bytes_per_s == pytest.approx(30e6)
+        assert app.ips == ("a", "b", "c")
+        assert app.channel("c1").name == "c1"
+        with pytest.raises(ConfigurationError):
+            app.channel("missing")
+
+    def test_use_case_unique_channels_across_apps(self):
+        spec_a = ChannelSpec("c", "a", "b", 1 * MB, application="x")
+        spec_b = ChannelSpec("c", "c", "d", 1 * MB, application="y")
+        with pytest.raises(ConfigurationError):
+            UseCase("uc", (Application("x", (spec_a,)),
+                           Application("y", (spec_b,))))
+
+    def test_subset(self):
+        apps = (
+            Application("x", (ChannelSpec("c1", "a", "b", 1 * MB,
+                                          application="x"),)),
+            Application("y", (ChannelSpec("c2", "c", "d", 1 * MB,
+                                          application="y"),)),
+        )
+        uc = UseCase("uc", apps)
+        sub = uc.subset(["x"])
+        assert [a.name for a in sub.applications] == ["x"]
+        assert len(sub.channels) == 1
+        with pytest.raises(ConfigurationError):
+            uc.subset(["nope"])
+
+    def test_application_of(self):
+        uc = UseCase("uc", (Application("x", (
+            ChannelSpec("c1", "a", "b", 1 * MB, application="x"),)),))
+        assert uc.application_of("c1") == "x"
+        with pytest.raises(ConfigurationError):
+            uc.application_of("missing")

@@ -1,0 +1,128 @@
+"""Tests for the Section VII use-case generator and runners."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.exceptions import ConfigurationError
+from repro.usecase.generator import (Section7Parameters,
+                                     generate_section7)
+from repro.usecase.runner import (be_frequency_sweep, burst_traffic,
+                                  cbr_traffic, configure_section7, run_be,
+                                  run_gs, service_latencies_ns)
+
+
+@pytest.fixture(scope="module")
+def section7_small():
+    """A reduced instance (fast) that keeps the paper's structure."""
+    params = Section7Parameters(seed=7, connections_per_application=12,
+                                n_ips=40)
+    instance = generate_section7(params)
+    return configure_section7(instance)
+
+
+class TestGenerator:
+    def test_paper_scale_defaults(self):
+        params = Section7Parameters()
+        assert params.n_connections == 200
+        assert params.n_ips == 70
+        assert (params.cols, params.rows, params.nis_per_router) == \
+            (4, 3, 4)
+
+    def test_deterministic_per_seed(self):
+        a = generate_section7(Section7Parameters(seed=3))
+        b = generate_section7(Section7Parameters(seed=3))
+        assert [c.name for c in a.use_case.channels] == \
+            [c.name for c in b.use_case.channels]
+        assert [c.throughput_bytes_per_s for c in a.use_case.channels] \
+            == [c.throughput_bytes_per_s for c in b.use_case.channels]
+        assert a.mapping.ip_to_ni == b.mapping.ip_to_ni
+
+    def test_different_seeds_differ(self):
+        a = generate_section7(Section7Parameters(seed=3))
+        b = generate_section7(Section7Parameters(seed=4))
+        assert [c.throughput_bytes_per_s for c in a.use_case.channels] \
+            != [c.throughput_bytes_per_s for c in b.use_case.channels]
+
+    def test_requirements_within_paper_ranges(self):
+        instance = generate_section7()
+        for spec in instance.use_case.channels:
+            assert 10e6 <= spec.throughput_bytes_per_s <= 500e6
+            assert 35.0 <= spec.max_latency_ns <= 500.0
+
+    def test_four_applications_of_fifty(self):
+        instance = generate_section7()
+        assert len(instance.use_case.applications) == 4
+        for app in instance.use_case.applications:
+            assert len(app.channels) == 50
+
+    def test_endpoints_on_distinct_nis(self):
+        instance = generate_section7()
+        for spec in instance.use_case.channels:
+            assert instance.mapping.ni_of(spec.src_ip) != \
+                instance.mapping.ni_of(spec.dst_ip)
+
+    def test_bad_parameters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Section7Parameters(min_throughput_mb_s=0)
+        with pytest.raises(ConfigurationError):
+            Section7Parameters(min_latency_ns=0)
+        with pytest.raises(ConfigurationError):
+            Section7Parameters(n_applications=0)
+
+    @pytest.mark.parametrize("seed", [1, 2, 42, 2009])
+    def test_generated_instances_allocate_at_500mhz(self, seed):
+        """The headline claim must be robust over seeds, not luck."""
+        params = Section7Parameters(seed=seed)
+        instance = generate_section7(params)
+        _, config = configure_section7(instance)
+        assert len(config.allocation.channels) == 200
+        assert config.summary().all_requirements_met
+
+
+class TestRunners:
+    def test_gs_meets_requirements(self, section7_small):
+        _, config = section7_small
+        outcome = run_gs(config, n_slots=1200)
+        assert outcome.all_requirements_met
+        assert outcome.all_within_bounds
+
+    def test_gs_cbr_traffic_also_conforms(self, section7_small):
+        _, config = section7_small
+        outcome = run_gs(config, n_slots=1200,
+                         traffic=cbr_traffic(config))
+        assert outcome.all_requirements_met
+
+    def test_be_improves_with_frequency(self, section7_small):
+        _, config = section7_small
+        rows = be_frequency_sweep(config, [400e6, 1200e6], n_ticks=1200)
+        assert rows[1].n_latency_ok >= rows[0].n_latency_ok
+        assert rows[1].mean_latency_ns < rows[0].mean_latency_ns
+
+    def test_service_latency_excludes_self_queueing(self, section7_small):
+        """Service latencies are never longer than raw latencies."""
+        _, config = section7_small
+        outcome = run_gs(config, n_slots=1200)
+        stats = outcome.result.stats
+        for name in list(config.allocation.channels)[:10]:
+            service = service_latencies_ns(stats, name)
+            raw = [d.latency_ns for d in stats.channel(name).deliveries]
+            assert len(service) == len(raw)
+            for s, r in zip(service, raw):
+                assert s <= r + 1e-9
+
+    def test_burst_traffic_rate_matches_requirement(self, section7_small):
+        _, config = section7_small
+        patterns = burst_traffic(config)
+        horizon = 120_000
+        for name, ca in list(config.allocation.channels.items())[:8]:
+            offered = patterns[name].offered_bytes(horizon, config.fmt)
+            seconds = horizon / config.frequency_hz
+            assert offered / seconds == pytest.approx(
+                ca.spec.throughput_bytes_per_s, rel=0.06)
+
+    def test_empty_sweep_rejected(self, section7_small):
+        from repro.core.exceptions import SimulationError
+        _, config = section7_small
+        with pytest.raises(SimulationError):
+            be_frequency_sweep(config, [])
