@@ -1,0 +1,45 @@
+"""Tier-2 smoke benchmark for the scenario-campaign engine.
+
+Opt in with ``--campaign-smoke``.  Runs the 4-scenario micro-campaign
+(flit, cycle-synchronous, cycle-mesochronous, best-effort on one small
+mesh) across 2 worker processes, checks the result set is clean and
+deterministic, and records the campaign wall-clock both as the
+benchmark measurement and under ``extra_info`` so it lands in the
+``--benchmark-json`` trajectory.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.campaign import CampaignRunner, micro_campaign
+
+
+@pytest.fixture
+def campaign_smoke_enabled(request):
+    if not request.config.getoption("--campaign-smoke"):
+        pytest.skip("pass --campaign-smoke to run the campaign smoke check")
+
+
+def test_micro_campaign_smoke(benchmark, campaign_smoke_enabled):
+    spec = micro_campaign()
+
+    def run_campaign():
+        start = time.perf_counter()
+        result = CampaignRunner(spec, workers=2).run()
+        return result, time.perf_counter() - start
+
+    result, wall_clock_s = benchmark.pedantic(run_campaign, rounds=1,
+                                              iterations=1)
+    benchmark.extra_info["campaign_wall_clock_s"] = round(wall_clock_s, 4)
+    benchmark.extra_info["n_runs"] = result.n_runs
+    assert result.n_runs == 4
+    assert result.n_failed == 0
+    statuses = {record["status"] for record in result.records}
+    assert statuses == {"ok"}
+    # Determinism holds under the pool: re-running serially reproduces
+    # the aggregated report byte for byte.
+    serial = CampaignRunner(spec, workers=1).run()
+    assert serial.to_json() == result.to_json()

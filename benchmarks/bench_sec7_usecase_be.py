@@ -13,9 +13,10 @@ Paper claims regenerated here:
 
 from __future__ import annotations
 
-from repro.baseline.be_network import BeNetworkSimulator
 from repro.experiments.report import format_table
 from repro.experiments.section7 import be_crossing_mhz, be_sweep_rows
+from repro.simulation.backend import BestEffortBackend
+from repro.simulation.composability import run_with_channels
 from repro.usecase.runner import (burst_traffic, run_be, run_gs,
                                   service_latencies_ns)
 
@@ -95,13 +96,12 @@ def test_section7_be_composability_lost(benchmark, section7):
         name for name, ca in config.allocation.channels.items()
         if ca.spec.application == target_app)
 
+    def be_factory(cfg):
+        return BestEffortBackend(cfg, frequency_hz=500e6, buffer_flits=2)
+
     def run(active):
-        sim = BeNetworkSimulator(config, frequency_hz=500e6,
-                                 buffer_flits=2)
-        for name, pattern in traffic.items():
-            if name in active:
-                sim.set_traffic(name, pattern)
-        return sim.run(2000)
+        return run_with_channels(config, traffic, active, 2000,
+                                 backend_factory=be_factory)
 
     all_channels = set(traffic)
     full = benchmark.pedantic(lambda: run(all_channels), rounds=1,
@@ -109,10 +109,8 @@ def test_section7_be_composability_lost(benchmark, section7):
     alone = run(set(target_channels))
     diverged = 0
     for name in target_channels:
-        full_trace = [(d.message_id, d.delivered_cycle)
-                      for d in full.stats.channel(name).deliveries]
-        alone_trace = [(d.message_id, d.delivered_cycle)
-                       for d in alone.stats.channel(name).deliveries]
+        full_trace = [(m, cyc) for m, _slot, cyc in full.trace(name)]
+        alone_trace = [(m, cyc) for m, _slot, cyc in alone.trace(name)]
         n = min(len(full_trace), len(alone_trace))
         if full_trace[:n] != alone_trace[:n]:
             diverged += 1

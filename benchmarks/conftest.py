@@ -1,13 +1,26 @@
-"""Shared fixtures for the benchmark suite.
+"""Shared fixtures and options for the benchmark suite.
 
 The Section VII use case (generation + allocation) is expensive enough
 to share across benchmarks; it is deterministic, so sharing does not
 couple measurements.
+
+``--campaign-smoke`` opts into the tier-2 campaign smoke check in
+``bench_campaign.py``: a 4-scenario micro-campaign across 2 worker
+processes whose wall-clock lands in the benchmark JSON output
+(``--benchmark-json``), giving campaign-engine overhead its own
+trajectory.
 """
 
 from __future__ import annotations
 
 import pytest
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--campaign-smoke", action="store_true", default=False,
+        help="run the 4-scenario micro-campaign smoke benchmark "
+             "(tier-2; exercises every backend plus the parallel pool)")
 
 from repro.core.application import Application, UseCase
 from repro.core.configuration import configure

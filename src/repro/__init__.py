@@ -14,11 +14,18 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.router` / :mod:`repro.link` / :mod:`repro.ni` /
   :mod:`repro.wrapper` — cycle-accurate hardware models;
 * :mod:`repro.clocking` — synchronous/mesochronous/plesiochronous clocks;
-* :mod:`repro.simulation` — event kernel and both simulators;
-* :mod:`repro.baseline` — the Æthereal GS+BE comparison network;
+* :mod:`repro.simulation` — event kernel, both GS simulators, and the
+  unified :class:`~repro.simulation.backend.SimulationBackend` protocol
+  (``SimRequest``/``SimResult``) every simulator is driven through;
+* :mod:`repro.baseline` — the Æthereal GS+BE comparison network (also a
+  backend);
 * :mod:`repro.synthesis` — calibrated area/frequency models;
 * :mod:`repro.usecase` — the Section VII 200-connection use case;
-* :mod:`repro.experiments` — one module per paper figure/table.
+* :mod:`repro.experiments` — one module per paper figure/table;
+* :mod:`repro.campaign` — declarative scenario campaigns (topology ×
+  traffic × backend/clocking × seed grids) executed over a
+  multiprocessing pool with deterministic, byte-stable JSON reports
+  (``python -m repro campaign --demo``).
 """
 
 from __future__ import annotations
@@ -45,6 +52,12 @@ _EXPORTS: dict[str, str] = {
     "concentrated_mesh": "repro.topology.builders",
     "FlitLevelSimulator": "repro.simulation.flitsim",
     "DetailedNetwork": "repro.simulation.cyclesim",
+    "SimRequest": "repro.simulation.backend",
+    "SimResult": "repro.simulation.backend",
+    "SimulationBackend": "repro.simulation.backend",
+    "create_backend": "repro.simulation.backend",
+    "CampaignSpec": "repro.campaign.spec",
+    "CampaignRunner": "repro.campaign.runner",
     "MB": "repro.core.connection",
     "GB": "repro.core.connection",
 }

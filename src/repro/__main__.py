@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's figures and tables.
+"""Command-line entry point: figures, tables and scenario campaigns.
 
 Usage::
 
@@ -10,6 +10,24 @@ Usage::
     python -m repro sweep         # Section VII best-effort sweep
     python -m repro ablations     # design-choice ablations
     python -m repro all           # everything above
+    python -m repro campaign ...  # scenario-campaign engine (below)
+
+Running campaigns
+-----------------
+
+The ``campaign`` subcommand drives the :mod:`repro.campaign` engine: a
+declarative grid of scenarios (topology × traffic mix × backend/clocking
+scheme × seed grid) fanned out over worker processes, aggregated into
+one deterministic JSON report::
+
+    python -m repro campaign --demo               # built-in 16-run grid
+    python -m repro campaign --demo --workers 4   # wider pool
+    python -m repro campaign --demo --output report.json
+    python -m repro campaign --demo --list        # show the grid, don't run
+
+Serial and parallel executions produce byte-identical reports; ``--demo``
+verifies that on every invocation by running both and comparing.  Use
+``repro.campaign.scenario_grid`` from Python to build custom grids.
 """
 
 from __future__ import annotations
@@ -91,7 +109,8 @@ def _sweep() -> None:
 
 
 def _ablations() -> None:
-    from repro.experiments.ablations import (fifo_depth_rows,
+    from repro.experiments.ablations import (backend_rows,
+                                             fifo_depth_rows,
                                              ordering_rows,
                                              pipeline_stage_rows,
                                              table_size_rows)
@@ -106,6 +125,49 @@ def _ablations() -> None:
     print()
     print(format_table(pipeline_stage_rows(),
                        title="Ablation — link pipeline stages"))
+    print()
+    print(format_table(backend_rows(),
+                       title="Ablation — simulation backend / clocking"))
+
+
+def _campaign(args: argparse.Namespace) -> int:
+    from repro.campaign import CampaignRunner, demo_campaign
+    if not args.demo:
+        print("campaign: only the built-in --demo grid is runnable from "
+              "the CLI; build custom grids with repro.campaign in Python",
+              file=sys.stderr)
+        return 2
+    spec = demo_campaign()
+    runs = spec.expand()
+    if args.list:
+        print(format_table(
+            [{"run": r.run_id, "backend": r.scenario.backend,
+              "topology": r.scenario.topology.label,
+              "traffic": r.scenario.traffic.pattern,
+              "n_slots": r.scenario.n_slots} for r in runs],
+            title=f"campaign {spec.name!r} — {len(runs)} runs"))
+        return 0
+    workers = max(1, args.workers)
+    result = CampaignRunner(spec, workers=workers).run()
+    print(format_table(result.summary_rows(),
+                       title=f"campaign {spec.name!r} — {result.n_runs} "
+                             f"runs on {workers} workers "
+                             f"({result.n_failed} failed)"))
+    agree = True
+    if workers > 1:
+        serial = CampaignRunner(spec, workers=1).run()
+        agree = serial.to_json() == result.to_json()
+        print(f"\nserial/parallel reports byte-identical: "
+              f"{'yes' if agree else 'NO — DETERMINISM BUG'}")
+    else:
+        print("\nworkers=1: in-process run, serial/parallel "
+              "determinism check skipped")
+    if args.output:
+        result.write(args.output)
+        print(f"aggregated JSON report written to {args.output}")
+    else:
+        print("\n" + result.to_json())
+    return 0 if agree else 1
 
 
 _COMMANDS = {
@@ -123,11 +185,30 @@ def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
-        description="Regenerate the aelite paper's figures and tables.")
-    parser.add_argument("experiment",
-                        choices=sorted(_COMMANDS) + ["all"],
-                        help="which artefact to regenerate")
+        description="Regenerate the aelite paper's figures and tables, "
+                    "or run scenario campaigns.")
+    sub = parser.add_subparsers(dest="experiment", required=True,
+                                metavar="command")
+    for name in sorted(_COMMANDS) + ["all"]:
+        sub.add_parser(name, help=f"regenerate the {name} artefact(s)"
+                       if name != "all" else "everything above")
+    campaign = sub.add_parser(
+        "campaign", help="run a scenario campaign over worker processes")
+    campaign.add_argument("--demo", action="store_true",
+                          help="run the built-in demo grid "
+                               "(2 topologies x 2 traffic mixes x 2 "
+                               "backends x 2 seeds)")
+    campaign.add_argument("--workers", type=int, default=2,
+                          help="worker processes (default 2; 1 runs "
+                               "in-process for profiling/debugging)")
+    campaign.add_argument("--output", default=None,
+                          help="write the aggregated JSON report here "
+                               "instead of stdout")
+    campaign.add_argument("--list", action="store_true",
+                          help="print the expanded run grid and exit")
     args = parser.parse_args(argv)
+    if args.experiment == "campaign":
+        return _campaign(args)
     if args.experiment == "all":
         for name in ("fig5", "fig6a", "fig6b", "costs", "usecase",
                      "sweep", "ablations"):

@@ -37,7 +37,7 @@ from repro.core.configuration import NocConfiguration
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.words import WordFormat
 from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
-                                       StatsCollector)
+                                       StatsCollector, latency_digest)
 from repro.simulation.traffic import TrafficPattern
 from repro.topology.graph import NodeKind, Topology
 
@@ -140,6 +140,14 @@ class BeSimResult:
         """Simulated wall-clock time."""
         return (self.simulated_ticks * self.fmt.flit_size /
                 self.frequency_hz * 1e9)
+
+    def summary(self) -> str:
+        """One-line latency digest for logs and the REPL."""
+        return latency_digest("be", self.stats, self.simulated_ticks,
+                              "ticks", self.frequency_hz)
+
+    def __repr__(self) -> str:
+        return f"BeSimResult({self.summary()})"
 
 
 class BeNetworkSimulator:

@@ -1,0 +1,23 @@
+"""Scenario campaigns: declarative sweep specs and a parallel runner.
+
+The campaign subsystem turns the unified
+:class:`~repro.simulation.backend.SimulationBackend` protocol into a
+batch engine: describe a grid of scenarios (topology × workload ×
+traffic mix × backend/clocking × seeds) as plain data, then execute it
+serially or across worker processes with byte-identical aggregated
+results either way.
+"""
+
+from repro.campaign.presets import demo_campaign, micro_campaign
+from repro.campaign.runner import (CampaignResult, CampaignRunner,
+                                   execute_run)
+from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
+                                 TopologySpec, TrafficSpec, WorkloadSpec,
+                                 derive_seed, scenario_grid)
+
+__all__ = [
+    "TopologySpec", "WorkloadSpec", "TrafficSpec", "ScenarioSpec",
+    "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed",
+    "CampaignRunner", "CampaignResult", "execute_run",
+    "demo_campaign", "micro_campaign",
+]

@@ -1,0 +1,67 @@
+"""Ready-made campaign specs: the CLI demo and the CI smoke check.
+
+These are ordinary :class:`~repro.campaign.spec.CampaignSpec` values —
+nothing here is privileged.  They double as worked examples of
+:func:`~repro.campaign.spec.scenario_grid`.
+"""
+
+from __future__ import annotations
+
+from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
+                                 TrafficSpec, WorkloadSpec, scenario_grid)
+
+__all__ = ["demo_campaign", "micro_campaign"]
+
+
+def demo_campaign(*, n_slots: int = 600,
+                  seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
+    """The ``python -m repro campaign --demo`` grid.
+
+    Two topologies × two traffic mixes × two backends = 8 scenarios,
+    each across the seed grid — wide enough to exercise the pool, small
+    enough to finish in seconds.
+    """
+    scenarios = scenario_grid(
+        topologies={
+            "mesh2x2": TopologySpec(kind="mesh", cols=2, rows=2,
+                                    nis_per_router=1),
+            "ring4": TopologySpec(kind="ring", cols=4, nis_per_router=1),
+        },
+        traffic_mixes={
+            "cbr": TrafficSpec(pattern="cbr"),
+            "burst": TrafficSpec(pattern="burst"),
+        },
+        backends={
+            "flit": ("flit", "synchronous"),
+            "be": ("be", "synchronous"),
+        },
+        workload=WorkloadSpec(n_channels=6, n_ips=8),
+        n_slots=n_slots, table_size=16)
+    return CampaignSpec(name="demo", scenarios=scenarios, seeds=seeds)
+
+
+def micro_campaign(*, n_slots: int = 400) -> CampaignSpec:
+    """A 4-scenario micro-campaign for the tier-2 benchmark smoke check.
+
+    One scenario per backend flavour (flit, cycle-synchronous,
+    cycle-mesochronous, best-effort) on one small mesh, one seed — the
+    cheapest campaign that still exercises every adapter and the
+    parallel pool.
+    """
+    # One pipeline stage per link so the mesochronous scenario is legal.
+    topology = TopologySpec(kind="mesh", cols=2, rows=2, nis_per_router=1,
+                            pipeline_stages=1)
+    workload = WorkloadSpec(n_channels=4, n_ips=8)
+    scenarios = tuple(
+        ScenarioSpec(name=name, topology=topology, workload=workload,
+                     traffic=TrafficSpec(pattern="cbr"),
+                     backend=backend, clocking=clocking,
+                     n_slots=n_slots, table_size=16)
+        for name, backend, clocking in (
+            ("flit", "flit", "synchronous"),
+            ("cycle-sync", "cycle", "synchronous"),
+            ("cycle-meso", "cycle", "mesochronous"),
+            ("be", "be", "synchronous"),
+        ))
+    return CampaignSpec(name="micro-smoke", scenarios=scenarios,
+                        seeds=(1,))

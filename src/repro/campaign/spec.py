@@ -1,0 +1,293 @@
+"""Declarative scenario specifications for simulation campaigns.
+
+A *campaign* is a grid of simulation runs: topology × workload ×
+traffic mix × backend/clocking scheme × seed.  Every axis is described
+by a small frozen dataclass, so a campaign spec is a plain value —
+picklable (it crosses process boundaries in the parallel runner),
+hashable where it matters, and serialisable into the aggregated report
+for provenance.
+
+The specs are deliberately self-contained: a :class:`RunSpec` carries
+everything needed to *rebuild* its configuration and traffic from
+scratch inside a worker process.  Nothing simulated is ever shipped
+between processes except the JSON-ready result record, which is what
+makes serial and parallel execution byte-identical.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.core.application import Application, UseCase
+from repro.core.configuration import NocConfiguration, configure
+from repro.core.connection import MB, ChannelSpec
+from repro.core.exceptions import ConfigurationError
+from repro.simulation.traffic import (BernoulliMessages, Saturating,
+                                      TrafficPattern)
+from repro.topology.builders import (line, mesh, ring, single_router,
+                                     torus)
+from repro.topology.graph import Topology
+from repro.topology.mapping import Mapping, round_robin
+
+__all__ = ["TopologySpec", "WorkloadSpec", "TrafficSpec", "ScenarioSpec",
+           "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed"]
+
+
+def derive_seed(base_seed: int, *labels: object) -> int:
+    """Stable 63-bit seed from a base seed and a label path.
+
+    Uses SHA-256 rather than :func:`hash` so the derivation is identical
+    across processes (``PYTHONHASHSEED`` does not leak in) and across
+    runs — the foundation of campaign determinism.
+    """
+    digest = hashlib.sha256(
+        ":".join([str(base_seed), *map(str, labels)]).encode()).digest()
+    return int.from_bytes(digest[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class TopologySpec:
+    """A named topology family plus its extent parameters."""
+
+    kind: str = "mesh"           # mesh | ring | line | torus | single
+    cols: int = 2
+    rows: int = 2
+    nis_per_router: int = 1
+    pipeline_stages: int = 0
+
+    def __post_init__(self) -> None:
+        if self.kind not in _TOPOLOGY_BUILDERS:
+            raise ConfigurationError(
+                f"unknown topology kind {self.kind!r}; expected one of "
+                f"{sorted(_TOPOLOGY_BUILDERS)}")
+
+    @property
+    def label(self) -> str:
+        """Compact identifier used in run ids."""
+        if self.kind == "single":
+            return f"single{self.nis_per_router}"
+        extent = (f"{self.cols}" if self.kind in ("ring", "line")
+                  else f"{self.cols}x{self.rows}")
+        return (f"{self.kind}{extent}"
+                f"n{self.nis_per_router}p{self.pipeline_stages}")
+
+    def build(self) -> Topology:
+        """Construct the topology graph."""
+        return _TOPOLOGY_BUILDERS[self.kind](self)
+
+
+_TOPOLOGY_BUILDERS: dict[str, Callable[[TopologySpec], Topology]] = {
+    "mesh": lambda s: mesh(s.cols, s.rows,
+                           nis_per_router=s.nis_per_router,
+                           pipeline_stages=s.pipeline_stages),
+    "torus": lambda s: torus(s.cols, s.rows,
+                             nis_per_router=s.nis_per_router,
+                             pipeline_stages=s.pipeline_stages),
+    "ring": lambda s: ring(s.cols, nis_per_router=s.nis_per_router,
+                           pipeline_stages=s.pipeline_stages),
+    "line": lambda s: line(s.cols, nis_per_router=s.nis_per_router,
+                           pipeline_stages=s.pipeline_stages),
+    "single": lambda s: single_router(s.nis_per_router),
+}
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """A randomly generated but seed-deterministic channel set."""
+
+    n_channels: int = 6
+    n_ips: int = 8
+    n_applications: int = 2
+    min_throughput_mb_s: float = 5.0
+    max_throughput_mb_s: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.n_channels < 1 or self.n_ips < 2:
+            raise ConfigurationError(
+                "workload needs >= 1 channel and >= 2 IPs")
+        if self.n_applications < 1:
+            raise ConfigurationError("workload needs >= 1 application")
+        if not 0 < self.min_throughput_mb_s <= self.max_throughput_mb_s:
+            raise ConfigurationError("bad throughput range")
+
+    def build(self, topology: Topology, seed: int
+              ) -> tuple[UseCase, Mapping]:
+        """Generate the channel set and IP mapping for one run."""
+        rng = random.Random(seed)
+        ips = [f"ip{i}" for i in range(self.n_ips)]
+        mapping = round_robin(ips, topology)
+        if len({mapping.ni_of(ip) for ip in ips}) < 2:
+            raise ConfigurationError(
+                "workload needs IPs on at least two distinct NIs; "
+                f"topology {topology.name!r} offers too few NIs")
+        channels: list[ChannelSpec] = []
+        for index in range(self.n_channels):
+            src, dst = rng.sample(ips, 2)
+            while mapping.ni_of(src) == mapping.ni_of(dst):
+                src, dst = rng.sample(ips, 2)
+            rate = rng.uniform(self.min_throughput_mb_s,
+                               self.max_throughput_mb_s) * MB
+            channels.append(ChannelSpec(
+                f"c{index}", src, dst, rate,
+                application=f"app{index % self.n_applications}"))
+        applications = tuple(
+            Application(f"app{k}", tuple(
+                c for c in channels if c.application == f"app{k}"))
+            for k in range(self.n_applications))
+        applications = tuple(a for a in applications if a.channels)
+        return UseCase(f"campaign_s{seed}", applications), mapping
+
+
+@dataclass(frozen=True)
+class TrafficSpec:
+    """Which arrival process drives every channel, and how hard."""
+
+    pattern: str = "cbr"         # cbr | burst | bernoulli | saturating
+    rate_factor: float = 1.0
+    burst_messages: int = 3
+    probability: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.pattern not in ("cbr", "burst", "bernoulli", "saturating"):
+            raise ConfigurationError(
+                f"unknown traffic pattern {self.pattern!r}")
+        if self.rate_factor <= 0:
+            raise ConfigurationError("rate_factor must be positive")
+
+    def build(self, config: NocConfiguration, seed: int
+              ) -> dict[str, TrafficPattern]:
+        """Instantiate per-channel patterns, deterministically.
+
+        The rate-driven mixes delegate to the canonical Section VII
+        builders (:func:`repro.usecase.runner.cbr_traffic` /
+        :func:`~repro.usecase.runner.burst_traffic`), so campaign
+        traffic and paper-experiment traffic stay one implementation.
+        """
+        from repro.usecase.runner import burst_traffic, cbr_traffic
+
+        fmt = config.fmt
+        if self.pattern == "cbr":
+            return cbr_traffic(config, rate_factor=self.rate_factor)
+        if self.pattern == "burst":
+            return burst_traffic(config,
+                                 burst_messages=self.burst_messages,
+                                 rate_factor=self.rate_factor)
+        patterns: dict[str, TrafficPattern] = {}
+        for name in sorted(config.allocation.channels):
+            if self.pattern == "bernoulli":
+                patterns[name] = BernoulliMessages(
+                    self.probability, fmt.payload_words_per_flit,
+                    fmt.flit_size, seed=derive_seed(seed, name))
+            else:
+                patterns[name] = Saturating(fmt.payload_words_per_flit,
+                                            fmt.flit_size)
+        return patterns
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One cell of the campaign grid (before seed expansion)."""
+
+    name: str
+    topology: TopologySpec = TopologySpec()
+    workload: WorkloadSpec = WorkloadSpec()
+    traffic: TrafficSpec = TrafficSpec()
+    backend: str = "flit"
+    clocking: str = "synchronous"   # cycle backend only
+    n_slots: int = 800
+    table_size: int = 16
+    frequency_mhz: float = 500.0
+
+    def __post_init__(self) -> None:
+        from repro.simulation.backend import available_backends
+        if self.backend not in available_backends():
+            raise ConfigurationError(
+                f"unknown backend {self.backend!r}; expected one of "
+                f"{available_backends()}")
+        if self.backend == "cycle" and self.clocking not in (
+                "synchronous", "mesochronous", "asynchronous"):
+            raise ConfigurationError(
+                f"unknown clocking scheme {self.clocking!r}")
+        if self.n_slots <= 0:
+            raise ConfigurationError("n_slots must be positive")
+        if self.table_size < 2:
+            raise ConfigurationError("table_size must be >= 2")
+        if self.frequency_mhz <= 0:
+            raise ConfigurationError("frequency_mhz must be positive")
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One executable run: a scenario bound to a seed."""
+
+    run_id: str
+    scenario: ScenarioSpec
+    seed: int
+    base_seed: int
+
+    @property
+    def run_seed(self) -> int:
+        """The derived seed all of this run's randomness flows from."""
+        return derive_seed(self.base_seed, self.run_id)
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A full campaign: scenarios × seed grid."""
+
+    name: str
+    scenarios: tuple[ScenarioSpec, ...]
+    seeds: tuple[int, ...] = (1,)
+    base_seed: int = 2009
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ConfigurationError("campaign needs at least one scenario")
+        if not self.seeds:
+            raise ConfigurationError("campaign needs at least one seed")
+        names = [s.name for s in self.scenarios]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate scenario names in campaign {self.name!r}")
+
+    def expand(self) -> tuple[RunSpec, ...]:
+        """The deterministic, ordered run list of the campaign."""
+        runs = []
+        for scenario in self.scenarios:
+            for seed in self.seeds:
+                runs.append(RunSpec(
+                    run_id=f"{scenario.name}/seed{seed}",
+                    scenario=scenario, seed=seed,
+                    base_seed=self.base_seed))
+        return tuple(runs)
+
+
+def scenario_grid(topologies: dict[str, TopologySpec],
+                  traffic_mixes: dict[str, TrafficSpec],
+                  backends: dict[str, tuple[str, str]], *,
+                  workload: WorkloadSpec | None = None,
+                  n_slots: int = 800, table_size: int = 16,
+                  frequency_mhz: float = 500.0
+                  ) -> tuple[ScenarioSpec, ...]:
+    """Cross labelled axes into the scenario list of a campaign.
+
+    ``backends`` maps a label to a ``(backend, clocking)`` pair so the
+    clocking-scheme axis and the backend axis stay one grid dimension
+    (only the cycle backend distinguishes clockings).
+    """
+    workload = workload or WorkloadSpec()
+    scenarios = []
+    for topo_label, topology in sorted(topologies.items()):
+        for traffic_label, traffic in sorted(traffic_mixes.items()):
+            for backend_label, (backend, clocking) in sorted(
+                    backends.items()):
+                scenarios.append(ScenarioSpec(
+                    name=f"{topo_label}-{traffic_label}-{backend_label}",
+                    topology=topology, workload=workload,
+                    traffic=traffic, backend=backend, clocking=clocking,
+                    n_slots=n_slots, table_size=table_size,
+                    frequency_mhz=frequency_mhz))
+    return tuple(scenarios)

@@ -1,6 +1,7 @@
 """One module per paper figure/table; see DESIGN.md's experiment index."""
 
-from repro.experiments.ablations import (fifo_depth_rows, ordering_rows,
+from repro.experiments.ablations import (backend_rows, fifo_depth_rows,
+                                         ordering_rows,
                                          pipeline_stage_rows,
                                          table_size_rows)
 from repro.experiments.area_comparison import (fifo_rows,
@@ -25,6 +26,6 @@ __all__ = [
     "fifo_rows", "mesochronous_rows", "related_work_rows",
     "headline_ratio_rows", "throughput_rows",
     "table_size_rows", "fifo_depth_rows", "ordering_rows",
-    "pipeline_stage_rows",
+    "pipeline_stage_rows", "backend_rows",
     "format_table", "format_value",
 ]

@@ -12,7 +12,11 @@ sensible:
 * **allocation ordering** — hardest-first ordering versus input order
   and throughput order, measured by allocation success and mean slots;
 * **link pipeline stages** — each stage adds exactly one slot to the
-  latency bound (the physical-scalability price of Section V).
+  latency bound (the physical-scalability price of Section V);
+* **simulation backend / clocking scheme** — one workload pushed through
+  every registered :class:`~repro.simulation.backend.SimulationBackend`
+  to show that the three GS views agree while best effort trades the
+  latency bound for a lower average.
 """
 
 from __future__ import annotations
@@ -29,7 +33,7 @@ from repro.topology.mapping import round_robin
 from repro.topology.routing import xy_path
 
 __all__ = ["table_size_rows", "fifo_depth_rows", "ordering_rows",
-           "pipeline_stage_rows"]
+           "pipeline_stage_rows", "backend_rows"]
 
 
 def _workload(topo, n_channels: int = 24, seed: int = 5):
@@ -128,6 +132,74 @@ def ordering_rows() -> list[dict[str, object]]:
             rows.append({"order": order, "allocated": 0, "all_met": False,
                          "mean_slots": "-",
                          "mean_link_util": f"failed: {exc.channel}"})
+    return rows
+
+
+def backend_rows(*, n_slots: int = 400) -> list[dict[str, object]]:
+    """One workload through every backend, via the unified protocol.
+
+    The flit-level and cycle-accurate backends must agree on the logical
+    flit schedule (the flit-synchronous abstraction is exact, across
+    clocking schemes up to one cycle of mesochronous phase); the
+    best-effort backend runs the same offered traffic without TDM and
+    shows the average-versus-worst-case trade the paper quantifies.
+    """
+    from repro.core.application import Application, UseCase
+    from repro.core.configuration import configure
+    from repro.simulation.backend import SimRequest, create_backend
+    from repro.simulation.traffic import ConstantBitRate
+    from repro.topology.mapping import Mapping
+
+    topo = mesh(2, 2, nis_per_router=1, pipeline_stages=1)
+    channels = (
+        ChannelSpec("c0", "ipA", "ipB", 80 * MB, application="app"),
+        ChannelSpec("c1", "ipB", "ipC", 80 * MB, application="app"),
+        ChannelSpec("c2", "ipC", "ipA", 80 * MB, application="app"),
+    )
+    use_case = UseCase("backend_ablation",
+                       (Application("app", channels),))
+    mapping = Mapping({"ipA": "ni0_0_0", "ipB": "ni1_0_0",
+                       "ipC": "ni1_1_0"})
+    config = configure(topo, use_case, table_size=8, frequency_hz=500e6,
+                       mapping=mapping)
+    traffic = {
+        spec.name: ConstantBitRate.from_rate(
+            spec.throughput_bytes_per_s, 500e6, config.fmt,
+            offset_cycles=2)
+        for spec in channels}
+    request = SimRequest(n_slots=n_slots, traffic=traffic, seed=11)
+    variants = [
+        ("flit", "flit", {}),
+        ("cycle/synchronous", "cycle", {"clocking": "synchronous"}),
+        ("cycle/mesochronous", "cycle", {"clocking": "mesochronous"}),
+        ("be", "be", {}),
+    ]
+    reference = create_backend("flit", config).run(request)
+    rows: list[dict[str, object]] = []
+    for label, kind, options in variants:
+        result = (reference if label == "flit" else
+                  create_backend(kind, config, **options).run(request))
+        summary = result.latency_summary()
+        deviation = 0
+        for channel in traffic:
+            # Match schedule entries by message identity, not position,
+            # so a backend delivering fewer messages cannot misalign or
+            # silently truncate the comparison.
+            ref_by_message = {(mid, created): latency for mid, created,
+                              latency in reference.logical_schedule(channel)}
+            run_by_message = {(mid, created): latency for mid, created,
+                              latency in result.logical_schedule(channel)}
+            for key in ref_by_message.keys() & run_by_message.keys():
+                deviation = max(deviation, abs(run_by_message[key] -
+                                               ref_by_message[key]))
+        rows.append({
+            "backend": label,
+            "messages": len(result.stats.all_deliveries()),
+            "p50_ns": round(summary.p50, 1) if summary else "-",
+            "p99_ns": round(summary.p99, 1) if summary else "-",
+            "max_ns": round(summary.maximum, 1) if summary else "-",
+            "max_deviation_cycles_vs_flit": deviation,
+        })
     return rows
 
 

@@ -11,6 +11,11 @@ Three artefacts:
 * :func:`cost_rows` — the router-network silicon cost of both options
   at their respective operating points (the paper: "the cost of the
   router network is roughly 5 times as high").
+
+All simulation is driven through the unified
+:class:`~repro.simulation.backend.SimulationBackend` protocol (via
+:mod:`repro.usecase.runner` and :mod:`repro.simulation.composability`);
+no experiment here constructs a simulator directly.
 """
 
 from __future__ import annotations

@@ -5,6 +5,14 @@ from __future__ import annotations
 import importlib
 
 _EXPORTS: dict[str, str] = {
+    "SimRequest": "repro.simulation.backend",
+    "SimResult": "repro.simulation.backend",
+    "SimulationBackend": "repro.simulation.backend",
+    "FlitLevelBackend": "repro.simulation.backend",
+    "CycleAccurateBackend": "repro.simulation.backend",
+    "BestEffortBackend": "repro.simulation.backend",
+    "available_backends": "repro.simulation.backend",
+    "create_backend": "repro.simulation.backend",
     "Engine": "repro.simulation.engine",
     "Clocked": "repro.simulation.engine",
     "Phit": "repro.simulation.signals",

@@ -1,0 +1,386 @@
+"""The unified simulation backend protocol.
+
+The repository grew three simulators with three bespoke entry points:
+the fast flit-level TDM simulator (:mod:`repro.simulation.flitsim`), the
+cycle-accurate multi-clock model (:mod:`repro.simulation.cyclesim`) and
+the best-effort wormhole baseline (:mod:`repro.baseline.be_network`).
+Every experiment invented its own glue to drive them.  This module is
+the single seam they all plug into:
+
+* :class:`SimRequest` — *what* to simulate: a horizon in flit cycles, a
+  traffic assignment, a seed for backends with randomised state
+  (mesochronous phases, plesiochronous drift) and an optional operating
+  frequency override for backends that support retiming;
+* :class:`SimResult` — *what came out*, in one schema: the shared
+  :class:`~repro.simulation.monitors.StatsCollector` record log, the
+  composability trace (reconstructed from the record log for backends
+  that do not collect one natively), latency/throughput summaries, a
+  backend-independent *logical flit schedule* for equivalence checking,
+  and a JSON-serializable record for campaign aggregation;
+* :class:`SimulationBackend` — the protocol itself: construct with a
+  validated :class:`~repro.core.configuration.NocConfiguration` plus
+  backend-specific options, then ``run(request)`` any number of times.
+
+Backends are registered by name (``"flit"``, ``"cycle"``, ``"be"``) so
+declarative campaign specs can name them without importing simulator
+classes.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+from repro.core.configuration import NocConfiguration
+from repro.core.exceptions import ConfigurationError
+from repro.core.words import WordFormat
+from repro.simulation.monitors import (LatencySummary, StatsCollector,
+                                       TraceRecorder, latency_digest)
+from repro.simulation.traffic import TrafficPattern
+
+__all__ = ["SimRequest", "SimResult", "SimulationBackend",
+           "FlitLevelBackend", "CycleAccurateBackend", "BestEffortBackend",
+           "available_backends", "create_backend"]
+
+
+@dataclass(frozen=True)
+class SimRequest:
+    """One simulation job, independent of which backend executes it.
+
+    Parameters
+    ----------
+    n_slots:
+        Horizon in flit cycles (TDM slots for the GS simulators, wormhole
+        ticks for the best-effort baseline).
+    traffic:
+        Traffic pattern per channel name; channels absent from the map
+        stay silent but keep their resource reservations.
+    seed:
+        Seed for backends with randomised physical state (mesochronous
+        phase offsets, plesiochronous drift).  Purely logical backends
+        ignore it, so equal requests stay comparable across backends.
+    frequency_hz:
+        Operating-frequency override for backends that support retiming
+        without reallocation (the best-effort baseline's frequency
+        sweep).  TDM backends reject an override: their slot tables are
+        allocated for the configuration's frequency.
+    """
+
+    n_slots: int
+    traffic: Mapping[str, TrafficPattern] = field(default_factory=dict)
+    seed: int = 1
+    frequency_hz: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.n_slots <= 0:
+            raise ConfigurationError(
+                f"n_slots must be positive, got {self.n_slots}")
+        if self.frequency_hz is not None and self.frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz override must be positive")
+
+
+@dataclass
+class SimResult:
+    """Uniform result schema shared by every backend.
+
+    ``stats`` is the ground truth: the per-channel injection/delivery
+    record log both simulators already emit.  Everything else — traces,
+    summaries, logical schedules, campaign records — derives from it,
+    which is what makes results comparable across backends.
+    """
+
+    backend: str
+    stats: StatsCollector
+    simulated_slots: int
+    frequency_hz: float
+    fmt: WordFormat
+    trace: TraceRecorder | None = None
+    meta: dict[str, object] = field(default_factory=dict)
+    raw: object = None
+
+    @property
+    def period_ps(self) -> int:
+        """Word-clock period of the run."""
+        return round(1e12 / self.frequency_hz)
+
+    @property
+    def simulated_ns(self) -> float:
+        """Simulated wall-clock time."""
+        return (self.simulated_slots * self.fmt.flit_size /
+                self.frequency_hz * 1e9)
+
+    # -- derived views ---------------------------------------------------------
+
+    def channel_latencies_ns(self, channel: str) -> list[float]:
+        """Raw end-to-end message latencies of one channel."""
+        return [d.latency_ns for d in self.stats.channel(channel).deliveries]
+
+    def latency_summary(self, channel: str | None = None
+                        ) -> LatencySummary | None:
+        """Latency order statistics; over all channels when none named."""
+        if channel is not None:
+            deliveries = self.stats.channel(channel).deliveries
+        else:
+            deliveries = self.stats.all_deliveries()
+        if not deliveries:
+            return None
+        return LatencySummary.of(d.latency_ns for d in deliveries)
+
+    def logical_schedule(self, channel: str
+                         ) -> tuple[tuple[int, int, int], ...]:
+        """Backend-independent flit schedule of one channel.
+
+        Each delivered message contributes ``(message_id, created_cycle,
+        latency_cycles)``, ordered by creation then id.  Latency is
+        measured on the wall clock and quantised to word cycles, so
+        flit-level and cycle-accurate runs of the same configuration must
+        produce identical schedules (the flit-synchronous abstraction is
+        exact) regardless of each backend's internal cycle numbering.
+        """
+        entries = [
+            (d.created_cycle, d.message_id,
+             round(d.latency_ps / self.period_ps))
+            for d in self.stats.channel(channel).deliveries]
+        entries.sort()
+        return tuple((mid, created, lat) for created, mid, lat in entries)
+
+    def composability_trace(self) -> TraceRecorder:
+        """The per-flit trace, reconstructing one from stats if needed.
+
+        The flit-level simulator records a native trace; the detailed and
+        best-effort models only emit stats records, from which an
+        equivalent ``(message_id, final_injection_slot, delivery_cycle)``
+        trace is rebuilt here.
+        """
+        if self.trace is not None:
+            return self.trace
+        rebuilt = TraceRecorder()
+        for channel in self.stats.channels:
+            channel_stats = self.stats.channel(channel)
+            last_injection: dict[int, int] = {}
+            for record in channel_stats.injections:
+                last_injection[record.message_id] = record.slot_index
+            for record in channel_stats.deliveries:
+                rebuilt.record(channel, record.message_id,
+                               last_injection.get(record.message_id, -1),
+                               record.delivered_cycle)
+        return rebuilt
+
+    # -- presentation ----------------------------------------------------------
+
+    def summary(self) -> str:
+        """One-line latency digest for campaign logs and the REPL."""
+        return latency_digest(self.backend, self.stats,
+                              self.simulated_slots, "slots",
+                              self.frequency_hz)
+
+    def __repr__(self) -> str:
+        return f"SimResult({self.summary()})"
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-serializable aggregate for campaign trajectories.
+
+        Floats are rounded to fixed precision so serialisation is
+        byte-stable across processes and platforms.
+        """
+        channels: dict[str, dict[str, object]] = {}
+        for name in self.stats.channels:
+            channel_stats = self.stats.channel(name)
+            entry: dict[str, object] = {
+                "messages": len(channel_stats.deliveries),
+                "flits": len(channel_stats.injections),
+                "delivered_bytes": channel_stats.delivered_bytes,
+            }
+            if channel_stats.deliveries:
+                s = channel_stats.latency_summary()
+                entry["latency_ns"] = {
+                    "min": round(s.minimum, 3), "mean": round(s.mean, 3),
+                    "p50": round(s.p50, 3), "p99": round(s.p99, 3),
+                    "max": round(s.maximum, 3)}
+            channels[name] = entry
+        overall = self.latency_summary()
+        return {
+            "backend": self.backend,
+            "simulated_slots": self.simulated_slots,
+            "frequency_mhz": round(self.frequency_hz / 1e6, 3),
+            "messages_delivered": len(self.stats.all_deliveries()),
+            "latency_ns": None if overall is None else {
+                "min": round(overall.minimum, 3),
+                "mean": round(overall.mean, 3),
+                "p50": round(overall.p50, 3),
+                "p99": round(overall.p99, 3),
+                "max": round(overall.maximum, 3)},
+            "channels": channels,
+        }
+
+
+class SimulationBackend(ABC):
+    """Protocol every simulator adapter implements.
+
+    A backend binds one validated configuration plus backend-specific
+    options at construction; :meth:`run` is then a pure function of the
+    request (every call builds fresh simulator state), so one backend
+    instance can serve many requests — the property the campaign engine
+    relies on.
+    """
+
+    #: Registry key; subclasses override.
+    name: str = "abstract"
+
+    def __init__(self, config: NocConfiguration):
+        self.config = config
+
+    @abstractmethod
+    def run(self, request: SimRequest) -> SimResult:
+        """Execute one request and return the uniform result."""
+
+    def _check_traffic(self, request: SimRequest) -> None:
+        unknown = sorted(set(request.traffic) -
+                         set(self.config.allocation.channels))
+        if unknown:
+            raise ConfigurationError(
+                f"traffic names channels outside the configuration: "
+                f"{unknown}")
+
+    def _reject_frequency_override(self, request: SimRequest) -> None:
+        if request.frequency_hz is not None and \
+                request.frequency_hz != self.config.frequency_hz:
+            raise ConfigurationError(
+                f"backend {self.name!r} cannot retime a TDM allocation; "
+                "reallocate at the new frequency instead")
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}("
+                f"{len(self.config.allocation.channels)} channels)")
+
+
+class FlitLevelBackend(SimulationBackend):
+    """Fast flit-level TDM simulation (the paper's aelite network)."""
+
+    name = "flit"
+
+    def __init__(self, config: NocConfiguration, *,
+                 flow_control: bool = False,
+                 rx_buffer_words: int | None = None,
+                 check_contention: bool = False):
+        super().__init__(config)
+        self.flow_control = flow_control
+        self.rx_buffer_words = rx_buffer_words
+        self.check_contention = check_contention
+
+    def run(self, request: SimRequest) -> SimResult:
+        from repro.simulation.flitsim import FlitLevelSimulator
+        self._check_traffic(request)
+        self._reject_frequency_override(request)
+        sim = FlitLevelSimulator(
+            self.config, flow_control=self.flow_control,
+            rx_buffer_words=self.rx_buffer_words,
+            check_contention=self.check_contention)
+        for channel, pattern in sorted(request.traffic.items()):
+            sim.set_traffic(channel, pattern)
+        result = sim.run(request.n_slots)
+        return SimResult(
+            backend=self.name, stats=result.stats, trace=result.trace,
+            simulated_slots=result.simulated_slots,
+            frequency_hz=result.frequency_hz, fmt=result.fmt,
+            meta={"stalled_slots_by_channel":
+                  result.stalled_slots_by_channel,
+                  "flits_by_channel": result.flits_by_channel},
+            raw=result)
+
+
+class CycleAccurateBackend(SimulationBackend):
+    """Detailed word-level simulation on the multi-clock engine."""
+
+    name = "cycle"
+
+    def __init__(self, config: NocConfiguration, *,
+                 clocking: str = "synchronous",
+                 plesiochronous_ppm: float = 200.0,
+                 rx_capacity_words: int = 256):
+        super().__init__(config)
+        self.clocking = clocking
+        self.plesiochronous_ppm = plesiochronous_ppm
+        self.rx_capacity_words = rx_capacity_words
+
+    def run(self, request: SimRequest) -> SimResult:
+        from repro.simulation.cyclesim import DetailedNetwork
+        self._check_traffic(request)
+        self._reject_frequency_override(request)
+        network = DetailedNetwork(
+            self.config, clocking=self.clocking,
+            mesochronous_seed=request.seed,
+            plesiochronous_ppm=self.plesiochronous_ppm,
+            traffic=dict(request.traffic),
+            horizon_slots=request.n_slots,
+            rx_capacity_words=self.rx_capacity_words)
+        result = network.run(request.n_slots)
+        return SimResult(
+            backend=self.name, stats=result.stats,
+            simulated_slots=request.n_slots,
+            frequency_hz=result.frequency_hz, fmt=self.config.fmt,
+            meta={"clocking": self.clocking,
+                  "fifo_max_occupancy": result.fifo_max_occupancy,
+                  "wrapper_firings": result.wrapper_firings,
+                  "ni_counters": result.ni_counters},
+            raw=result)
+
+
+class BestEffortBackend(SimulationBackend):
+    """Æthereal-style best-effort wormhole baseline (no TDM)."""
+
+    name = "be"
+
+    def __init__(self, config: NocConfiguration, *,
+                 frequency_hz: float | None = None,
+                 buffer_flits: int = 4,
+                 max_packet_flits: int = 4):
+        super().__init__(config)
+        self.frequency_hz = frequency_hz
+        self.buffer_flits = buffer_flits
+        self.max_packet_flits = max_packet_flits
+
+    def run(self, request: SimRequest) -> SimResult:
+        from repro.baseline.be_network import BeNetworkSimulator
+        self._check_traffic(request)
+        frequency = (request.frequency_hz or self.frequency_hz or
+                     self.config.frequency_hz)
+        sim = BeNetworkSimulator(
+            self.config, frequency_hz=frequency,
+            buffer_flits=self.buffer_flits,
+            max_packet_flits=self.max_packet_flits)
+        for channel, pattern in sorted(request.traffic.items()):
+            sim.set_traffic(channel, pattern)
+        result = sim.run(request.n_slots)
+        return SimResult(
+            backend=self.name, stats=result.stats,
+            simulated_slots=result.simulated_ticks,
+            frequency_hz=result.frequency_hz, fmt=result.fmt,
+            meta={"buffer_flits": self.buffer_flits,
+                  "max_packet_flits": self.max_packet_flits},
+            raw=result)
+
+
+_REGISTRY: dict[str, Callable[..., SimulationBackend]] = {
+    FlitLevelBackend.name: FlitLevelBackend,
+    CycleAccurateBackend.name: CycleAccurateBackend,
+    BestEffortBackend.name: BestEffortBackend,
+}
+
+
+def available_backends() -> tuple[str, ...]:
+    """Names accepted by :func:`create_backend`, sorted."""
+    return tuple(sorted(_REGISTRY))
+
+
+def create_backend(kind: str, config: NocConfiguration,
+                   **options) -> SimulationBackend:
+    """Instantiate a registered backend by name."""
+    try:
+        factory = _REGISTRY[kind]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown backend {kind!r}; expected one of "
+            f"{available_backends()}")
+    return factory(config, **options)

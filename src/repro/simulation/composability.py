@@ -9,22 +9,29 @@ regardless of how other applications behave.
 
 :func:`compare_subsets` runs a configured network once with all
 applications active and once per scenario (subsets, perturbed traffic) and
-reports per-channel trace equality.  The TDM simulator passes this check
-by construction; the best-effort baseline (:mod:`repro.baseline`)
-measurably fails it, which is the point of the paper's Section VII
-comparison.
+reports per-channel trace equality.  The comparison is phrased entirely in
+terms of the :class:`~repro.simulation.backend.SimulationBackend`
+protocol, so *any* backend can be put under the isolation microscope: the
+TDM backends pass by construction; the best-effort baseline
+(:mod:`repro.baseline`) measurably fails, which is the point of the
+paper's Section VII comparison.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.core.configuration import NocConfiguration
-from repro.simulation.flitsim import FlitLevelSimulator
+from repro.simulation.backend import (FlitLevelBackend, SimRequest,
+                                      SimulationBackend)
 from repro.simulation.monitors import TraceRecorder
 from repro.simulation.traffic import TrafficPattern
 
 __all__ = ["ComposabilityReport", "run_with_channels", "compare_subsets"]
+
+#: Builds the backend a comparison runs on; defaults to flit-level.
+BackendFactory = Callable[[NocConfiguration], SimulationBackend]
 
 
 @dataclass(frozen=True)
@@ -49,24 +56,34 @@ class ComposabilityReport:
 def run_with_channels(config: NocConfiguration,
                       traffic: dict[str, TrafficPattern],
                       active_channels: set[str], n_slots: int,
-                      *, flow_control: bool = False) -> TraceRecorder:
-    """Run the flit-level simulator with only some channels offered traffic.
+                      *, flow_control: bool = False,
+                      backend_factory: BackendFactory | None = None
+                      ) -> TraceRecorder:
+    """Run one backend with only some channels offered traffic.
 
     Channels outside ``active_channels`` keep their slot reservations (the
     allocation is untouched — stopping an application does not reconfigure
     the network) but offer no traffic, exactly like a stopped application.
+    ``backend_factory`` selects the simulator; the default is the fast
+    flit-level backend (``flow_control`` only applies to that default).
     """
-    sim = FlitLevelSimulator(config, flow_control=flow_control)
-    for channel, pattern in traffic.items():
-        if channel in active_channels:
-            sim.set_traffic(channel, pattern)
-    return sim.run(n_slots).trace
+    if backend_factory is None:
+        backend = FlitLevelBackend(config, flow_control=flow_control)
+    else:
+        backend = backend_factory(config)
+    request = SimRequest(
+        n_slots=n_slots,
+        traffic={channel: pattern for channel, pattern in traffic.items()
+                 if channel in active_channels})
+    return backend.run(request).composability_trace()
 
 
 def compare_subsets(config: NocConfiguration,
                     traffic: dict[str, TrafficPattern],
                     scenarios: dict[str, set[str]],
-                    n_slots: int) -> list[ComposabilityReport]:
+                    n_slots: int, *,
+                    backend_factory: BackendFactory | None = None
+                    ) -> list[ComposabilityReport]:
     """Compare a full run against every scenario's restricted run.
 
     Parameters
@@ -75,12 +92,17 @@ def compare_subsets(config: NocConfiguration,
         Maps a scenario name to the set of channels active in it.  Each
         scenario is compared to the all-channels reference on the channels
         *common* to both (the survivors), which must be unaffected.
+    backend_factory:
+        Which backend to compare on (default: flit-level).  Passing the
+        best-effort backend demonstrates where isolation is lost.
     """
     all_channels = set(traffic)
-    reference = run_with_channels(config, traffic, all_channels, n_slots)
+    reference = run_with_channels(config, traffic, all_channels, n_slots,
+                                  backend_factory=backend_factory)
     reports: list[ComposabilityReport] = []
     for name, active in sorted(scenarios.items()):
-        restricted = run_with_channels(config, traffic, active, n_slots)
+        restricted = run_with_channels(config, traffic, active, n_slots,
+                                       backend_factory=backend_factory)
         compare_on = sorted(active & all_channels)
         identical = tuple(
             ch for ch in compare_on

@@ -23,42 +23,67 @@ What the flit simulator adds over pure analysis:
 
 Payload accounting is conservative (header word in every flit), matching
 the allocator; packet continuation only improves real throughput.
+
+The hot loop is organised around *flat injection-slot schedules*: the
+slot tables are compiled once into a per-table-slot list of channel
+runtime states and the per-channel arrival streams into flat arrays of
+precomputed ready-slots, so a simulated slot touches exactly the
+channels that own it instead of re-scanning every NI's table.
 """
 
 from __future__ import annotations
 
-import heapq
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from heapq import heappop, heappush
 
-from repro.core.allocation import Allocation, ChannelAllocation
+from repro.core.allocation import ChannelAllocation
 from repro.core.configuration import NocConfiguration
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.words import WordFormat
 from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
-                                       StatsCollector, TraceRecorder)
+                                       StatsCollector, TraceRecorder,
+                                       latency_digest)
 from repro.simulation.traffic import TrafficPattern
 
 __all__ = ["FlitLevelSimulator", "FlitSimResult"]
 
 
-@dataclass
-class _PendingMessage:
-    message_id: int
-    words_left: int
-    total_words: int
-    created_cycle: int
-    ready_slot: int
+class _ChannelRuntime:
+    """Per-channel state of one run, flattened for the hot loop.
 
+    Arrival events are pre-expanded into parallel flat arrays
+    (``ev_ready`` / ``ev_cycle`` / ``ev_words`` / ``ev_id``) with a
+    cursor, so readiness is a single integer compare per scheduled slot.
+    A pending message is a mutable ``[message_id, words_left,
+    total_words, created_cycle]`` list.
+    """
 
-@dataclass
-class _ChannelState:
-    alloc: ChannelAllocation
-    pattern_events: deque
-    pending: deque[_PendingMessage] = field(default_factory=deque)
-    credits_words: int | None = None
-    flits_sent: int = 0
-    stalled_slots: int = 0
+    __slots__ = ("name", "alloc", "ev_ready", "ev_cycle", "ev_words",
+                 "ev_id", "ev_pos", "ev_len", "pending", "credits_words",
+                 "flits_sent", "stalled_slots", "traversal_slots",
+                 "credit_loop_slots", "contention_keys", "injections",
+                 "deliveries", "trace_events")
+
+    def __init__(self, name: str, alloc: ChannelAllocation):
+        self.name = name
+        self.alloc = alloc
+        self.ev_ready: list[int] = []
+        self.ev_cycle: list[int] = []
+        self.ev_words: list[int] = []
+        self.ev_id: list[int] = []
+        self.ev_pos = 0
+        self.ev_len = 0
+        self.pending: deque[list[int]] = deque()
+        self.credits_words: int | None = None
+        self.flits_sent = 0
+        self.stalled_slots = 0
+        self.traversal_slots = alloc.path.traversal_slots
+        self.credit_loop_slots = 0
+        self.contention_keys: tuple[tuple[tuple[str, str], int], ...] = ()
+        self.injections: list[InjectionRecord] = []
+        self.deliveries: list[DeliveryRecord] = []
+        self.trace_events: list[tuple[int, int, int]] | None = None
 
 
 @dataclass
@@ -88,6 +113,14 @@ class FlitSimResult:
         start = int(total_ps * warmup_fraction)
         return self.stats.channel(channel).throughput_bytes_per_s(
             start, total_ps)
+
+    def summary(self) -> str:
+        """One-line latency digest for logs and the REPL."""
+        return latency_digest("flit", self.stats, self.simulated_slots,
+                              "slots", self.frequency_hz)
+
+    def __repr__(self) -> str:
+        return f"FlitSimResult({self.summary()})"
 
 
 class FlitLevelSimulator:
@@ -120,46 +153,90 @@ class FlitLevelSimulator:
         if n_slots <= 0:
             raise ConfigurationError(f"n_slots must be positive, got {n_slots}")
         fmt = self.fmt
+        flit_size = fmt.flit_size
+        payload_per_flit = fmt.payload_words_per_flit
+        bytes_per_word = fmt.bytes_per_word
         period_ps = round(1e12 / self.frequency_hz)
-        horizon_cycles = n_slots * fmt.flit_size
+        table_size = self.table_size
+        check_contention = self.check_contention
         stats = StatsCollector()
         trace = TraceRecorder()
 
-        channels = self._build_channel_states(horizon_cycles)
-        # Injection schedule: per absolute slot (mod table) per NI.
-        by_ni_slot: dict[tuple[str, int], _ChannelState] = {}
+        channels = self._build_channel_states(n_slots * flit_size)
+        schedule = self._compile_schedule(channels)
         for state in channels.values():
-            for slot in state.alloc.slots:
-                by_ni_slot[(state.alloc.path.source, slot)] = state
-        ni_names = sorted({s.alloc.path.source for s in channels.values()})
+            channel_stats = stats.sink(state.name)
+            state.injections = channel_stats.injections
+            state.deliveries = channel_stats.deliveries
 
         credit_returns: list[tuple[int, str, int]] = []  # (slot, ch, words)
         occupancy: dict[tuple[tuple[str, str], int], str] = {}
+        injection_record = InjectionRecord
+        delivery_record = DeliveryRecord
 
         for abs_slot in range(n_slots):
-            table_slot = abs_slot % self.table_size
             # Release credits that completed their loop.
             while credit_returns and credit_returns[0][0] <= abs_slot:
-                _, ch_name, words = heapq.heappop(credit_returns)
+                _, ch_name, words = heappop(credit_returns)
                 state = channels[ch_name]
                 if state.credits_words is not None:
                     state.credits_words += words
-            for ni in ni_names:
-                state = by_ni_slot.get((ni, table_slot))
-                if state is None:
+            for state in schedule[abs_slot % table_size]:
+                # Move arrivals whose ready slot has passed into the queue.
+                pos = state.ev_pos
+                if pos < state.ev_len and state.ev_ready[pos] <= abs_slot:
+                    pending_append = state.pending.append
+                    ev_ready = state.ev_ready
+                    while pos < state.ev_len and ev_ready[pos] <= abs_slot:
+                        pending_append([state.ev_id[pos],
+                                        state.ev_words[pos],
+                                        state.ev_words[pos],
+                                        state.ev_cycle[pos]])
+                        pos += 1
+                    state.ev_pos = pos
+                pending = state.pending
+                if not pending:
                     continue
-                self._ready_messages(state, abs_slot, fmt)
-                if not state.pending:
-                    continue
-                payload_words = min(state.pending[0].words_left,
-                                    fmt.payload_words_per_flit)
-                if state.credits_words is not None and \
-                        state.credits_words < payload_words:
+                message = pending[0]
+                words_left = message[1]
+                payload_words = (words_left if words_left < payload_per_flit
+                                 else payload_per_flit)
+                credits = state.credits_words
+                if credits is not None and credits < payload_words:
                     state.stalled_slots += 1
                     continue
-                self._inject(state, abs_slot, payload_words, fmt,
-                             period_ps, stats, trace, credit_returns,
-                             occupancy)
+                if check_contention:
+                    self._check_links(state, abs_slot, occupancy)
+                message[1] = words_left - payload_words
+                if credits is not None:
+                    state.credits_words = credits - payload_words
+                    heappush(credit_returns,
+                             (abs_slot + state.credit_loop_slots,
+                              state.name, payload_words))
+                state.flits_sent += 1
+                cycle = abs_slot * flit_size
+                state.injections.append(injection_record(
+                    channel=state.name, message_id=message[0],
+                    sequence=state.flits_sent - 1, slot_index=abs_slot,
+                    cycle=cycle, time_ps=cycle * period_ps))
+                if message[1] <= 0:
+                    pending.popleft()
+                    delivered_cycle = (abs_slot + state.traversal_slots) * \
+                        flit_size
+                    state.deliveries.append(delivery_record(
+                        channel=state.name, message_id=message[0],
+                        created_cycle=message[3],
+                        created_time_ps=message[3] * period_ps,
+                        delivered_cycle=delivered_cycle,
+                        delivered_time_ps=delivered_cycle * period_ps,
+                        payload_bytes=message[2] * bytes_per_word))
+                    trace_events = state.trace_events
+                    if trace_events is None:
+                        trace_events = trace.channel_sink(state.name)
+                        state.trace_events = trace_events
+                    trace_events.append((message[0], abs_slot,
+                                         delivered_cycle))
+        stats.prune_empty()
         return FlitSimResult(
             stats=stats, trace=trace, simulated_slots=n_slots,
             frequency_hz=self.frequency_hz, fmt=fmt,
@@ -171,77 +248,62 @@ class FlitLevelSimulator:
     # -- helpers ---------------------------------------------------------------
 
     def _build_channel_states(self, horizon_cycles: int
-                              ) -> dict[str, _ChannelState]:
-        states: dict[str, _ChannelState] = {}
+                              ) -> dict[str, _ChannelRuntime]:
+        fmt = self.fmt
+        flit_size = fmt.flit_size
+        states: dict[str, _ChannelRuntime] = {}
         for name, alloc in sorted(self.config.allocation.channels.items()):
+            state = _ChannelRuntime(name, alloc)
             pattern = self._patterns.get(name)
-            events = deque(pattern.events(horizon_cycles)) if pattern \
-                else deque()
-            credits = None
+            if pattern is not None:
+                events = pattern.events(horizon_cycles)
+                # ceil(cycle / flit_size): first slot whose boundary has
+                # passed the arrival cycle.
+                state.ev_ready = [-(-e.cycle // flit_size) for e in events]
+                state.ev_cycle = [e.cycle for e in events]
+                state.ev_words = [e.words for e in events]
+                state.ev_id = [e.message_id for e in events]
+                state.ev_len = len(events)
             if self.flow_control:
-                credits = self.rx_buffer_words or \
-                    (alloc.n_slots * self.fmt.payload_words_per_flit * 4)
-            states[name] = _ChannelState(alloc=alloc,
-                                         pattern_events=events,
-                                         credits_words=credits)
+                state.credits_words = self.rx_buffer_words or \
+                    (alloc.n_slots * fmt.payload_words_per_flit * 4)
+                state.credit_loop_slots = (alloc.path.traversal_slots * 2 +
+                                           self.table_size)
+            if self.check_contention:
+                state.contention_keys = tuple(
+                    (link.key, shift) for link, shift in
+                    zip(alloc.path.links, alloc.path.link_shifts))
+            states[name] = state
         return states
 
-    def _ready_messages(self, state: _ChannelState, abs_slot: int,
-                        fmt: WordFormat) -> None:
-        """Move pattern events whose cycle has passed into the queue."""
-        boundary_cycle = abs_slot * fmt.flit_size
-        events = state.pattern_events
-        while events and events[0].cycle <= boundary_cycle:
-            event = events.popleft()
-            ready = -(-event.cycle // fmt.flit_size)  # ceil division
-            state.pending.append(_PendingMessage(
-                message_id=event.message_id, words_left=event.words,
-                total_words=event.words, created_cycle=event.cycle,
-                ready_slot=ready))
+    def _compile_schedule(self, channels: dict[str, _ChannelRuntime]
+                          ) -> list[list[_ChannelRuntime]]:
+        """Flatten the slot tables into a per-table-slot state list.
 
-    def _inject(self, state: _ChannelState, abs_slot: int,
-                payload_words: int, fmt: WordFormat, period_ps: int,
-                stats: StatsCollector, trace: TraceRecorder,
-                credit_returns: list, occupancy: dict) -> None:
-        message = state.pending[0]
-        alloc = state.alloc
-        if self.check_contention:
-            self._check_links(alloc, abs_slot, occupancy)
-        message.words_left -= payload_words
-        if state.credits_words is not None:
-            state.credits_words -= payload_words
-            loop = (alloc.path.traversal_slots * 2 +
-                    self.table_size)  # conservative credit loop
-            heapq.heappush(credit_returns,
-                           (abs_slot + loop, alloc.spec.name, payload_words))
-        state.flits_sent += 1
-        stats.record_injection(InjectionRecord(
-            channel=alloc.spec.name, message_id=message.message_id,
-            sequence=state.flits_sent - 1, slot_index=abs_slot,
-            cycle=abs_slot * fmt.flit_size,
-            time_ps=abs_slot * fmt.flit_size * period_ps))
-        if message.words_left <= 0:
-            state.pending.popleft()
-            delivered_cycle = (abs_slot + alloc.path.traversal_slots) * \
-                fmt.flit_size
-            stats.record_delivery(DeliveryRecord(
-                channel=alloc.spec.name, message_id=message.message_id,
-                created_cycle=message.created_cycle,
-                created_time_ps=message.created_cycle * period_ps,
-                delivered_cycle=delivered_cycle,
-                delivered_time_ps=delivered_cycle * period_ps,
-                payload_bytes=message.total_words * fmt.bytes_per_word))
-            trace.record(alloc.spec.name, message.message_id, abs_slot,
-                         delivered_cycle)
+        Within a slot, states are ordered by source NI name — the same
+        deterministic order the per-NI scan used — so traces are
+        bit-identical to the pre-flattened implementation.
+        """
+        by_ni_slot: dict[tuple[str, int], _ChannelRuntime] = {}
+        for state in channels.values():
+            for slot in state.alloc.slots:
+                by_ni_slot[(state.alloc.path.source, slot)] = state
+        ni_names = sorted({s.alloc.path.source for s in channels.values()})
+        schedule: list[list[_ChannelRuntime]] = []
+        for slot in range(self.table_size):
+            row = [by_ni_slot[(ni, slot)] for ni in ni_names
+                   if (ni, slot) in by_ni_slot]
+            schedule.append(row)
+        return schedule
 
-    def _check_links(self, alloc: ChannelAllocation, abs_slot: int,
+    def _check_links(self, state: _ChannelRuntime, abs_slot: int,
                      occupancy: dict) -> None:
-        for link, shift in zip(alloc.path.links, alloc.path.link_shifts):
-            key = (link.key, abs_slot + shift)
+        name = state.name
+        for link_key, shift in state.contention_keys:
+            key = (link_key, abs_slot + shift)
             holder = occupancy.get(key)
-            if holder is not None and holder != alloc.spec.name:
+            if holder is not None and holder != name:
                 raise SimulationError(
-                    f"link {link.key} carries two flits in absolute slot "
-                    f"{abs_slot + shift}: {holder!r} and "
-                    f"{alloc.spec.name!r}")
-            occupancy[key] = alloc.spec.name
+                    f"link {link_key} carries two flits in absolute slot "
+                    f"{abs_slot + shift}: {holder!r} and {name!r}")
+            occupancy[key] = name

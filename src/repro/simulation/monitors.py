@@ -24,12 +24,36 @@ from typing import Iterable
 from repro.core.exceptions import SimulationError
 
 __all__ = ["InjectionRecord", "DeliveryRecord", "ChannelStats",
-           "StatsCollector", "TraceRecorder", "LatencySummary"]
+           "StatsCollector", "TraceRecorder", "LatencySummary",
+           "latency_digest"]
 
 
-@dataclass(frozen=True)
+def latency_digest(label: str, stats: "StatsCollector",
+                   simulated_slots: int, slots_unit: str,
+                   frequency_hz: float) -> str:
+    """One-line latency summary shared by every simulator's result type.
+
+    ``label`` names the producer (backend name); ``slots_unit`` is the
+    producer's time-unit noun ("slots", "ticks").
+    """
+    deliveries = stats.all_deliveries()
+    head = (f"{label}: {len(stats.channels)} channels, "
+            f"{len(deliveries)} messages over {simulated_slots} "
+            f"{slots_unit} @ {frequency_hz / 1e6:.0f} MHz")
+    if not deliveries:
+        return head + ", no deliveries"
+    s = LatencySummary.of(d.latency_ns for d in deliveries)
+    return (f"{head}; latency ns min={s.minimum:.1f} mean={s.mean:.1f} "
+            f"p50={s.p50:.1f} p99={s.p99:.1f} max={s.maximum:.1f}")
+
+
+@dataclass(slots=True)
 class InjectionRecord:
-    """One flit departure from a source NI."""
+    """One flit departure from a source NI.
+
+    A plain mutable record: the simulators emit one per flit on the hot
+    path, so construction cost matters more than immutability.
+    """
 
     channel: str
     message_id: int
@@ -39,9 +63,12 @@ class InjectionRecord:
     time_ps: int             # wall-clock time of the first word
 
 
-@dataclass(frozen=True)
+@dataclass(slots=True)
 class DeliveryRecord:
-    """Completion of one message at the destination NI."""
+    """Completion of one message at the destination NI.
+
+    Mutable for the same hot-path reason as :class:`InjectionRecord`.
+    """
 
     channel: str
     message_id: int
@@ -144,8 +171,34 @@ class StatsCollector:
         return stats
 
     def channel(self, name: str) -> ChannelStats:
-        """Stats of one channel (empty stats if nothing recorded)."""
+        """Stats of one channel (empty stats if nothing recorded).
+
+        A pure read: querying a silent channel returns a transient empty
+        view without registering it, so :attr:`channels` never grows
+        from lookups.
+        """
+        stats = self._by_channel.get(name)
+        return stats if stats is not None else ChannelStats(name)
+
+    def sink(self, name: str) -> ChannelStats:
+        """The *registered* stats of one channel, for hot-path appends.
+
+        Unlike :meth:`channel` this inserts the channel, so simulators
+        can cache the record lists and append directly; pair with
+        :meth:`prune_empty` before handing the collector out.
+        """
         return self._channel(name)
+
+    def prune_empty(self) -> None:
+        """Drop channels that never recorded anything.
+
+        Simulators that pre-register every channel for hot-path appends
+        call this before returning, so :attr:`channels` keeps its
+        contract: only channels with at least one record appear.
+        """
+        self._by_channel = {
+            name: stats for name, stats in self._by_channel.items()
+            if stats.injections or stats.deliveries}
 
     @property
     def channels(self) -> tuple[str, ...]:
@@ -178,6 +231,15 @@ class TraceRecorder:
         """Append one flit/message event to a channel's trace."""
         self._events[channel].append(
             (message_id, injection_slot, delivery_cycle))
+
+    def channel_sink(self, channel: str) -> list[tuple[int, int, int]]:
+        """The mutable event list of one channel, for hot-path appends.
+
+        Simulators may cache this list and append ``(message_id,
+        injection_slot, delivery_cycle)`` tuples directly instead of
+        paying a :meth:`record` call per delivery.
+        """
+        return self._events[channel]
 
     def trace(self, channel: str) -> tuple[tuple[int, int, int], ...]:
         """The immutable trace of one channel."""

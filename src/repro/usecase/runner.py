@@ -1,14 +1,18 @@
 """End-to-end flows for the Section VII experiments.
 
 Chains the whole design flow for the 200-connection use case —
-generate, allocate, analyse, simulate — for both networks:
+generate, allocate, analyse, simulate — for both networks.  All
+simulation goes through the :class:`~repro.simulation.backend.
+SimulationBackend` protocol, so these flows never construct a simulator
+directly and any backend (flit-level, cycle-accurate, best-effort) can
+be substituted:
 
 * :func:`configure_section7` — slot allocation at 500 MHz; the paper's
   claim is that this succeeds with every requirement guaranteed;
-* :func:`run_gs` — flit-level simulation of the aelite configuration
-  with per-connection CBR traffic at the required rates; verifies that
-  measured latencies stay within both the analytical bounds and the
-  requirements;
+* :func:`run_gs` — guaranteed-service simulation of the aelite
+  configuration with per-connection traffic at the required rates;
+  verifies that measured latencies stay within both the analytical
+  bounds and the requirements;
 * :func:`run_be` / :func:`be_frequency_sweep` — the same traffic on the
   best-effort baseline across operating frequencies; reports, per
   frequency, how many connections the measured worst-case latency
@@ -20,10 +24,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.baseline.be_network import BeNetworkSimulator, BeSimResult
 from repro.core.configuration import NocConfiguration, configure
-from repro.core.exceptions import SimulationError
-from repro.simulation.flitsim import FlitLevelSimulator, FlitSimResult
+from repro.core.exceptions import AllocationError, SimulationError
+from repro.simulation.backend import (BestEffortBackend, FlitLevelBackend,
+                                      SimRequest, SimResult,
+                                      SimulationBackend)
 from repro.simulation.traffic import (ConstantBitRate, PeriodicBurst,
                                       TrafficPattern)
 from repro.usecase.generator import Section7Instance, generate_section7
@@ -50,11 +55,13 @@ def configure_section7(instance: Section7Instance | None = None, *,
     the Æthereal tool flow, allocation failures are negotiated: the
     channel the allocator names gets its latency requirement relaxed by
     30 % (never beyond the range maximum) and allocation retries.  The
-    returned instance reflects any relaxations.
+    returned instance reflects any relaxations.  If negotiation is
+    exhausted, the raised error carries the *last* allocator failure
+    (channel name and reason) so the bottleneck is diagnosable.
     """
-    from repro.core.exceptions import AllocationError
     instance = instance or generate_section7()
     use_case = instance.use_case
+    last_failure: AllocationError | None = None
     for _ in range(max_negotiations):
         try:
             config = configure(
@@ -70,12 +77,20 @@ def configure_section7(instance: Section7Instance | None = None, *,
         except AllocationError as exc:
             if exc.channel is None:
                 raise
+            last_failure = exc
             use_case = _relax_channel(
                 use_case, exc.channel,
                 cap_ns=instance.parameters.max_latency_ns)
+    if last_failure is None:
+        raise AllocationError(
+            f"use case still infeasible after {max_negotiations} "
+            "requirement negotiations")
     raise AllocationError(
-        f"use case still infeasible after {max_negotiations} "
-        "requirement negotiations")
+        f"use case still infeasible after {max_negotiations} requirement "
+        f"negotiations; last failure on channel "
+        f"{last_failure.channel!r}: {last_failure.reason}",
+        channel=last_failure.channel,
+        reason=last_failure.reason) from last_failure
 
 
 def _relax_channel(use_case, channel_name: str, *, cap_ns: float):
@@ -83,7 +98,6 @@ def _relax_channel(use_case, channel_name: str, *, cap_ns: float):
     from dataclasses import replace
 
     from repro.core.application import Application, UseCase
-    from repro.core.exceptions import AllocationError
 
     apps = []
     found = False
@@ -97,7 +111,8 @@ def _relax_channel(use_case, channel_name: str, *, cap_ns: float):
                     raise AllocationError(
                         f"channel {channel_name!r} infeasible even at the "
                         f"range maximum of {cap_ns} ns",
-                        channel=channel_name)
+                        channel=channel_name,
+                        reason="latency cap reached during negotiation")
                 spec = replace(spec, max_latency_ns=min(
                     spec.max_latency_ns * 1.3, cap_ns))
             channels.append(spec)
@@ -105,7 +120,7 @@ def _relax_channel(use_case, channel_name: str, *, cap_ns: float):
     if not found:
         raise AllocationError(
             f"allocator failed on unknown channel {channel_name!r}",
-            channel=channel_name)
+            channel=channel_name, reason="unknown channel")
     return UseCase(use_case.name, tuple(apps))
 
 
@@ -129,7 +144,8 @@ def cbr_traffic(config: NocConfiguration, *,
 
 def burst_traffic(config: NocConfiguration, *,
                   frequency_hz: float | None = None,
-                  burst_messages: int = 3) -> dict[str, TrafficPattern]:
+                  burst_messages: int = 3,
+                  rate_factor: float = 1.0) -> dict[str, TrafficPattern]:
     """Bursty transaction sources at the required average rates.
 
     Each connection issues ``burst_messages`` flit-sized messages
@@ -147,7 +163,8 @@ def burst_traffic(config: NocConfiguration, *,
             sorted(config.allocation.channels.items())):
         bytes_per_burst = burst_messages * fmt.payload_bytes_per_flit
         period = max(1, round(frequency * bytes_per_burst /
-                              ca.spec.throughput_bytes_per_s))
+                              (ca.spec.throughput_bytes_per_s *
+                               rate_factor)))
         patterns[name] = PeriodicBurst(
             burst_messages, fmt.payload_words_per_flit, period,
             offset_cycles=(index * 13) % 97)
@@ -175,8 +192,8 @@ def service_latencies_ns(stats, channel: str) -> list[float]:
     previous_injection: int | None = None
     for record in deliveries:
         ready = record.created_time_ps
-        if previous_injection is not None:
-            ready = max(ready, previous_injection)
+        if previous_injection is not None and previous_injection > ready:
+            ready = previous_injection
         latencies.append((record.delivered_time_ps - ready) / 1000.0)
         previous_injection = injections.get(record.message_id,
                                             previous_injection)
@@ -187,7 +204,7 @@ def service_latencies_ns(stats, channel: str) -> list[float]:
 class GsOutcome:
     """Result of the guaranteed-service run."""
 
-    result: FlitSimResult
+    result: SimResult
     n_connections: int
     n_measured: int
     n_latency_ok: int
@@ -206,17 +223,19 @@ class GsOutcome:
 
 
 def run_gs(config: NocConfiguration, *, n_slots: int = 4000,
-           traffic: dict[str, TrafficPattern] | None = None) -> GsOutcome:
+           traffic: dict[str, TrafficPattern] | None = None,
+           backend: SimulationBackend | None = None) -> GsOutcome:
     """Simulate aelite under the use-case traffic and check guarantees.
 
     Checks measured *service* latencies (see :func:`service_latencies_ns`)
     against both the per-connection requirement and the analytical bound.
+    ``backend`` substitutes any GS-capable backend for the default
+    flit-level one (e.g. the cycle-accurate model for a slow ground-truth
+    pass).
     """
     traffic = traffic or burst_traffic(config)
-    sim = FlitLevelSimulator(config)
-    for name, pattern in traffic.items():
-        sim.set_traffic(name, pattern)
-    result = sim.run(n_slots)
+    backend = backend or FlitLevelBackend(config)
+    result = backend.run(SimRequest(n_slots=n_slots, traffic=traffic))
     bounds = config.bounds()
     n_measured = n_ok = n_bound = 0
     worst_margin = float("inf")
@@ -248,7 +267,7 @@ class BeOutcome:
     """Result of one best-effort run at one frequency."""
 
     frequency_hz: float
-    result: BeSimResult
+    result: SimResult
     n_connections: int
     n_measured: int
     n_latency_ok: int
@@ -272,11 +291,9 @@ def run_be(config: NocConfiguration, *, frequency_hz: float,
     excluded, contention with other channels is in.
     """
     traffic = traffic or burst_traffic(config, frequency_hz=frequency_hz)
-    sim = BeNetworkSimulator(config, frequency_hz=frequency_hz,
-                             buffer_flits=buffer_flits)
-    for name, pattern in traffic.items():
-        sim.set_traffic(name, pattern)
-    result = sim.run(n_ticks)
+    backend = BestEffortBackend(config, buffer_flits=buffer_flits)
+    result = backend.run(SimRequest(n_slots=n_ticks, traffic=traffic,
+                                    frequency_hz=frequency_hz))
     n_measured = n_ok = 0
     latencies: list[float] = []
     worst = 0.0

@@ -121,6 +121,33 @@ class TestRunners:
             assert offered / seconds == pytest.approx(
                 ca.spec.throughput_bytes_per_s, rel=0.06)
 
+    def test_zero_negotiations_raises_allocation_error(self):
+        """max_negotiations=0 degrades to a plain AllocationError."""
+        from repro.core.exceptions import AllocationError
+        params = Section7Parameters(seed=7,
+                                    connections_per_application=12,
+                                    n_ips=40)
+        instance = generate_section7(params)
+        with pytest.raises(AllocationError):
+            configure_section7(instance, max_negotiations=0)
+
+    def test_exhausted_negotiation_names_last_failure(self):
+        """An exhausted negotiation surfaces channel name and reason."""
+        from repro.core.exceptions import AllocationError
+        params = Section7Parameters(seed=7,
+                                    connections_per_application=12,
+                                    n_ips=40)
+        instance = generate_section7(params)
+        with pytest.raises(AllocationError) as excinfo:
+            # 120 MHz is far below feasibility for this instance, so
+            # negotiation relaxes a few channels and then gives up.
+            configure_section7(instance, frequency_hz=120e6,
+                               max_negotiations=2)
+        error = excinfo.value
+        assert "last failure on channel" in str(error)
+        assert error.channel is not None
+        assert error.reason
+
     def test_empty_sweep_rejected(self, section7_small):
         from repro.core.exceptions import SimulationError
         _, config = section7_small
