@@ -21,6 +21,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--campaign-smoke", action="store_true", default=False,
         help="run the 4-scenario micro-campaign smoke benchmark "
              "(tier-2; exercises every backend plus the parallel pool)")
+    parser.addoption(
+        "--service-churn", action="store_true", default=False,
+        help="run the session-churn service benchmark on the Section "
+             "VII mesh (tier-2; asserts >= 10k session events/sec on "
+             "the warm admission path)")
 
 from repro.core.application import Application, UseCase
 from repro.core.configuration import configure

@@ -23,9 +23,13 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.usecase` — the Section VII 200-connection use case;
 * :mod:`repro.experiments` — one module per paper figure/table;
 * :mod:`repro.campaign` — declarative scenario campaigns (topology ×
-  traffic × backend/clocking × seed grids) executed over a
-  multiprocessing pool with deterministic, byte-stable JSON reports
-  (``python -m repro campaign --demo``).
+  traffic × backend/clocking × seed grids, plus ``mode="serve"`` churn
+  scenarios) executed over a multiprocessing pool with deterministic,
+  byte-stable JSON reports (``python -m repro campaign --demo``);
+* :mod:`repro.service` — the online NoC control plane: admission-
+  controlled session churn over a live allocation, with per-accept
+  analytical bound quotes and the composability invariant re-checked
+  on every transition (``python -m repro serve --demo``).
 """
 
 from __future__ import annotations

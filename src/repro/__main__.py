@@ -1,4 +1,4 @@
-"""Command-line entry point: figures, tables and scenario campaigns.
+"""Command-line entry point: figures, tables, campaigns, and the service.
 
 Usage::
 
@@ -11,16 +11,17 @@ Usage::
     python -m repro ablations     # design-choice ablations
     python -m repro all           # everything above
     python -m repro campaign ...  # scenario-campaign engine (below)
+    python -m repro serve ...     # online admission service (below)
 
 Running campaigns
 -----------------
 
 The ``campaign`` subcommand drives the :mod:`repro.campaign` engine: a
 declarative grid of scenarios (topology × traffic mix × backend/clocking
-scheme × seed grid) fanned out over worker processes, aggregated into
-one deterministic JSON report::
+scheme × seed grid, including service-churn scenarios) fanned out over
+worker processes, aggregated into one deterministic JSON report::
 
-    python -m repro campaign --demo               # built-in 16-run grid
+    python -m repro campaign --demo               # built-in 18-run grid
     python -m repro campaign --demo --workers 4   # wider pool
     python -m repro campaign --demo --output report.json
     python -m repro campaign --demo --list        # show the grid, don't run
@@ -28,6 +29,21 @@ one deterministic JSON report::
 Serial and parallel executions produce byte-identical reports; ``--demo``
 verifies that on every invocation by running both and comparing.  Use
 ``repro.campaign.scenario_grid`` from Python to build custom grids.
+
+Running the admission service
+-----------------------------
+
+The ``serve`` subcommand drives the :mod:`repro.service` control plane
+over a seeded churn trace on the Section VII mesh::
+
+    python -m repro serve --demo                  # 2000-event trace
+    python -m repro serve --demo --events 200     # shorter trace (CI)
+    python -m repro serve --demo --output report.json
+
+The demo replays the identical trace twice and verifies the canonical
+JSON reports are byte-identical; every accepted session's record carries
+its analytical latency/throughput bound quote, and the composability
+invariant is re-checked after every transition.
 """
 
 from __future__ import annotations
@@ -141,9 +157,14 @@ def _campaign(args: argparse.Namespace) -> int:
     runs = spec.expand()
     if args.list:
         print(format_table(
-            [{"run": r.run_id, "backend": r.scenario.backend,
+            [{"run": r.run_id,
+              "backend": (r.scenario.backend
+                          if r.scenario.mode == "simulate" else "serve"),
               "topology": r.scenario.topology.label,
-              "traffic": r.scenario.traffic.pattern,
+              "traffic": (r.scenario.traffic.pattern
+                          if r.scenario.mode == "simulate"
+                          else (r.scenario.churn.label
+                                if r.scenario.churn else "churn")),
               "n_slots": r.scenario.n_slots} for r in runs],
             title=f"campaign {spec.name!r} — {len(runs)} runs"))
         return 0
@@ -168,6 +189,36 @@ def _campaign(args: argparse.Namespace) -> int:
     else:
         print("\n" + result.to_json())
     return 0 if agree else 1
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service import run_demo
+    if not args.demo:
+        print("serve: only the built-in --demo trace is runnable from "
+              "the CLI; drive custom workloads with repro.service in "
+              "Python", file=sys.stderr)
+        return 2
+    report, identical = run_demo(n_events=args.events, seed=args.seed)
+    print(format_table(
+        report.summary_rows(),
+        title=f"serve demo — {report.totals['n_events']} events on "
+              f"{report.topology} (accept rate "
+              f"{report.totals['accept_rate']:.1%})"))
+    invariant_ok = bool(report.invariant["ok"])
+    print(f"\ncomposability invariant held across "
+          f"{report.invariant['transitions_checked']} transitions: "
+          f"{'yes' if invariant_ok else 'NO — ISOLATION BUG'}")
+    print(f"repeated-run reports byte-identical: "
+          f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    timing = report.timing
+    print(f"throughput: {timing['events_per_s']:,.0f} events/s "
+          f"(admission mean {timing.get('admit_mean_us', 0.0):.1f} us, "
+          f"p99 {timing.get('admit_p99_us', 0.0):.1f} us) "
+          "[wall-clock; excluded from the canonical report]")
+    if args.output:
+        report.write(args.output)
+        print(f"canonical JSON report written to {args.output}")
+    return 0 if (identical and invariant_ok) else 1
 
 
 _COMMANDS = {
@@ -206,9 +257,25 @@ def main(argv: list[str] | None = None) -> int:
                                "instead of stdout")
     campaign.add_argument("--list", action="store_true",
                           help="print the expanded run grid and exit")
+    serve = sub.add_parser(
+        "serve", help="run the online admission service over a churn "
+                      "trace")
+    serve.add_argument("--demo", action="store_true",
+                       help="run the built-in seeded churn trace on the "
+                            "Section VII mesh (twice; verifies the "
+                            "reports are byte-identical)")
+    serve.add_argument("--events", type=int, default=2000,
+                       help="number of session events to process "
+                            "(default 2000)")
+    serve.add_argument("--seed", type=int, default=2009,
+                       help="workload seed (default 2009)")
+    serve.add_argument("--output", default=None,
+                       help="write the canonical JSON report here")
     args = parser.parse_args(argv)
     if args.experiment == "campaign":
         return _campaign(args)
+    if args.experiment == "serve":
+        return _serve(args)
     if args.experiment == "all":
         for name in ("fig5", "fig6a", "fig6b", "costs", "usecase",
                      "sweep", "ablations"):

@@ -8,7 +8,8 @@ serially or across worker processes with byte-identical aggregated
 results either way.
 """
 
-from repro.campaign.presets import demo_campaign, micro_campaign
+from repro.campaign.presets import (churn_campaign, demo_campaign,
+                                    micro_campaign)
 from repro.campaign.runner import (CampaignResult, CampaignRunner,
                                    execute_run)
 from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
@@ -19,5 +20,5 @@ __all__ = [
     "TopologySpec", "WorkloadSpec", "TrafficSpec", "ScenarioSpec",
     "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed",
     "CampaignRunner", "CampaignResult", "execute_run",
-    "demo_campaign", "micro_campaign",
+    "demo_campaign", "micro_campaign", "churn_campaign",
 ]

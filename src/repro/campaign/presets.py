@@ -9,17 +9,20 @@ from __future__ import annotations
 
 from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
                                  TrafficSpec, WorkloadSpec, scenario_grid)
+from repro.service.churn import ChurnSpec
+from repro.service.qos import QosClass
 
-__all__ = ["demo_campaign", "micro_campaign"]
+__all__ = ["demo_campaign", "micro_campaign", "churn_campaign"]
 
 
 def demo_campaign(*, n_slots: int = 600,
                   seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
     """The ``python -m repro campaign --demo`` grid.
 
-    Two topologies × two traffic mixes × two backends = 8 scenarios,
-    each across the seed grid — wide enough to exercise the pool, small
-    enough to finish in seconds.
+    Two topologies × two traffic mixes × two backends = 8 simulation
+    scenarios plus one service-churn scenario, each across the seed
+    grid — wide enough to exercise the pool and both scenario modes,
+    small enough to finish in seconds.
     """
     scenarios = scenario_grid(
         topologies={
@@ -37,6 +40,11 @@ def demo_campaign(*, n_slots: int = 600,
         },
         workload=WorkloadSpec(n_channels=6, n_ips=8),
         n_slots=n_slots, table_size=16)
+    scenarios += (ScenarioSpec(
+        name="mesh2x2-churn-serve", mode="serve",
+        topology=TopologySpec(kind="mesh", cols=2, rows=2,
+                              nis_per_router=1),
+        churn=ChurnSpec(n_sessions=150), table_size=16),)
     return CampaignSpec(name="demo", scenarios=scenarios, seeds=seeds)
 
 
@@ -65,3 +73,43 @@ def micro_campaign(*, n_slots: int = 400) -> CampaignSpec:
         ))
     return CampaignSpec(name="micro-smoke", scenarios=scenarios,
                         seeds=(1,))
+
+
+def churn_campaign(*, n_sessions: int = 400,
+                   seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
+    """A service-churn sweep: topology × arrival rate × session mix.
+
+    Every scenario runs the online control plane (``mode="serve"``)
+    over a seeded churn stream; the grid crosses the Section VII mesh
+    against a smaller mesh, slow against fast arrivals, and the default
+    mix against a bulk-heavy one — the service-side analogue of the
+    simulation demo grid.
+    """
+    topologies = {
+        "cmesh4x3": TopologySpec(kind="cmesh", cols=4, rows=3,
+                                 nis_per_router=4),
+        "mesh3x3": TopologySpec(kind="mesh", cols=3, rows=3,
+                                nis_per_router=2),
+    }
+    bulk_heavy = (
+        QosClass("video", throughput_mb_s=40.0, max_latency_ns=400.0,
+                 weight=1.0),
+        QosClass("bulk", throughput_mb_s=120.0, max_latency_ns=None,
+                 weight=3.0),
+    )
+    mixes = {"default": None,
+             "bulkheavy": bulk_heavy}
+    rates = {"slow": 1000.0, "fast": 10000.0}
+    scenarios = []
+    for topo_label, topology in sorted(topologies.items()):
+        for mix_label, classes in sorted(mixes.items()):
+            for rate_label, rate in sorted(rates.items()):
+                churn = ChurnSpec(
+                    n_sessions=n_sessions, arrival_rate_per_s=rate,
+                    **({} if classes is None else {"classes": classes}))
+                scenarios.append(ScenarioSpec(
+                    name=f"{topo_label}-{mix_label}-{rate_label}",
+                    mode="serve", topology=topology, churn=churn,
+                    table_size=32))
+    return CampaignSpec(name="churn", scenarios=tuple(scenarios),
+                        seeds=seeds)

@@ -33,11 +33,14 @@ def execute_run(run: RunSpec) -> dict[str, object]:
     Top-level (picklable) so a worker process can execute it.  The whole
     design flow happens inside: build topology, generate the seeded
     workload, allocate, attach traffic, simulate through the backend
-    protocol.  An infeasible allocation is a *result* (status
-    ``allocation_failed``), not a crash — campaigns sweep into
-    infeasible corners on purpose.
+    protocol — or, for ``mode="serve"`` scenarios, run the online
+    control plane over a seeded churn stream.  An infeasible allocation
+    is a *result* (status ``allocation_failed``), not a crash —
+    campaigns sweep into infeasible corners on purpose.
     """
     scenario = run.scenario
+    if scenario.mode == "serve":
+        return _execute_serve_run(run)
     record: dict[str, object] = {
         "run_id": run.run_id,
         "scenario": scenario.name,
@@ -75,6 +78,40 @@ def execute_run(run: RunSpec) -> dict[str, object]:
         return record
     record["status"] = "ok"
     record["result"] = result.to_record()
+    return record
+
+
+def _execute_serve_run(run: RunSpec) -> dict[str, object]:
+    """Execute one ``mode="serve"`` run: churn over the control plane."""
+    from repro.service.churn import ChurnSpec, ChurnWorkload
+    from repro.service.controller import SessionService
+
+    scenario = run.scenario
+    churn = scenario.churn or ChurnSpec()
+    record: dict[str, object] = {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "serve",
+        "topology": scenario.topology.label,
+        "churn": churn.label,
+        "table_size": scenario.table_size,
+    }
+    try:
+        topology = scenario.topology.build()
+        workload = ChurnWorkload(
+            churn, topology, derive_seed(run.run_seed, "churn", run.seed))
+        service = SessionService(
+            topology, table_size=scenario.table_size,
+            frequency_hz=scenario.frequency_mhz * 1e6,
+            name=scenario.name, seed=run.seed, record_events=False)
+        report = service.run(workload.events())
+    except (AllocationError, ConfigurationError) as exc:
+        record["status"] = "configuration_failed"
+        record["error"] = str(exc)
+        return record
+    record["status"] = "ok"
+    record["result"] = report.to_record()
     return record
 
 
@@ -121,19 +158,24 @@ class CampaignResult:
         for record in self.records:
             row: dict[str, object] = {
                 "run": record["run_id"],
-                "backend": record["backend"],
+                "backend": record.get("backend", "serve"),
                 "topology": record["topology"],
-                "traffic": record["traffic"],
+                "traffic": record.get("traffic", record.get("churn", "-")),
                 "status": record["status"],
             }
             result = record.get("result")
             if isinstance(result, dict):
-                row["messages"] = result["messages_delivered"]
-                latency = result.get("latency_ns")
-                if latency:
-                    row["p50_ns"] = latency["p50"]
-                    row["p99_ns"] = latency["p99"]
-                    row["max_ns"] = latency["max"]
+                if "totals" in result:  # serve-mode record
+                    totals = result["totals"]
+                    row["messages"] = totals["n_events"]
+                    row["accept"] = totals["accept_rate"]
+                else:
+                    row["messages"] = result["messages_delivered"]
+                    latency = result.get("latency_ns")
+                    if latency:
+                        row["p50_ns"] = latency["p50"]
+                        row["p99_ns"] = latency["p99"]
+                        row["max_ns"] = latency["max"]
             rows.append(row)
         return rows
 

@@ -25,10 +25,11 @@ from repro.core.application import Application, UseCase
 from repro.core.configuration import NocConfiguration, configure
 from repro.core.connection import MB, ChannelSpec
 from repro.core.exceptions import ConfigurationError
+from repro.service.churn import ChurnSpec
 from repro.simulation.traffic import (BernoulliMessages, Saturating,
                                       TrafficPattern)
-from repro.topology.builders import (line, mesh, ring, single_router,
-                                     torus)
+from repro.topology.builders import (concentrated_mesh, line, mesh, ring,
+                                     single_router, torus)
 from repro.topology.graph import Topology
 from repro.topology.mapping import Mapping, round_robin
 
@@ -52,7 +53,7 @@ def derive_seed(base_seed: int, *labels: object) -> int:
 class TopologySpec:
     """A named topology family plus its extent parameters."""
 
-    kind: str = "mesh"           # mesh | ring | line | torus | single
+    kind: str = "mesh"        # mesh | cmesh | ring | line | torus | single
     cols: int = 2
     rows: int = 2
     nis_per_router: int = 1
@@ -83,6 +84,9 @@ _TOPOLOGY_BUILDERS: dict[str, Callable[[TopologySpec], Topology]] = {
     "mesh": lambda s: mesh(s.cols, s.rows,
                            nis_per_router=s.nis_per_router,
                            pipeline_stages=s.pipeline_stages),
+    "cmesh": lambda s: concentrated_mesh(
+        s.cols, s.rows, nis_per_router=s.nis_per_router,
+        pipeline_stages=s.pipeline_stages),
     "torus": lambda s: torus(s.cols, s.rows,
                              nis_per_router=s.nis_per_router,
                              pipeline_stages=s.pipeline_stages),
@@ -189,7 +193,17 @@ class TrafficSpec:
 
 @dataclass(frozen=True)
 class ScenarioSpec:
-    """One cell of the campaign grid (before seed expansion)."""
+    """One cell of the campaign grid (before seed expansion).
+
+    Two scenario modes share the grid machinery:
+
+    * ``mode="simulate"`` (default) — allocate a workload and drive a
+      simulation backend, as before;
+    * ``mode="serve"`` — run the online control plane
+      (:class:`~repro.service.controller.SessionService`) over a seeded
+      churn workload; ``churn`` parameterises the session stream and the
+      ``workload``/``traffic``/``backend`` axes are ignored.
+    """
 
     name: str
     topology: TopologySpec = TopologySpec()
@@ -200,9 +214,18 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
+    mode: str = "simulate"          # simulate | serve
+    churn: ChurnSpec | None = None  # serve mode only
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
+        if self.mode not in ("simulate", "serve"):
+            raise ConfigurationError(
+                f"unknown scenario mode {self.mode!r}; expected "
+                "'simulate' or 'serve'")
+        if self.churn is not None and self.mode != "serve":
+            raise ConfigurationError(
+                "churn spec only applies to mode='serve' scenarios")
         if self.backend not in available_backends():
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of "

@@ -37,12 +37,14 @@ from repro.core.connection import ChannelSpec
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.core.path import Path
 from repro.core.requirements import slots_for_channel
-from repro.core.slot_table import (SlotTable, shifted, spread_slots,
+from repro.core.slot_table import (SlotTable, mask_to_slots, rotate_mask,
+                                   shifted, spread_slots,
                                    worst_case_wait_slots)
 from repro.core.words import WordFormat
 from repro.topology.graph import Topology
 from repro.topology.mapping import Mapping
-from repro.topology.routing import candidate_paths
+from repro.topology.routing import (k_shortest_paths, merge_load_aware,
+                                    weighted_shortest_path)
 
 __all__ = ["ChannelAllocation", "Allocation", "AllocatorOptions",
            "SlotAllocator"]
@@ -76,11 +78,20 @@ class ChannelAllocation:
         return worst_case_wait_slots(self.slots, table_size)
 
     def link_slots(self, table_size: int) -> dict[tuple[str, str], frozenset[int]]:
-        """Slots this channel occupies on each traversed link."""
+        """Slots this channel occupies on each traversed link.
+
+        Memoised per instance: the same map is consulted at commit, at
+        release, and by every full validation, and the admission service
+        does all three per session.
+        """
+        cache = self.__dict__.get("_link_slots_cache")
+        if cache is not None and cache[0] == table_size:
+            return cache[1]
         out: dict[tuple[str, str], frozenset[int]] = {}
         for link, shift in zip(self.path.links, self.path.link_shifts):
             out[link.key] = frozenset(
                 shifted(s, shift, table_size) for s in self.slots)
+        object.__setattr__(self, "_link_slots_cache", (table_size, out))
         return out
 
 
@@ -281,6 +292,17 @@ class SlotAllocator:
         self.frequency_hz = frequency_hz
         self.fmt = fmt or WordFormat()
         self.options = options or AllocatorOptions()
+        # Route candidates are a function of (src, dst) alone for a fixed
+        # topology and header format, so repeated admissions — the online
+        # service's admit/release churn in particular — reuse them instead
+        # of re-running k-shortest-paths every time.  Quotes additionally
+        # fix the requirement, making slot counts and gap constraints
+        # cacheable per (src, dst, throughput, latency) — one entry per
+        # endpoint pair and QoS class in the admission service.
+        self._kpath_cache: dict[tuple[str, str], tuple[Path, ...]] = {}
+        self._quote_cache: dict[
+            tuple[str, str, float, float | None],
+            tuple[tuple[Path, int, int | None], ...]] = {}
 
     # -- public API -----------------------------------------------------------
 
@@ -345,6 +367,50 @@ class SlotAllocator:
 
         return sorted(channels, key=tightness)
 
+    def shortest_candidates(self, src_ni: str, dst_ni: str
+                            ) -> tuple[Path, ...]:
+        """Cached k-shortest candidate routes (header-encodable only).
+
+        Load-agnostic, so the result depends on the topology alone and is
+        memoised for the lifetime of the allocator.  May be empty when no
+        route fits in the header's hop budget.
+        """
+        key = (src_ni, dst_ni)
+        cached = self._kpath_cache.get(key)
+        if cached is None:
+            paths = k_shortest_paths(self.topology, src_ni, dst_ni,
+                                     self.options.path_candidates)
+            cached = tuple(p for p in paths
+                           if len(p.out_ports) <= self.fmt.max_hops)
+            self._kpath_cache[key] = cached
+        return cached
+
+    def route_quotes(self, src_ni: str, dst_ni: str, spec: ChannelSpec
+                     ) -> tuple[tuple[Path, int, int | None], ...]:
+        """Cached ``(path, n_slots, max_gap)`` per candidate route.
+
+        The slot count and latency-gap constraint of a requirement on a
+        path do not depend on current occupancy, so for admission churn
+        they are computed once per (endpoints, requirement) and replayed.
+        Candidates whose traversal alone breaks the latency requirement
+        are dropped; the result may be empty.
+        """
+        key = (src_ni, dst_ni, spec.throughput_bytes_per_s,
+               spec.max_latency_ns)
+        cached = self._quote_cache.get(key)
+        if cached is None:
+            quotes = []
+            for path in self.shortest_candidates(src_ni, dst_ni):
+                try:
+                    n, gap = slots_for_channel(spec, path, self.table_size,
+                                               self.frequency_hz, self.fmt)
+                except AllocationError:
+                    continue
+                quotes.append((path, n, gap))
+            cached = tuple(quotes)
+            self._quote_cache[key] = cached
+        return cached
+
     def _candidates(self, spec: ChannelSpec, mapping: Mapping,
                     allocation: Allocation | None) -> list[Path]:
         src_ni = mapping.ni_of(spec.src_ip)
@@ -353,7 +419,7 @@ class SlotAllocator:
             raise ConfigurationError(
                 f"channel {spec.name!r}: both endpoints map to NI "
                 f"{src_ni!r}; NI-local communication does not use the NoC")
-        weight = None
+        usable = list(self.shortest_candidates(src_ni, dst_ni))
         if self.options.load_aware_path and allocation is not None:
             tables = allocation.link_tables
 
@@ -361,11 +427,10 @@ class SlotAllocator:
                 table = tables.get(key)
                 return 4.0 * table.utilisation() if table is not None else 0.0
 
-        paths = candidate_paths(self.topology, src_ni, dst_ni,
-                                k=self.options.path_candidates,
-                                link_weight=weight)
-        # Paths longer than the header can encode are unusable.
-        usable = [p for p in paths if len(p.out_ports) <= self.fmt.max_hops]
+            weighted = weighted_shortest_path(self.topology, src_ni, dst_ni,
+                                              weight)
+            if len(weighted.out_ports) <= self.fmt.max_hops:
+                merge_load_aware(usable, weighted)
         if not usable:
             raise AllocationError(
                 f"channel {spec.name!r}: no route from {src_ni!r} to "
@@ -373,17 +438,26 @@ class SlotAllocator:
                 channel=spec.name, reason="path too long for header")
         return usable
 
+    def free_injection_mask(self, allocation: Allocation,
+                            path: Path) -> int:
+        """Bitmask of injection slots free on every link of ``path``.
+
+        Each link's free mask is rotated back by the link's slot shift and
+        intersected — the whole contention check is one AND per link.
+        """
+        size = self.table_size
+        mask = (1 << size) - 1
+        for link, shift in zip(path.links, path.link_shifts):
+            mask &= rotate_mask(allocation.link_tables[link.key].free_mask,
+                                shift, size)
+            if not mask:
+                break
+        return mask
+
     def _free_injection_slots(self, allocation: Allocation,
                               path: Path) -> set[int]:
         """Injection slots free on every link of ``path`` after shifting."""
-        size = self.table_size
-        free: set[int] = set(range(size))
-        for link, shift in zip(path.links, path.link_shifts):
-            table = allocation.link_tables[link.key]
-            free = {s for s in free if table.is_free(shifted(s, shift, size))}
-            if not free:
-                break
-        return free
+        return set(mask_to_slots(self.free_injection_mask(allocation, path)))
 
     def _allocate_one(self, allocation: Allocation, spec: ChannelSpec,
                       mapping: Mapping) -> ChannelAllocation:

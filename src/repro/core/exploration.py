@@ -27,16 +27,18 @@ from repro.topology.mapping import Mapping
 __all__ = ["min_feasible_frequency", "TableSizeResult", "table_size_scan"]
 
 
-def _feasible(topology: Topology, use_case: UseCase, mapping: Mapping,
-              table_size: int, frequency_hz: float,
-              fmt: WordFormat) -> bool:
+def _probe(topology: Topology, use_case: UseCase, mapping: Mapping,
+           table_size: int, frequency_hz: float,
+           fmt: WordFormat) -> AllocationError | None:
+    """``None`` when the use case allocates with all requirements met;
+    otherwise the allocator's failure (carrying channel and reason)."""
     try:
         configure(topology, use_case, table_size=table_size,
                   frequency_hz=frequency_hz, fmt=fmt, mapping=mapping,
                   require_met=True)
-        return True
-    except AllocationError:
-        return False
+        return None
+    except AllocationError as exc:
+        return exc
 
 
 def min_feasible_frequency(topology: Topology, use_case: UseCase,
@@ -48,7 +50,10 @@ def min_feasible_frequency(topology: Topology, use_case: UseCase,
     """Lowest frequency at which every requirement is guaranteed.
 
     Binary search over the operating frequency; raises
-    :class:`AllocationError` when even ``high_hz`` is insufficient.
+    :class:`AllocationError` when even ``high_hz`` is insufficient — the
+    raised error surfaces the allocator's last failure (channel name and
+    reason), mirroring the Section VII negotiation loop, so the bottleneck
+    channel is diagnosable instead of just "infeasible".
     Feasibility is monotone in frequency for a fixed workload (higher
     frequency shortens slots and raises per-slot bandwidth), which the
     search relies on.
@@ -56,16 +61,22 @@ def min_feasible_frequency(topology: Topology, use_case: UseCase,
     fmt = fmt or WordFormat()
     if low_hz <= 0 or high_hz <= low_hz or tolerance_hz <= 0:
         raise ConfigurationError("invalid search interval")
-    if not _feasible(topology, use_case, mapping, table_size, high_hz,
-                     fmt):
+    failure = _probe(topology, use_case, mapping, table_size, high_hz, fmt)
+    if failure is not None:
         raise AllocationError(
-            f"use case infeasible even at {high_hz / 1e6:.0f} MHz")
-    if _feasible(topology, use_case, mapping, table_size, low_hz, fmt):
+            f"use case infeasible even at {high_hz / 1e6:.0f} MHz; "
+            f"last failure on channel {failure.channel!r}: "
+            f"{failure.reason}",
+            channel=failure.channel,
+            reason=failure.reason) from failure
+    if _probe(topology, use_case, mapping, table_size, low_hz,
+              fmt) is None:
         return low_hz
     lo, hi = low_hz, high_hz
     while hi - lo > tolerance_hz:
         mid = (lo + hi) / 2
-        if _feasible(topology, use_case, mapping, table_size, mid, fmt):
+        if _probe(topology, use_case, mapping, table_size, mid,
+                  fmt) is None:
             hi = mid
         else:
             lo = mid

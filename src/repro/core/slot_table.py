@@ -14,7 +14,12 @@ This module provides:
 * :class:`SlotTable` — an ownership map from slot to channel, used both for
   NI injection tables and per-link occupancy accounting in the allocator;
 * gap/wait analysis used by the latency bound (:mod:`repro.core.analysis`);
-* :func:`spread_slots` — the equidistant slot-choice heuristic.
+* :func:`spread_slots` — the equidistant slot-choice heuristic;
+* bitmask slot arithmetic (:func:`slots_to_mask` / :func:`mask_to_slots` /
+  :func:`rotate_mask`) and :func:`choose_slots_fast` — the integer-mask
+  representation the allocation hot path and the online admission service
+  (:mod:`repro.service`) use to intersect per-link occupancy in a handful
+  of machine ops instead of per-slot set operations.
 """
 
 from __future__ import annotations
@@ -32,6 +37,10 @@ __all__ = [
     "max_consecutive_gap",
     "spread_slots",
     "ideal_positions",
+    "slots_to_mask",
+    "mask_to_slots",
+    "rotate_mask",
+    "choose_slots_fast",
 ]
 
 
@@ -45,6 +54,71 @@ def shifted(slot: int, shift: int, size: int) -> int:
 def shifted_slots(slots: Iterable[int], shift: int, size: int) -> frozenset[int]:
     """Shift a whole reservation set by ``shift`` slots (cyclically)."""
     return frozenset(shifted(s, shift, size) for s in slots)
+
+
+def slots_to_mask(slots: Iterable[int], size: int) -> int:
+    """Pack a slot set into an integer bitmask (bit ``s`` = slot ``s``)."""
+    mask = 0
+    for s in slots:
+        if not 0 <= s < size:
+            raise ConfigurationError(f"slot {s} outside table of size {size}")
+        mask |= 1 << s
+    return mask
+
+
+def mask_to_slots(mask: int) -> tuple[int, ...]:
+    """Unpack a bitmask into its slot numbers, ascending."""
+    out: list[int] = []
+    while mask:
+        low = mask & -mask
+        out.append(low.bit_length() - 1)
+        mask ^= low
+    return tuple(out)
+
+
+def rotate_mask(mask: int, shift: int, size: int) -> int:
+    """Cyclic rotation such that bit ``s`` of the result is bit
+    ``(s + shift) % size`` of ``mask``.
+
+    This is the bitmask form of un-shifting a link occupancy back to
+    injection slots: a link whose free slots are ``mask`` admits injection
+    in exactly the slots of ``rotate_mask(mask, shift, size)`` when the
+    link sits ``shift`` slots downstream of the NI.
+    """
+    if size <= 0:
+        raise ConfigurationError(f"slot table size must be positive, got {size}")
+    shift %= size
+    if not shift:
+        return mask
+    full = (1 << size) - 1
+    return ((mask >> shift) | (mask << (size - shift))) & full
+
+
+def choose_slots_fast(free: Iterable[int], n: int, size: int,
+                      max_gap: int | None = None) -> tuple[int, ...] | None:
+    """Single-anchor variant of :func:`spread_slots` for the admission
+    hot path.
+
+    :func:`spread_slots` anchors its equidistant template at *every* free
+    slot and keeps the best — optimal spreading, but O(|free|²·n), which
+    dominates per-admission cost in the online service.  This variant
+    anchors only at the first free slot (deterministic), then falls back
+    to the same gap-filling step when a ``max_gap`` constraint is not yet
+    met.  Slot choices may differ from :func:`spread_slots`, but every
+    returned reservation honours the same constraints, so the quoted
+    bounds remain guarantees.
+    """
+    free_sorted = sorted(set(free))
+    if n <= 0:
+        raise AllocationError(f"cannot reserve {n} slots")
+    if len(free_sorted) < n:
+        return None
+    chosen = _assign_near_ideal(free_sorted, n, size, free_sorted[0])
+    if chosen is None:
+        return None
+    if max_gap is not None and max_consecutive_gap(chosen, size) > max_gap:
+        chosen = _fill_gaps(chosen, free_sorted, size, max_gap)
+    return chosen
 
 
 def max_consecutive_gap(slots: Iterable[int], size: int) -> int:
@@ -203,9 +277,14 @@ class SlotTable:
 
     Both roles need the same operations: reserve, release, query, and
     iterate.  Slot numbers are always in ``range(size)``.
+
+    Occupancy is mirrored in an integer bitmask (bit ``s`` set = slot ``s``
+    reserved) so free/reserved queries and the allocator's per-link
+    intersections cost a few machine ops instead of a table scan.  The
+    owner map stays authoritative; the mask is pure acceleration.
     """
 
-    __slots__ = ("_size", "_owners")
+    __slots__ = ("_size", "_owners", "_mask", "_full")
 
     def __init__(self, size: int,
                  reservations: Mapping[int, str] | None = None):
@@ -214,6 +293,8 @@ class SlotTable:
                 f"slot table size must be positive, got {size}")
         self._size = size
         self._owners: dict[int, str] = {}
+        self._mask = 0
+        self._full = (1 << size) - 1
         if reservations:
             for slot, owner in reservations.items():
                 self.reserve(slot, owner)
@@ -233,11 +314,21 @@ class SlotTable:
     def is_free(self, slot: int) -> bool:
         """True when no channel has reserved ``slot``."""
         self._check_slot(slot)
-        return slot not in self._owners
+        return not self._mask >> slot & 1
+
+    @property
+    def occupancy_mask(self) -> int:
+        """Bitmask of reserved slots (bit ``s`` set = slot ``s`` taken)."""
+        return self._mask
+
+    @property
+    def free_mask(self) -> int:
+        """Bitmask of unreserved slots (complement of the occupancy)."""
+        return ~self._mask & self._full
 
     def free_slots(self) -> frozenset[int]:
         """All currently unreserved slots."""
-        return frozenset(s for s in range(self._size) if s not in self._owners)
+        return frozenset(mask_to_slots(self.free_mask))
 
     def reserved_slots(self, owner: str | None = None) -> frozenset[int]:
         """Slots reserved by ``owner`` (or by anyone if ``owner`` is None)."""
@@ -280,6 +371,7 @@ class SlotTable:
                 f"slot {slot} already reserved by {current!r}",
                 channel=owner, reason="slot conflict")
         self._owners[slot] = owner
+        self._mask |= 1 << slot
 
     def reserve_all(self, slots: Iterable[int], owner: str) -> None:
         """Reserve several slots atomically (rolls back on conflict)."""
@@ -293,17 +385,20 @@ class SlotTable:
         except AllocationError:
             for slot in taken:
                 del self._owners[slot]
+                self._mask &= ~(1 << slot)
             raise
 
     def release(self, slot: int) -> None:
         """Free one slot (idempotent)."""
         self._check_slot(slot)
-        self._owners.pop(slot, None)
+        if self._owners.pop(slot, None) is not None:
+            self._mask &= ~(1 << slot)
 
     def release_owner(self, owner: str) -> None:
         """Free every slot held by ``owner``."""
         for slot in [s for s, o in self._owners.items() if o == owner]:
             del self._owners[slot]
+            self._mask &= ~(1 << slot)
 
     def copy(self) -> "SlotTable":
         """Independent copy (used for what-if allocation)."""

@@ -1,0 +1,37 @@
+"""Online NoC control plane: admission-controlled session churn.
+
+The static design flow (:mod:`repro.core`) answers "can this use case be
+allocated?" once; this package answers it continuously, for a stream of
+millions of user sessions opening and closing against a live network:
+
+* :mod:`repro.service.qos` — per-class session requirements;
+* :mod:`repro.service.churn` — seeded Poisson/heavy-tail workloads;
+* :mod:`repro.service.admission` — the bitmask + candidate-cache
+  admission hot path over the existing contention-free allocator;
+* :mod:`repro.service.invariants` — the paper's composability claim
+  re-checked after every transition;
+* :mod:`repro.service.metrics` — per-event records, windowed time
+  series, deterministic JSON reports;
+* :mod:`repro.service.controller` — the event loop tying it together;
+* :mod:`repro.service.demo` — the ``python -m repro serve --demo`` flow.
+
+Churn scenarios also run inside :mod:`repro.campaign` grids (scenario
+``mode="serve"``), sweeping topology × arrival rate × session mix ×
+seed like any simulation scenario.
+"""
+
+from repro.service.admission import AdmissionController
+from repro.service.churn import (ChurnSpec, ChurnWorkload, SessionEvent,
+                                 SessionRequest)
+from repro.service.controller import SessionService
+from repro.service.demo import run_demo
+from repro.service.invariants import CompositionInvariantChecker
+from repro.service.metrics import ServiceMetrics, ServiceReport
+from repro.service.qos import DEFAULT_CLASSES, QosClass, class_by_name
+
+__all__ = [
+    "QosClass", "DEFAULT_CLASSES", "class_by_name",
+    "ChurnSpec", "ChurnWorkload", "SessionRequest", "SessionEvent",
+    "AdmissionController", "CompositionInvariantChecker",
+    "ServiceMetrics", "ServiceReport", "SessionService", "run_demo",
+]

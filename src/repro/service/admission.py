@@ -1,0 +1,145 @@
+"""The admission hot path: cached candidates, bitmask slot search.
+
+Admitting a session is the same contention-free allocation problem the
+offline :class:`~repro.core.allocation.SlotAllocator` solves, restricted
+to one channel at a time against a live allocation.  What changes is the
+cost model: the offline allocator runs once per use case, the admission
+controller runs per session event, so everything that does not depend on
+the *current* occupancy is precomputed and cached:
+
+* candidate routes come from the allocator's memoised k-shortest cache
+  (:meth:`~repro.core.allocation.SlotAllocator.shortest_candidates`);
+* per (source NI, destination NI, requirement) triple, the slot count
+  and latency-gap constraint of every candidate path are computed once
+  (:class:`_Candidate`), together with direct references to the link
+  occupancy tables the path traverses;
+* the per-admission work that remains is one AND per link over integer
+  free-slot bitmasks, a popcount, and the single-anchor spreading
+  heuristic (:func:`~repro.core.slot_table.choose_slots_fast`).
+
+Commits go through :meth:`Allocation.commit`, so the authoritative
+bookkeeping — and its rollback-on-conflict guarantee — is shared with
+the offline flow and with :class:`~repro.core.reconfiguration.
+ReconfigurationManager`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import (Allocation, ChannelAllocation,
+                                   SlotAllocator)
+from repro.core.connection import ChannelSpec
+from repro.core.exceptions import AllocationError
+from repro.core.path import Path
+from repro.core.slot_table import (SlotTable, choose_slots_fast,
+                                   mask_to_slots, rotate_mask)
+
+__all__ = ["AdmissionController"]
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """One admissible route with its precomputed slot arithmetic."""
+
+    path: Path
+    n_slots: int
+    max_gap: int | None
+    # (occupancy table, slot shift) per traversed link, resolved once so
+    # the hot loop does no dict lookups.
+    tables: tuple[tuple[SlotTable, int], ...]
+
+
+class AdmissionController:
+    """Incremental contention-free admission over one live allocation."""
+
+    def __init__(self, allocator: SlotAllocator,
+                 allocation: Allocation | None = None):
+        self.allocator = allocator
+        self.allocation = allocation or Allocation(
+            allocator.topology, allocator.table_size,
+            allocator.frequency_hz, allocator.fmt)
+        self._size = allocator.table_size
+        self._full = (1 << self._size) - 1
+        self._candidates: dict[tuple[str, str, float, float | None],
+                               tuple[_Candidate, ...]] = {}
+        self.admits = 0
+        self.rejects = 0
+        self.releases = 0
+
+    # -- hot path -------------------------------------------------------------
+
+    def admit(self, spec: ChannelSpec, src_ni: str,
+              dst_ni: str) -> ChannelAllocation:
+        """Admit one session channel; raises :class:`AllocationError`.
+
+        Tries the cached candidate routes in deterministic (shortest
+        first) order; the first route whose free-slot intersection can
+        satisfy both the slot count and the gap constraint wins and is
+        committed atomically.  A failed admission commits nothing.
+        """
+        if spec.name in self.allocation.channels:
+            raise AllocationError(
+                f"session {spec.name!r} is already admitted",
+                channel=spec.name, reason="session already admitted")
+        size = self._size
+        candidates = self._lookup(spec, src_ni, dst_ni)
+        for cand in candidates:
+            mask = self._full
+            for table, shift in cand.tables:
+                mask &= rotate_mask(table.free_mask, shift, size)
+                if not mask:
+                    break
+            if mask.bit_count() < cand.n_slots:
+                continue
+            slots = choose_slots_fast(mask_to_slots(mask), cand.n_slots,
+                                      size, max_gap=cand.max_gap)
+            if slots is None:
+                continue
+            ca = ChannelAllocation(spec=spec, path=cand.path, slots=slots)
+            self.allocation.commit(ca)
+            self.admits += 1
+            return ca
+        self.rejects += 1
+        # Distinguish transient capacity exhaustion (retry later may
+        # succeed) from requirements no route can ever meet.
+        reason = ("no candidate route has capacity" if candidates
+                  else "no route can meet the requirements")
+        raise AllocationError(
+            f"cannot admit session {spec.name!r} "
+            f"({src_ni} -> {dst_ni}, "
+            f"{spec.throughput_bytes_per_s / 1e6:.3g} MB/s): {reason}",
+            channel=spec.name, reason=reason)
+
+    def release(self, session_id: str) -> ChannelAllocation:
+        """Release one admitted session, freeing its slots everywhere."""
+        ca = self.allocation.release(session_id)
+        self.releases += 1
+        return ca
+
+    # -- cold path ------------------------------------------------------------
+
+    def _lookup(self, spec: ChannelSpec, src_ni: str,
+                dst_ni: str) -> tuple[_Candidate, ...]:
+        key = (src_ni, dst_ni, spec.throughput_bytes_per_s,
+               spec.max_latency_ns)
+        cached = self._candidates.get(key)
+        if cached is None:
+            cached = self._build_candidates(spec, src_ni, dst_ni)
+            self._candidates[key] = cached
+        return cached
+
+    def _build_candidates(self, spec: ChannelSpec, src_ni: str,
+                          dst_ni: str) -> tuple[_Candidate, ...]:
+        # Slot arithmetic comes from the allocator's cross-instance quote
+        # cache; this controller only binds the routes to its own
+        # allocation's occupancy tables.
+        out = []
+        for path, n, gap in self.allocator.route_quotes(src_ni, dst_ni,
+                                                        spec):
+            tables = tuple(
+                (self.allocation.link_tables[link.key], shift % self._size)
+                for link, shift in zip(path.links, path.link_shifts))
+            out.append(_Candidate(path=path, n_slots=n, max_gap=gap,
+                                  tables=tables))
+        return tuple(out)

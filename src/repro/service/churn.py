@@ -1,0 +1,172 @@
+"""Seeded session-churn workloads: Poisson arrivals, heavy-tailed holds.
+
+The control plane's input is a time-ordered stream of session open/close
+requests.  :class:`ChurnWorkload` generates that stream deterministically
+from a :class:`ChurnSpec` and a seed:
+
+* arrivals are a Poisson process (exponential inter-arrival times) at a
+  configurable rate — the aggregate of many independent users;
+* session durations are heavy-tailed (truncated Pareto), so most
+  sessions are short but a few pin their slots for a long time — the
+  regime that actually stresses incremental admission;
+* each session draws a QoS class from the weighted mix and a distinct
+  source/destination NI pair from the topology.
+
+Everything is derived from one ``random.Random(seed)``; the same spec,
+topology, and seed always produce the byte-identical event stream, which
+is what lets service reports be compared across commits like campaign
+reports.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.connection import ChannelSpec
+from repro.core.exceptions import ConfigurationError
+from repro.service.qos import DEFAULT_CLASSES, QosClass
+from repro.topology.graph import Topology
+
+__all__ = ["ChurnSpec", "SessionRequest", "SessionEvent", "ChurnWorkload"]
+
+
+@dataclass(frozen=True)
+class ChurnSpec:
+    """Parameters of a churn workload (plain value, picklable).
+
+    Attributes
+    ----------
+    n_sessions:
+        Sessions to generate; the event stream has up to twice as many
+        events (one open and one close per session).
+    arrival_rate_per_s:
+        Poisson arrival rate of new sessions.
+    mean_duration_s:
+        Mean session hold time (of the untruncated Pareto).
+    pareto_shape:
+        Tail index of the duration distribution (> 1 so the mean
+        exists; smaller = heavier tail).
+    max_duration_s:
+        Truncation cap on a single session's duration.
+    classes:
+        The weighted QoS mix sessions are drawn from.
+    """
+
+    n_sessions: int = 1000
+    arrival_rate_per_s: float = 5000.0
+    mean_duration_s: float = 0.02
+    pareto_shape: float = 1.5
+    max_duration_s: float = 2.0
+    classes: tuple[QosClass, ...] = DEFAULT_CLASSES
+
+    def __post_init__(self) -> None:
+        if self.n_sessions < 1:
+            raise ConfigurationError("churn needs >= 1 session")
+        if self.arrival_rate_per_s <= 0:
+            raise ConfigurationError("arrival rate must be positive")
+        if self.mean_duration_s <= 0 or self.max_duration_s <= 0:
+            raise ConfigurationError("durations must be positive")
+        if self.pareto_shape <= 1.0:
+            raise ConfigurationError(
+                "pareto_shape must exceed 1 (finite mean)")
+        if not self.classes:
+            raise ConfigurationError("churn needs at least one QoS class")
+        names = [c.name for c in self.classes]
+        if len(set(names)) != len(names):
+            raise ConfigurationError("duplicate QoS class names")
+
+    @property
+    def label(self) -> str:
+        """Compact identifier used in run ids and reports."""
+        return (f"churn{self.n_sessions}"
+                f"r{self.arrival_rate_per_s:g}"
+                f"d{self.mean_duration_s:g}")
+
+
+@dataclass(frozen=True)
+class SessionRequest:
+    """One user session: who talks to whom, how, and for how long."""
+
+    session_id: str
+    qos: QosClass
+    src_ni: str
+    dst_ni: str
+    arrival_s: float
+    duration_s: float
+
+    @property
+    def departure_s(self) -> float:
+        """Instant the session closes (if admitted)."""
+        return self.arrival_s + self.duration_s
+
+    def channel_spec(self) -> ChannelSpec:
+        """The allocator-facing channel of this session."""
+        return self.qos.channel_spec(self.session_id, self.src_ni,
+                                     self.dst_ni)
+
+
+@dataclass(frozen=True)
+class SessionEvent:
+    """One control-plane request: open or close a session."""
+
+    time_s: float
+    kind: str  # "open" | "close"
+    session: SessionRequest
+
+
+class ChurnWorkload:
+    """Deterministic event stream over one topology.
+
+    Generation is eager (sessions are materialised on construction) so
+    the same workload object can be replayed against several service
+    instances — the determinism check replays the identical stream.
+    """
+
+    def __init__(self, spec: ChurnSpec, topology: Topology, seed: int):
+        nis = list(topology.nis)
+        if len(nis) < 2:
+            raise ConfigurationError(
+                f"churn needs >= 2 NIs; topology {topology.name!r} "
+                f"has {len(nis)}")
+        self.spec = spec
+        self.topology = topology
+        self.seed = seed
+        self.sessions = self._generate(nis)
+
+    def _generate(self, nis: list[str]) -> tuple[SessionRequest, ...]:
+        spec = self.spec
+        rng = random.Random(self.seed)
+        names = list(spec.classes)
+        weights = [c.weight for c in names]
+        # Truncated Pareto: scale so the *untruncated* mean matches.
+        shape = spec.pareto_shape
+        scale = spec.mean_duration_s * (shape - 1.0) / shape
+        clock = 0.0
+        sessions = []
+        for index in range(spec.n_sessions):
+            clock += rng.expovariate(spec.arrival_rate_per_s)
+            qos = rng.choices(names, weights)[0]
+            src, dst = rng.sample(nis, 2)
+            duration = min(scale * (1.0 - rng.random()) ** (-1.0 / shape),
+                           spec.max_duration_s)
+            sessions.append(SessionRequest(
+                session_id=f"s{index:06d}", qos=qos, src_ni=src,
+                dst_ni=dst, arrival_s=clock, duration_s=duration))
+        return tuple(sessions)
+
+    def events(self, limit: int | None = None) -> tuple[SessionEvent, ...]:
+        """The time-ordered open/close stream (optionally truncated).
+
+        Closes sort before opens at equal instants so slots freed by a
+        departing session are available to a simultaneous arrival.
+        """
+        stream = [SessionEvent(s.arrival_s, "open", s)
+                  for s in self.sessions]
+        stream += [SessionEvent(s.departure_s, "close", s)
+                   for s in self.sessions]
+        stream.sort(key=lambda e: (e.time_s, e.kind != "close",
+                                   e.session.session_id))
+        if limit is not None:
+            stream = stream[:max(0, limit)]
+        return tuple(stream)

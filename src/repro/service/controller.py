@@ -1,0 +1,224 @@
+"""The online NoC control plane: session churn over a live allocation.
+
+:class:`SessionService` is the runtime entity the Æthereal
+reconfiguration flow assumes: it consumes a time-ordered stream of
+session open/close requests and keeps the network's TDM allocation
+consistent throughout —
+
+* **open**: the admission controller searches the cached candidate
+  routes for a contention-free reservation; on success the session is
+  *quoted* its analytical worst-case latency and guaranteed throughput
+  (:func:`~repro.core.analysis.channel_bounds`) — the paper's
+  predictability, now stamped on every accept; on failure the session
+  is rejected with the allocator's reason and the network is untouched;
+* **close**: the session's slots are released on every link it
+  traversed, immediately reusable by later arrivals;
+* after **every** transition the composability invariant is re-checked:
+  no other running session's reservations may have moved (the paper's
+  undisrupted-reconfiguration property, continuously verified under
+  churn instead of once).
+
+The run loop is deliberately synchronous and deterministic: one event
+stream in, one report out, byte-identical across repeated runs.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable
+
+from repro.core.allocation import Allocation, AllocatorOptions, SlotAllocator
+from repro.core.analysis import channel_bounds
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.words import WordFormat
+from repro.service.admission import AdmissionController
+from repro.service.churn import SessionEvent
+from repro.service.invariants import CompositionInvariantChecker
+from repro.service.metrics import ServiceMetrics, ServiceReport
+from repro.topology.graph import Topology
+
+__all__ = ["SessionService"]
+
+
+class SessionService:
+    """Admission-controlled session churn over one NoC."""
+
+    def __init__(self, topology: Topology, *,
+                 table_size: int | None = None,
+                 frequency_hz: float | None = None,
+                 fmt: WordFormat | None = None,
+                 allocator: SlotAllocator | None = None,
+                 options: AllocatorOptions | None = None,
+                 name: str = "service", seed: int = 0,
+                 window: int = 100, record_events: bool = True,
+                 validate_every: int = 512):
+        if allocator is None:
+            allocator = SlotAllocator(
+                topology,
+                table_size=32 if table_size is None else table_size,
+                frequency_hz=(500e6 if frequency_hz is None
+                              else frequency_hz),
+                fmt=fmt, options=options)
+        else:
+            # A supplied allocator (cache sharing across service
+            # instances) fixes the operating point; conflicting explicit
+            # parameters must not be silently dropped.
+            if allocator.topology is not topology:
+                raise ConfigurationError(
+                    "allocator was built for a different topology object")
+            if table_size is not None and \
+                    table_size != allocator.table_size:
+                raise ConfigurationError(
+                    f"table_size {table_size} conflicts with the supplied "
+                    f"allocator's {allocator.table_size}")
+            if frequency_hz is not None and \
+                    frequency_hz != allocator.frequency_hz:
+                raise ConfigurationError(
+                    f"frequency_hz {frequency_hz:g} conflicts with the "
+                    f"supplied allocator's {allocator.frequency_hz:g}")
+            if fmt is not None and fmt != allocator.fmt:
+                raise ConfigurationError(
+                    "fmt conflicts with the supplied allocator's format")
+            if options is not None and options != allocator.options:
+                raise ConfigurationError(
+                    "options conflict with the supplied allocator's")
+        self.name = name
+        self.seed = seed
+        self.topology = topology
+        self.allocator = allocator
+        self.admission = AdmissionController(allocator)
+        self.allocation: Allocation = self.admission.allocation
+        self.checker = CompositionInvariantChecker(
+            self.allocation, validate_every=validate_every)
+        self.metrics = ServiceMetrics(window=window,
+                                      record_events=record_events)
+        self.active: dict[str, object] = {}
+        self.peak_active = 0
+        self._last_time_s = 0.0
+
+    # -- event handling -------------------------------------------------------
+
+    def process(self, event: SessionEvent) -> None:
+        """Apply one open/close request to the live allocation."""
+        self._last_time_s = event.time_s
+        if event.kind == "open":
+            self._open(event)
+        else:
+            self._close(event)
+        if self.metrics.due_for_snapshot:
+            self.metrics.snapshot(
+                time_s=event.time_s,
+                active_sessions=len(self.active),
+                mean_link_utilisation=self.allocation
+                .mean_link_utilisation())
+
+    def _open(self, event: SessionEvent) -> None:
+        session = event.session
+        spec = session.channel_spec()
+        # Record dicts (and the bound quote they carry) are only built
+        # when per-event recording is on; campaigns and the benchmark run
+        # with record_events=False and must not pay for discarded work.
+        recording = self.metrics.record_events
+        record: dict[str, object] | None = None
+        if recording:
+            record = {
+                "event": self.metrics.n_events + 1,
+                "t_ms": round(event.time_s * 1e3, 4),
+                "kind": "open",
+                "session": session.session_id,
+                "class": session.qos.name,
+                "src": session.src_ni,
+                "dst": session.dst_ni,
+            }
+        start = time.perf_counter()
+        try:
+            ca = self.admission.admit(spec, session.src_ni,
+                                      session.dst_ni)
+        except AllocationError as exc:
+            wall = time.perf_counter() - start
+            if record is not None:
+                record["decision"] = "reject"
+                record["reason"] = exc.reason
+            accepted = False
+        else:
+            wall = time.perf_counter() - start
+            if record is not None:
+                bounds = channel_bounds(ca, self.allocator.table_size,
+                                        self.allocator.frequency_hz,
+                                        self.allocator.fmt)
+                record["decision"] = "accept"
+                record["quote"] = {
+                    "latency_bound_ns": round(bounds.latency_ns, 3),
+                    "throughput_mb_s": round(
+                        bounds.throughput_bytes_per_s / 1e6, 3),
+                    "n_slots": bounds.n_slots,
+                    "hops": len(ca.path.routers),
+                }
+            self.active[session.session_id] = ca
+            self.peak_active = max(self.peak_active, len(self.active))
+            accepted = True
+        self.checker.check_transition(session.session_id)
+        self.metrics.record_open(record, qos_name=session.qos.name,
+                                 accepted=accepted, wall_s=wall)
+
+    def _close(self, event: SessionEvent) -> None:
+        session = event.session
+        released = session.session_id in self.active
+        if released:
+            self.admission.release(session.session_id)
+            del self.active[session.session_id]
+            self.checker.check_transition(session.session_id)
+        record: dict[str, object] | None = None
+        if self.metrics.record_events:
+            record = {
+                "event": self.metrics.n_events + 1,
+                "t_ms": round(event.time_s * 1e3, 4),
+                "kind": "close",
+                "session": session.session_id,
+                "released": released,
+            }
+        self.metrics.record_close(record, released=released)
+
+    # -- batch execution ------------------------------------------------------
+
+    def run(self, events: Iterable[SessionEvent]) -> ServiceReport:
+        """Process a whole stream and aggregate the report."""
+        start = time.perf_counter()
+        for event in events:
+            self.process(event)
+        wall = time.perf_counter() - start
+        return self.report(wall_s=wall)
+
+    def report(self, *, wall_s: float = 0.0) -> ServiceReport:
+        """Aggregate the current state into a :class:`ServiceReport`."""
+        metrics = self.metrics
+        totals: dict[str, object] = {
+            "n_events": metrics.n_events,
+            "n_opens": metrics.n_opens,
+            "n_accepted": metrics.n_accepted,
+            "n_rejected": metrics.n_rejected,
+            "n_closes": metrics.n_closes,
+            "n_released": metrics.n_released,
+            "accept_rate": round(
+                metrics.n_accepted / metrics.n_opens, 4)
+            if metrics.n_opens else 1.0,
+            "active_at_end": len(self.active),
+            "peak_active": self.peak_active,
+            "final_mean_link_utilisation": round(
+                self.allocation.mean_link_utilisation(), 4),
+        }
+        report = ServiceReport(
+            service=self.name,
+            topology=self.topology.name,
+            table_size=self.allocator.table_size,
+            frequency_mhz=self.allocator.frequency_hz / 1e6,
+            seed=self.seed,
+            totals=totals,
+            per_class={k: dict(v)
+                       for k, v in sorted(metrics.per_class.items())},
+            series=list(metrics.series),
+            invariant=self.checker.final_check(),
+            events=list(metrics.events),
+        )
+        report.timing = metrics.timing(wall_s)
+        return report

@@ -1,0 +1,115 @@
+"""Continuous composability checking under churn.
+
+The paper's composability claim — starting or stopping an application
+never touches another application's reservations — is proved statically
+by :class:`~repro.core.reconfiguration.TransitionReport` for a single
+hand-written transition.  Under churn the claim must hold for *every*
+transition, so :class:`CompositionInvariantChecker` rides along with the
+admission controller and asserts, after each admit/release, that every
+other running session's reservations are bit-identical to what they were
+before the transition.
+
+Two mechanisms at two costs:
+
+* every transition: the surviving sessions' :class:`ChannelAllocation`
+  records (route and slot tuple) are compared against the checker's
+  expected map — identity first (the committed objects are frozen), with
+  a value comparison fallback so an equal-but-replaced record is not a
+  false alarm;
+* every ``validate_every`` transitions (and at the end of a run): the
+  full :meth:`Allocation.validate` re-derivation, which also catches
+  divergence between channel records and per-link occupancy tables.
+
+Violations are collected, not raised, so a run always produces a report
+whose ``invariant`` section states the verdict.
+"""
+
+from __future__ import annotations
+
+from repro.core.allocation import Allocation
+from repro.core.exceptions import AllocationError, ConfigurationError
+
+__all__ = ["CompositionInvariantChecker"]
+
+
+class CompositionInvariantChecker:
+    """Asserts per-session isolation across a stream of transitions."""
+
+    def __init__(self, allocation: Allocation, *,
+                 validate_every: int = 512):
+        if validate_every < 1:
+            raise ConfigurationError("validate_every must be >= 1")
+        self.allocation = allocation
+        self.validate_every = validate_every
+        self.transitions_checked = 0
+        self.full_validations = 0
+        self.violations: list[str] = []
+        self._expected = dict(allocation.channels)
+        self._since_validate = 0
+
+    @property
+    def ok(self) -> bool:
+        """True while no transition has disturbed a running session."""
+        return not self.violations
+
+    def check_transition(self, changed: str) -> bool:
+        """Verify isolation after a transition that touched ``changed``.
+
+        ``changed`` is the session admitted, released, or rejected; every
+        other session must be exactly as recorded.  Returns whether this
+        transition was clean, and updates the expected map to the
+        post-transition state.
+        """
+        self.transitions_checked += 1
+        actual = self.allocation.channels
+        clean = True
+        for name, expected_ca in self._expected.items():
+            if name == changed:
+                continue
+            current = actual.get(name)
+            if current is expected_ca:
+                continue
+            if (current is None
+                    or current.slots != expected_ca.slots
+                    or current.path.link_keys()
+                    != expected_ca.path.link_keys()):
+                clean = False
+                self.violations.append(
+                    f"transition on {changed!r} disturbed running "
+                    f"session {name!r}")
+        if len(actual) - (changed in actual) \
+                != len(self._expected) - (changed in self._expected):
+            for name in actual:
+                if name != changed and name not in self._expected:
+                    clean = False
+                    self.violations.append(
+                        f"transition on {changed!r} materialised "
+                        f"unexpected session {name!r}")
+        if changed in actual:
+            self._expected[changed] = actual[changed]
+        else:
+            self._expected.pop(changed, None)
+        self._since_validate += 1
+        if self._since_validate >= self.validate_every:
+            clean = self._full_validate() and clean
+        return clean
+
+    def final_check(self) -> dict[str, object]:
+        """Run a terminal full validation and return the JSON verdict."""
+        self._full_validate()
+        return {
+            "ok": self.ok,
+            "transitions_checked": self.transitions_checked,
+            "full_validations": self.full_validations,
+            "violations": list(self.violations),
+        }
+
+    def _full_validate(self) -> bool:
+        self._since_validate = 0
+        self.full_validations += 1
+        try:
+            self.allocation.validate()
+            return True
+        except AllocationError as exc:
+            self.violations.append(f"full validation failed: {exc}")
+            return False

@@ -1,0 +1,184 @@
+"""Per-event service metrics and the deterministic JSON report.
+
+The control plane records every decision it makes; the report is split
+into two layers with different determinism contracts:
+
+* the **canonical report** (:meth:`ServiceReport.to_json`) carries only
+  model-time quantities — decisions, bound quotes, utilisation, churn
+  rates derived from event timestamps — and is byte-identical across
+  repeated runs of the same workload (the same contract as campaign
+  reports);
+* **wall-clock timing** (events/second, admission latency percentiles)
+  is inherently machine-dependent, so it lives in
+  :attr:`ServiceReport.timing` and is *excluded* from the canonical
+  JSON; the CLI and the benchmark print it separately.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["ServiceMetrics", "ServiceReport"]
+
+
+def _round(value: float, digits: int = 4) -> float:
+    """Stable rounding for report floats (readability, not determinism —
+    the underlying values are already deterministic)."""
+    return round(value, digits)
+
+
+class ServiceMetrics:
+    """Accumulates per-event records and windowed time series."""
+
+    def __init__(self, *, window: int = 100, record_events: bool = True):
+        self.window = max(1, window)
+        self.record_events = record_events
+        self.events: list[dict[str, object]] = []
+        self.series: list[dict[str, object]] = []
+        self.n_events = 0
+        self.n_opens = 0
+        self.n_accepted = 0
+        self.n_rejected = 0
+        self.n_closes = 0
+        self.n_released = 0
+        self.per_class: dict[str, dict[str, int]] = {}
+        self._window_opens = 0
+        self._window_accepts = 0
+        self._window_start_s = 0.0
+        self._admit_wall_s: list[float] = []
+
+    # -- recording ------------------------------------------------------------
+
+    def record_open(self, record: dict[str, object] | None, *,
+                    qos_name: str, accepted: bool, wall_s: float) -> None:
+        """Record one admission decision (``record`` is JSON-ready, or
+        ``None`` when per-event recording is off)."""
+        self.n_events += 1
+        self.n_opens += 1
+        self._window_opens += 1
+        stats = self.per_class.setdefault(
+            qos_name, {"opens": 0, "accepted": 0, "rejected": 0})
+        stats["opens"] += 1
+        if accepted:
+            self.n_accepted += 1
+            self._window_accepts += 1
+            stats["accepted"] += 1
+        else:
+            self.n_rejected += 1
+            stats["rejected"] += 1
+        self._admit_wall_s.append(wall_s)
+        if self.record_events and record is not None:
+            self.events.append(record)
+
+    def record_close(self, record: dict[str, object] | None, *,
+                     released: bool) -> None:
+        """Record one close (released or skipped)."""
+        self.n_events += 1
+        self.n_closes += 1
+        if released:
+            self.n_released += 1
+        if self.record_events and record is not None:
+            self.events.append(record)
+
+    def snapshot(self, *, time_s: float, active_sessions: int,
+                 mean_link_utilisation: float) -> None:
+        """Append one time-series point (called every ``window`` events)."""
+        span = max(time_s - self._window_start_s, 1e-12)
+        self.series.append({
+            "event": self.n_events,
+            "t_ms": _round(time_s * 1e3),
+            "active_sessions": active_sessions,
+            "mean_link_utilisation": _round(mean_link_utilisation),
+            "accept_rate_window": _round(
+                self._window_accepts / self._window_opens
+                if self._window_opens else 1.0),
+            "accept_rate_total": _round(
+                self.n_accepted / self.n_opens if self.n_opens else 1.0),
+            "churn_events_per_s": _round(self.window / span, 1),
+        })
+        self._window_opens = 0
+        self._window_accepts = 0
+        self._window_start_s = time_s
+
+    @property
+    def due_for_snapshot(self) -> bool:
+        """True when a window boundary has been reached."""
+        return self.n_events % self.window == 0
+
+    # -- wall-clock side channel ----------------------------------------------
+
+    def timing(self, wall_s: float) -> dict[str, float]:
+        """Machine-dependent figures (kept out of the canonical report)."""
+        admits = sorted(self._admit_wall_s)
+        out = {
+            "wall_s": wall_s,
+            "events_per_s": self.n_events / wall_s if wall_s > 0 else 0.0,
+        }
+        if admits:
+            out["admit_mean_us"] = 1e6 * sum(admits) / len(admits)
+            out["admit_p99_us"] = 1e6 * admits[
+                min(len(admits) - 1, int(0.99 * len(admits)))]
+        return out
+
+
+@dataclass
+class ServiceReport:
+    """The aggregated outcome of one service run."""
+
+    service: str
+    topology: str
+    table_size: int
+    frequency_mhz: float
+    seed: int
+    totals: dict[str, object]
+    per_class: dict[str, dict[str, int]]
+    series: list[dict[str, object]]
+    invariant: dict[str, object]
+    events: list[dict[str, object]] = field(default_factory=list)
+    #: Wall-clock figures; machine-dependent, never serialised.
+    timing: dict[str, float] = field(default_factory=dict)
+
+    def to_record(self) -> dict[str, object]:
+        """The canonical, deterministic JSON-ready dictionary."""
+        record: dict[str, object] = {
+            "service": self.service,
+            "topology": self.topology,
+            "table_size": self.table_size,
+            "frequency_mhz": self.frequency_mhz,
+            "seed": self.seed,
+            "totals": self.totals,
+            "per_class": self.per_class,
+            "series": self.series,
+            "invariant": self.invariant,
+        }
+        if self.events:
+            record["events"] = self.events
+        return record
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Canonical JSON: sorted keys, no wall-clock state."""
+        return json.dumps(self.to_record(), indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the canonical JSON report to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Per-class table rows for :func:`~repro.experiments.report.
+        format_table`."""
+        rows = []
+        for name in sorted(self.per_class):
+            stats = self.per_class[name]
+            rows.append({
+                "class": name,
+                "opens": stats["opens"],
+                "accepted": stats["accepted"],
+                "rejected": stats["rejected"],
+                "accept_rate": round(
+                    stats["accepted"] / stats["opens"], 3)
+                if stats["opens"] else 1.0,
+            })
+        return rows

@@ -241,8 +241,19 @@ class Topology:
                             if self.kind(n) is NodeKind.NI))
 
     def router_graph(self) -> nx.DiGraph:
-        """Subgraph induced by the routers (for path search)."""
-        return self._graph.subgraph(self.routers).copy()
+        """Subgraph induced by the routers (for path search).
+
+        Built node-by-node in sorted order rather than via ``subgraph()``:
+        networkx's induced-subgraph copy iterates a node *set*, whose order
+        depends on ``PYTHONHASHSEED``, and that order leaks into shortest-
+        path tie-breaking — allocations must not vary across processes.
+        """
+        rg = nx.DiGraph()
+        rg.add_nodes_from(self.routers)
+        for link in self.links:
+            if rg.has_node(link.src) and rg.has_node(link.dst):
+                rg.add_edge(link.src, link.dst, link=link)
+        return rg
 
     def out_port(self, src: str, dst: str) -> int:
         """Output-port index used by ``src`` to reach ``dst``."""

@@ -23,6 +23,7 @@ __all__ = [
     "xy_path",
     "k_shortest_paths",
     "weighted_shortest_path",
+    "merge_load_aware",
     "candidate_paths",
 ]
 
@@ -66,28 +67,37 @@ def k_shortest_paths(topo: Topology, src_ni: str, dst_ni: str,
                      k: int = 4) -> list[Path]:
     """Up to ``k`` loop-free shortest router paths between two NIs.
 
-    Paths are ordered by hop count (ties broken by networkx's deterministic
-    enumeration), so the first entry is always a minimal route.
+    Paths are ordered by hop count with ties broken by the router name
+    sequence.  networkx's enumeration order among equal-cost paths depends
+    on ``PYTHONHASHSEED``, so the tie group straddling the ``k``-th path is
+    collected in full (up to a generous cap) and sorted before truncation —
+    this is what makes allocations, and everything derived from them
+    (reports, admission decisions), reproducible across processes.
     """
     if k < 1:
         raise TopologyError(f"k must be >= 1, got {k}")
     src_router = topo.attached_router(src_ni)
     dst_router = topo.attached_router(dst_ni)
     rg = topo.router_graph()
-    paths: list[Path] = []
     if src_router == dst_router:
         return [make_path(topo, src_ni, [src_router], dst_ni)]
+    routes: list[list[str]] = []
+    cap = max(32, 4 * k)
     try:
         generator: Iterator[list[str]] = nx.shortest_simple_paths(
             rg, src_router, dst_router)
         for routers in generator:
-            paths.append(make_path(topo, src_ni, routers, dst_ni))
-            if len(paths) >= k:
+            if len(routes) >= k and len(routers) > len(routes[k - 1]):
+                break  # past the tie group of the k-th path
+            routes.append(routers)
+            if len(routes) >= cap:
                 break
     except nx.NetworkXNoPath:
         raise TopologyError(
             f"no router path from {src_router!r} to {dst_router!r}")
-    return paths
+    routes.sort(key=lambda r: (len(r), r))
+    return [make_path(topo, src_ni, routers, dst_ni)
+            for routers in routes[:k]]
 
 
 def weighted_shortest_path(topo: Topology, src_ni: str, dst_ni: str,
@@ -115,23 +125,36 @@ def weighted_shortest_path(topo: Topology, src_ni: str, dst_ni: str,
     return make_path(topo, src_ni, routers, dst_ni)
 
 
+def merge_load_aware(paths: list[Path], weighted: Path) -> list[Path]:
+    """Merge a load-aware route into a candidate list, in place.
+
+    The load-aware path is prepended if it is not already among the
+    candidates; otherwise the matching candidate is (stably) moved to the
+    front — either way the least-congested route is tried first.  Shared
+    by :func:`candidate_paths` and the allocator's cached candidate flow
+    so the merge rule cannot diverge.
+    """
+    keys = {p.link_keys() for p in paths}
+    if weighted.link_keys() not in keys:
+        paths.insert(0, weighted)
+    else:
+        paths.sort(key=lambda p: p.link_keys() != weighted.link_keys())
+    return paths
+
+
 def candidate_paths(topo: Topology, src_ni: str, dst_ni: str, *,
                     k: int = 4,
                     link_weight: Callable[[tuple[str, str]], float] | None = None
                     ) -> list[Path]:
-    """Candidate routes for the allocator: k-shortest plus one load-aware.
+    """Candidate routes: k-shortest plus one load-aware.
 
-    The load-aware path (when ``link_weight`` is given) is prepended if it
-    is not already among the k-shortest candidates, so the allocator tries
-    the least-congested route first.
+    Standalone variant of the allocator's cached candidate flow
+    (:meth:`~repro.core.allocation.SlotAllocator.shortest_candidates`
+    plus :func:`merge_load_aware`); note the allocator additionally
+    filters routes by the header hop budget.
     """
     paths = k_shortest_paths(topo, src_ni, dst_ni, k)
     if link_weight is not None:
         weighted = weighted_shortest_path(topo, src_ni, dst_ni, link_weight)
-        keys = {p.link_keys() for p in paths}
-        if weighted.link_keys() not in keys:
-            paths.insert(0, weighted)
-        else:
-            # Move the load-aware route to the front so it is tried first.
-            paths.sort(key=lambda p: p.link_keys() != weighted.link_keys())
+        merge_load_aware(paths, weighted)
     return paths

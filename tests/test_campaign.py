@@ -176,8 +176,10 @@ class TestExecution:
 class TestPresets:
     def test_demo_campaign_shape(self):
         spec = demo_campaign()
-        assert len(spec.scenarios) == 8
-        assert len(spec.expand()) == 16
+        assert len(spec.scenarios) == 9  # 8 simulate + 1 serve
+        assert len(spec.expand()) == 18
+        modes = {s.mode for s in spec.scenarios}
+        assert modes == {"simulate", "serve"}
 
     def test_micro_campaign_runs_clean(self):
         result = CampaignRunner(micro_campaign(n_slots=200),

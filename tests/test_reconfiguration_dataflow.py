@@ -113,6 +113,93 @@ class TestReconfiguration:
         assert manager.is_running("second")
 
 
+class TestReconfigurationInterleavings:
+    """Property tests: long randomized start/stop interleavings.
+
+    Whatever order applications come and go in, three invariants must
+    hold throughout: reservations of distinct applications are disjoint
+    (``Allocation.validate``), every transition leaves the surviving
+    applications' reservations bit-identical (``untouched``), and
+    stopping an application recovers exactly its slots.
+    """
+
+    N_STEPS = 120
+
+    def _pool(self, rng):
+        """A pool of candidate applications over a 3x3 mesh's 9 IPs."""
+        from repro.topology.builders import mesh
+        from repro.topology.mapping import round_robin
+
+        topo = mesh(3, 3, nis_per_router=1)
+        ips = [f"ip{i}" for i in range(9)]
+        mapping = round_robin(ips, topo)
+        allocator = SlotAllocator(topo, table_size=16, frequency_hz=500e6)
+        apps = []
+        for k in range(10):
+            n_channels = rng.randint(1, 3)
+            pairs = []
+            for _ in range(n_channels):
+                src, dst = rng.sample(ips, 2)
+                pairs.append((src, dst))
+            apps.append(_app(f"P{k}", pairs,
+                             rate=rng.choice([10, 25, 40, 60]) * MB))
+        return ReconfigurationManager(allocator, mapping), apps
+
+    @pytest.mark.parametrize("seed", [1, 7, 2009])
+    def test_long_interleaving_preserves_isolation(self, seed):
+        import random
+        rng = random.Random(seed)
+        manager, apps = self._pool(rng)
+        by_name = {a.name: a for a in apps}
+        link_count = len(manager.allocation.link_tables)
+
+        def total_reserved():
+            return sum(len(t.reserved_slots())
+                       for t in manager.allocation.link_tables.values())
+
+        expected_slots: dict[str, int] = {}  # app -> slots it holds
+        for step in range(self.N_STEPS):
+            running = list(manager.running_applications)
+            stoppable = [n for n in running]
+            startable = [a.name for a in apps if a.name not in running]
+            if startable and (not stoppable or rng.random() < 0.55):
+                name = rng.choice(startable)
+                before_total = total_reserved()
+                try:
+                    report = manager.start_application(by_name[name])
+                except AllocationError:
+                    # Full network: a failed start must leave no trace.
+                    assert total_reserved() == before_total
+                    manager.allocation.validate()
+                    continue
+                assert report.untouched, (
+                    f"start of {name!r} disturbed a running application "
+                    f"at step {step}")
+                expected_slots[name] = total_reserved() - before_total
+                assert expected_slots[name] > 0
+            else:
+                name = rng.choice(stoppable)
+                before_total = total_reserved()
+                report = manager.stop_application(name)
+                assert report.untouched, (
+                    f"stop of {name!r} disturbed a running application "
+                    f"at step {step}")
+                # Full slot recovery: exactly the slots the application
+                # acquired at start are freed by its stop.
+                freed = before_total - total_reserved()
+                assert freed == expected_slots.pop(name)
+            # Disjointness / bookkeeping: contention-free throughout.
+            manager.allocation.validate()
+            assert len(manager.allocation.link_tables) == link_count
+
+        for name in list(manager.running_applications):
+            manager.stop_application(name)
+            manager.allocation.validate()
+        assert total_reserved() == 0, "stopping everything must empty " \
+            "every link table"
+        assert all(r.untouched for r in manager.history)
+
+
 class TestDataflow:
     def _server(self, slots=(0, 8), table=16):
         from repro.core.path import make_path

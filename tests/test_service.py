@@ -1,0 +1,389 @@
+"""Tests for the online control plane (repro.service) and its hot path."""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.campaign import CampaignRunner, CampaignSpec, churn_campaign
+from repro.campaign.runner import execute_run
+from repro.campaign.spec import ScenarioSpec, TopologySpec
+from repro.core.allocation import SlotAllocator
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.slot_table import (SlotTable, choose_slots_fast,
+                                   mask_to_slots, max_consecutive_gap,
+                                   rotate_mask, shifted, slots_to_mask)
+from repro.service import (DEFAULT_CLASSES, AdmissionController, ChurnSpec,
+                           ChurnWorkload, QosClass, SessionService,
+                           run_demo)
+from repro.topology.builders import concentrated_mesh, mesh
+
+
+@pytest.fixture(scope="module")
+def small_mesh():
+    return mesh(2, 2, nis_per_router=2)
+
+
+@pytest.fixture(scope="module")
+def sec7_mesh():
+    return concentrated_mesh(4, 3, nis_per_router=4)
+
+
+class TestMaskArithmetic:
+    @given(st.sets(st.integers(0, 15), max_size=16))
+    def test_mask_roundtrip(self, slots):
+        mask = slots_to_mask(slots, 16)
+        assert set(mask_to_slots(mask)) == slots
+
+    @given(st.sets(st.integers(0, 15), max_size=16),
+           st.integers(-40, 40))
+    def test_rotate_matches_shifted_membership(self, slots, shift):
+        """Bit s of the rotated mask <=> slot (s+shift)%size is in the set."""
+        size = 16
+        mask = rotate_mask(slots_to_mask(slots, size), shift, size)
+        for s in range(size):
+            assert bool(mask >> s & 1) == (shifted(s, shift, size) in slots)
+
+    def test_rotate_rejects_bad_size(self):
+        with pytest.raises(ConfigurationError):
+            rotate_mask(1, 1, 0)
+
+    @given(st.data())
+    def test_table_mask_mirrors_owner_map(self, data):
+        """Random reserve/release churn keeps mask and dict in lockstep."""
+        size = data.draw(st.integers(2, 24))
+        table = SlotTable(size)
+        reserved: dict[int, str] = {}
+        for step in range(data.draw(st.integers(1, 30))):
+            slot = data.draw(st.integers(0, size - 1))
+            if data.draw(st.booleans()):
+                if slot not in reserved:
+                    table.reserve(slot, f"o{step}")
+                    reserved[slot] = f"o{step}"
+            else:
+                table.release(slot)
+                reserved.pop(slot, None)
+            assert table.occupancy_mask == slots_to_mask(reserved, size)
+            assert table.free_slots() == (frozenset(range(size))
+                                          - set(reserved))
+            assert table.occupancy_mask & table.free_mask == 0
+
+    @given(st.data())
+    def test_choose_slots_fast_honours_constraints(self, data):
+        size = data.draw(st.integers(4, 32))
+        free = data.draw(st.sets(st.integers(0, size - 1), min_size=1,
+                                 max_size=size))
+        n = data.draw(st.integers(1, len(free)))
+        max_gap = data.draw(st.one_of(st.none(), st.integers(1, size)))
+        chosen = choose_slots_fast(free, n, size, max_gap=max_gap)
+        if chosen is None:
+            # Only a gap constraint can make the fast chooser fail once
+            # n <= |free|; verify genuine infeasibility.
+            assert max_gap is not None
+            assert max_consecutive_gap(free, size) > max_gap
+        else:
+            assert len(chosen) >= n
+            assert set(chosen) <= set(free)
+            assert list(chosen) == sorted(set(chosen))
+            if max_gap is not None:
+                assert max_consecutive_gap(chosen, size) <= max_gap
+
+
+class TestQos:
+    def test_default_classes_well_formed(self):
+        names = [c.name for c in DEFAULT_CLASSES]
+        assert len(set(names)) == len(names)
+        spec = DEFAULT_CLASSES[0].channel_spec("s1", "niA", "niB")
+        assert spec.name == spec.application == "s1"
+
+    def test_invalid_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QosClass("bad", throughput_mb_s=0.0)
+        with pytest.raises(ConfigurationError):
+            QosClass("bad", throughput_mb_s=1.0, max_latency_ns=-1.0)
+        with pytest.raises(ConfigurationError):
+            QosClass("bad", throughput_mb_s=1.0, weight=0.0)
+
+
+class TestChurnWorkload:
+    def test_same_seed_same_stream(self, small_mesh):
+        spec = ChurnSpec(n_sessions=60)
+        a = ChurnWorkload(spec, small_mesh, 5).events()
+        b = ChurnWorkload(spec, small_mesh, 5).events()
+        assert a == b
+
+    def test_different_seed_different_stream(self, small_mesh):
+        spec = ChurnSpec(n_sessions=60)
+        a = ChurnWorkload(spec, small_mesh, 5).events()
+        b = ChurnWorkload(spec, small_mesh, 6).events()
+        assert a != b
+
+    def test_events_time_ordered_and_paired(self, small_mesh):
+        workload = ChurnWorkload(ChurnSpec(n_sessions=40), small_mesh, 1)
+        events = workload.events()
+        assert len(events) == 80
+        times = [e.time_s for e in events]
+        assert times == sorted(times)
+        opens = {e.session.session_id for e in events if e.kind == "open"}
+        closes = {e.session.session_id for e in events
+                  if e.kind == "close"}
+        assert opens == closes
+
+    def test_limit_truncates(self, small_mesh):
+        workload = ChurnWorkload(ChurnSpec(n_sessions=40), small_mesh, 1)
+        assert len(workload.events(limit=10)) == 10
+
+    def test_durations_capped_and_positive(self, small_mesh):
+        spec = ChurnSpec(n_sessions=200, max_duration_s=0.5)
+        for s in ChurnWorkload(spec, small_mesh, 3).sessions:
+            assert 0 < s.duration_s <= 0.5
+            assert s.src_ni != s.dst_ni
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(n_sessions=0)
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(pareto_shape=1.0)
+        with pytest.raises(ConfigurationError):
+            ChurnSpec(classes=())
+
+
+class TestAdmissionController:
+    def _controller(self, topo):
+        allocator = SlotAllocator(topo, table_size=16, frequency_hz=500e6)
+        return AdmissionController(allocator)
+
+    def test_admit_then_release_restores_free_slots(self, small_mesh):
+        ctrl = self._controller(small_mesh)
+        spec = DEFAULT_CLASSES[2].channel_spec("s0", "ni0_0_0", "ni1_1_0")
+        ca = ctrl.admit(spec, "ni0_0_0", "ni1_1_0")
+        assert ca.slots
+        ctrl.allocation.validate()
+        ctrl.release("s0")
+        ctrl.allocation.validate()
+        assert all(t.occupancy_mask == 0
+                   for t in ctrl.allocation.link_tables.values())
+
+    def test_admission_is_contention_free_under_churn(self, small_mesh):
+        ctrl = self._controller(small_mesh)
+        rng = random.Random(9)
+        nis = sorted(small_mesh.nis)
+        active: list[str] = []
+        for i in range(200):
+            if active and rng.random() < 0.4:
+                ctrl.release(active.pop(rng.randrange(len(active))))
+            else:
+                src, dst = rng.sample(nis, 2)
+                qos = rng.choice(DEFAULT_CLASSES)
+                name = f"s{i}"
+                try:
+                    ctrl.admit(qos.channel_spec(name, src, dst), src, dst)
+                except AllocationError:
+                    continue
+                active.append(name)
+        ctrl.allocation.validate()
+
+    def test_rejection_commits_nothing(self, small_mesh):
+        ctrl = self._controller(small_mesh)
+        heavy = QosClass("huge", throughput_mb_s=2000.0)
+        with pytest.raises(AllocationError):
+            ctrl.admit(heavy.channel_spec("s0", "ni0_0_0", "ni1_1_0"),
+                       "ni0_0_0", "ni1_1_0")
+        assert all(t.occupancy_mask == 0
+                   for t in ctrl.allocation.link_tables.values())
+        assert ctrl.rejects == 1
+
+    def test_infeasible_requirement_reason_names_no_route(self, small_mesh):
+        """A latency no path can meet is not misreported as congestion."""
+        ctrl = self._controller(small_mesh)
+        impossible = QosClass("now", throughput_mb_s=1.0,
+                              max_latency_ns=0.5)
+        with pytest.raises(AllocationError) as excinfo:
+            ctrl.admit(impossible.channel_spec("s0", "ni0_0_0", "ni1_1_0"),
+                       "ni0_0_0", "ni1_1_0")
+        assert excinfo.value.reason == "no route can meet the requirements"
+
+    def test_deterministic_slot_choice(self, small_mesh):
+        def one_pass():
+            ctrl = self._controller(small_mesh)
+            out = []
+            for i, qos in enumerate(DEFAULT_CLASSES * 3):
+                spec = qos.channel_spec(f"s{i}", "ni0_0_0", "ni1_1_0")
+                try:
+                    out.append(ctrl.admit(spec, "ni0_0_0", "ni1_1_0").slots)
+                except AllocationError:
+                    out.append(None)
+            return out
+        assert one_pass() == one_pass()
+
+
+class TestSessionService:
+    def _run(self, topo, *, n_sessions=120, seed=3, **kwargs):
+        workload = ChurnWorkload(ChurnSpec(n_sessions=n_sessions), topo,
+                                 seed)
+        service = SessionService(topo, table_size=32,
+                                 frequency_hz=500e6, **kwargs)
+        return service.run(workload.events()), service
+
+    def test_full_trace_clean(self, sec7_mesh):
+        report, service = self._run(sec7_mesh)
+        assert report.totals["n_events"] == 240
+        assert report.invariant["ok"]
+        assert report.totals["n_released"] == report.totals["n_accepted"]
+        assert report.totals["active_at_end"] == 0
+        assert report.totals["final_mean_link_utilisation"] == 0.0
+
+    def test_reports_byte_identical_across_runs(self, sec7_mesh):
+        first, _ = self._run(sec7_mesh)
+        second, _ = self._run(sec7_mesh)
+        assert first.to_json() == second.to_json()
+        json.loads(first.to_json())  # valid JSON throughout
+
+    def test_accepted_events_carry_bound_quotes(self, sec7_mesh):
+        report, service = self._run(sec7_mesh)
+        opens = [e for e in report.events if e["kind"] == "open"]
+        accepted = [e for e in opens if e["decision"] == "accept"]
+        assert accepted, "trace admitted no sessions?"
+        for event in accepted:
+            quote = event["quote"]
+            assert quote["latency_bound_ns"] > 0
+            assert quote["n_slots"] >= 1
+            qos = next(c for c in DEFAULT_CLASSES
+                       if c.name == event["class"])
+            # The quote is a guarantee: it must cover the class
+            # requirement it was admitted under.
+            assert quote["throughput_mb_s"] * 1.000001 >= \
+                qos.throughput_mb_s
+            if qos.max_latency_ns is not None:
+                assert quote["latency_bound_ns"] <= \
+                    qos.max_latency_ns * 1.000001
+
+    def test_rejections_recorded_not_raised(self, small_mesh):
+        # A tiny mesh with heavy sessions must reject some opens.
+        heavy = (QosClass("fat", throughput_mb_s=300.0, weight=1.0),)
+        workload = ChurnWorkload(
+            ChurnSpec(n_sessions=80, classes=heavy,
+                      mean_duration_s=0.1), small_mesh, 11)
+        service = SessionService(small_mesh, table_size=8,
+                                 frequency_hz=500e6)
+        report = service.run(workload.events())
+        assert report.totals["n_rejected"] > 0
+        assert report.invariant["ok"]
+        rejected = [e for e in report.events
+                    if e.get("decision") == "reject"]
+        assert all(e["reason"] for e in rejected)
+
+    def test_shared_allocator_does_not_change_results(self, sec7_mesh):
+        """Cache warm-up must be invisible in the canonical report."""
+        allocator = SlotAllocator(sec7_mesh, table_size=32,
+                                  frequency_hz=500e6)
+        cold, _ = self._run(sec7_mesh)
+        warm, _ = self._run(sec7_mesh, allocator=allocator)
+        warm2, _ = self._run(sec7_mesh, allocator=allocator)
+        assert cold.to_json() == warm.to_json() == warm2.to_json()
+
+    def test_conflicting_allocator_parameters_rejected(self, sec7_mesh):
+        allocator = SlotAllocator(sec7_mesh, table_size=32,
+                                  frequency_hz=500e6)
+        with pytest.raises(ConfigurationError):
+            SessionService(sec7_mesh, table_size=16, allocator=allocator)
+        with pytest.raises(ConfigurationError):
+            SessionService(sec7_mesh, frequency_hz=1e9,
+                           allocator=allocator)
+        with pytest.raises(ConfigurationError):
+            SessionService(mesh(2, 2, nis_per_router=1),
+                           allocator=allocator)
+
+    def test_series_snapshots_every_window(self, sec7_mesh):
+        report, _ = self._run(sec7_mesh, window=50)
+        assert len(report.series) == 240 // 50
+        for point in report.series:
+            assert 0.0 <= point["accept_rate_total"] <= 1.0
+            assert point["active_sessions"] >= 0
+
+
+class TestServeDemo:
+    def test_demo_deterministic_and_clean(self):
+        report, identical = run_demo(n_events=200, seed=7)
+        assert identical
+        assert report.totals["n_events"] == 200
+        assert report.invariant["ok"]
+        opens = [e for e in report.events if e["kind"] == "open"]
+        assert all("quote" in e for e in opens
+                   if e["decision"] == "accept")
+
+    def test_demo_cli_exit_code(self, capsys):
+        from repro.__main__ import main
+        assert main(["serve", "--demo", "--events", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "byte-identical: yes" in out
+        assert "invariant held" in out
+
+    def test_serve_without_demo_errors(self, capsys):
+        from repro.__main__ import main
+        assert main(["serve"]) == 2
+
+
+class TestChurnCampaign:
+    def test_serve_scenario_spec_validation(self):
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="s", mode="interpretive-dance")
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="s", churn=ChurnSpec())  # simulate + churn
+
+    def test_execute_serve_run_record(self):
+        spec = CampaignSpec(
+            name="one", seeds=(1,),
+            scenarios=(ScenarioSpec(
+                name="churny", mode="serve",
+                topology=TopologySpec(kind="mesh", cols=2, rows=2,
+                                      nis_per_router=2),
+                churn=ChurnSpec(n_sessions=50), table_size=16),))
+        record = execute_run(spec.expand()[0])
+        assert record["status"] == "ok"
+        assert record["mode"] == "serve"
+        result = record["result"]
+        assert result["invariant"]["ok"]
+        assert result["totals"]["n_events"] == 100
+        json.dumps(record)
+
+    def test_churn_preset_shape_and_determinism(self):
+        spec = churn_campaign(n_sessions=40, seeds=(1,))
+        assert len(spec.scenarios) == 8  # 2 topo x 2 mix x 2 rate
+        assert all(s.mode == "serve" for s in spec.scenarios)
+        serial = CampaignRunner(spec, workers=1).run()
+        assert serial.n_failed == 0
+        again = CampaignRunner(spec, workers=1).run()
+        assert serial.to_json() == again.to_json()
+
+
+class TestExplorationFailureSurfacing:
+    def test_infeasible_error_names_channel_and_reason(self, mesh_config):
+        """min_feasible_frequency surfaces the allocator's last failure."""
+        from dataclasses import replace
+
+        from repro.core.application import Application, UseCase
+        from repro.core.exploration import min_feasible_frequency
+
+        # A latency requirement below any path's traversal time can never
+        # be met, at any frequency in the search interval.
+        apps = []
+        for app in mesh_config.use_case.applications:
+            channels = tuple(
+                replace(ch, max_latency_ns=0.5)
+                if ch.name == "c0" else ch
+                for ch in app.channels)
+            apps.append(Application(app.name, channels))
+        impossible = UseCase("impossible", tuple(apps))
+        with pytest.raises(AllocationError) as excinfo:
+            min_feasible_frequency(
+                mesh_config.topology, impossible, mesh_config.mapping,
+                table_size=8, high_hz=1e9)
+        err = excinfo.value
+        assert err.channel == "c0"
+        assert err.reason
+        assert "c0" in str(err)
+        assert err.__cause__ is not None
