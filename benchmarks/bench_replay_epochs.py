@@ -1,0 +1,103 @@
+"""Tier-2 benchmark: incremental vs full schedule recompilation.
+
+Opt in with ``--replay-epochs``.  Builds a synthetic reconfiguration
+timeline over the Section VII use case (all 200 connections live, then
+a long stop/restart churn sequence — two transitions every ten slots)
+and executes it twice through
+:meth:`~repro.simulation.flitsim.FlitLevelSimulator.run_timeline`:
+
+* ``incremental=True`` — only the injection-slot schedule rows of the
+  channel a transition touches are rebuilt (the production path);
+* ``incremental=False`` — the whole 200-channel schedule is recompiled
+  at every epoch boundary (the reference).
+
+Both paths must produce bit-identical traces; the benchmark asserts the
+incremental path is at least ``TARGET_SPEEDUP`` times faster over the
+whole run and records the ratio in ``extra_info`` so the trajectory
+lands in ``--benchmark-json`` output.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.timeline import ReconfigurationTimeline, TimelineEvent
+from repro.simulation.composability import replay_traffic
+from repro.simulation.flitsim import FlitLevelSimulator
+
+#: Stop/restart pairs in the churn sequence (two epochs each).
+N_TOGGLES = 300
+#: Slots between consecutive transitions.
+TRANSITION_SPACING = 5
+TARGET_SPEEDUP = 2.0
+
+
+@pytest.fixture
+def replay_epochs_enabled(request):
+    if not request.config.getoption("--replay-epochs"):
+        pytest.skip("pass --replay-epochs to run the epoch benchmark")
+
+
+def _section7_timeline(config) -> ReconfigurationTimeline:
+    """All channels start at slot 0; then a round-robin stop/restart."""
+    allocations = sorted(config.allocation.channels.items())
+    events = [TimelineEvent(0, "start", name, (ca,))
+              for name, ca in allocations]
+    slot = TRANSITION_SPACING
+    for index in range(N_TOGGLES):
+        name, ca = allocations[index % len(allocations)]
+        events.append(TimelineEvent(slot, "stop", name))
+        slot += TRANSITION_SPACING
+        events.append(TimelineEvent(slot, "start", name, (ca,)))
+        slot += TRANSITION_SPACING
+    return ReconfigurationTimeline(
+        config.topology, events, horizon_slots=slot + TRANSITION_SPACING,
+        table_size=config.table_size, frequency_hz=config.frequency_hz,
+        fmt=config.fmt)
+
+
+def test_incremental_recompilation_speedup(benchmark,
+                                           replay_epochs_enabled,
+                                           section7):
+    _, config = section7
+    timeline = _section7_timeline(config)
+    # Traffic on a handful of channels keeps the traces meaningful
+    # without letting injection work drown the recompilation signal the
+    # benchmark isolates.
+    names = sorted(config.allocation.channels)[:8]
+    traffic = {name: pattern
+               for name, pattern in replay_traffic(timeline).items()
+               if name in names}
+    sim = FlitLevelSimulator(config)
+
+    def run(incremental: bool):
+        start = time.perf_counter()
+        result = sim.run_timeline(timeline, traffic=traffic,
+                                  incremental=incremental)
+        return result, time.perf_counter() - start
+
+    # Warm pass per mode (also the correctness gate: bit-identical
+    # traces and flit counts across recompilation strategies).
+    warm_inc, _ = run(True)
+    warm_full, _ = run(False)
+    assert warm_inc.n_epochs == warm_full.n_epochs == 2 * N_TOGGLES + 1
+    assert warm_inc.flits_by_channel == warm_full.flits_by_channel
+    for name in names:
+        assert warm_inc.trace.trace(name) == warm_full.trace.trace(name)
+
+    incremental_s = min(run(True)[1] for _ in range(3))
+    full_s = min(run(False)[1] for _ in range(3))
+    speedup = full_s / incremental_s
+
+    result, _ = benchmark.pedantic(lambda: run(True), rounds=3,
+                                   iterations=1)
+    assert result.n_epochs == 2 * N_TOGGLES + 1
+    benchmark.extra_info["epochs"] = result.n_epochs
+    benchmark.extra_info["full_rebuild_s"] = round(full_s, 6)
+    benchmark.extra_info["incremental_s"] = round(incremental_s, 6)
+    benchmark.extra_info["speedup"] = round(speedup, 2)
+    assert speedup >= TARGET_SPEEDUP, (
+        f"incremental recompilation only {speedup:.2f}x faster than "
+        f"full per-epoch rebuild (target >= {TARGET_SPEEDUP}x)")

@@ -26,6 +26,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the session-churn service benchmark on the Section "
              "VII mesh (tier-2; asserts >= 10k session events/sec on "
              "the warm admission path)")
+    parser.addoption(
+        "--replay-epochs", action="store_true", default=False,
+        help="run the epoch-replay benchmark on the Section VII use "
+             "case (tier-2; asserts incremental schedule "
+             "recompilation beats full per-epoch rebuild by >= 2x)")
 
 from repro.core.application import Application, UseCase
 from repro.core.configuration import configure

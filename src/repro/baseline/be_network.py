@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.baseline.arbitration import RoundRobinArbiter
 from repro.core.configuration import NocConfiguration
@@ -38,8 +39,11 @@ from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.words import WordFormat
 from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
                                        StatsCollector, latency_digest)
-from repro.simulation.traffic import TrafficPattern
+from repro.simulation.traffic import MessageEvent, TrafficPattern
 from repro.topology.graph import NodeKind, Topology
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.timeline import ReconfigurationTimeline
 
 __all__ = ["BePacket", "BeNetworkSimulator", "BeSimResult"]
 
@@ -191,14 +195,94 @@ class BeNetworkSimulator:
         if n_ticks <= 0:
             raise ConfigurationError(
                 f"n_ticks must be positive, got {n_ticks}")
+        sources = {name: ca.path.source for name, ca in
+                   sorted(self.config.allocation.channels.items())}
+        return self._run_loop(n_ticks, self._build_arrivals(n_ticks),
+                              sources)
+
+    def run_timeline(self, timeline: "ReconfigurationTimeline",
+                     n_ticks: int | None = None, *,
+                     traffic: dict[str, TrafficPattern] | None = None
+                     ) -> BeSimResult:
+        """Run a reconfiguration timeline on the best-effort network.
+
+        Without TDM there is no schedule to recompile: a transition only
+        changes *who offers traffic*.  Each channel's pattern (relative
+        to its start tick) is offered during its active intervals and
+        silenced outside them; packets already queued when a session
+        stops drain naturally.  Because wormhole arbitration shares
+        buffers and output ports globally, a survivor's timing depends
+        on that churn — the divergence the dynamic composability check
+        exposes, and exactly what the TDM network is engineered to
+        exclude.
+        """
+        if timeline.topology is not self._topo:
+            raise ConfigurationError(
+                "timeline was recorded on a different topology object")
+        if timeline.fmt != self.fmt:
+            raise ConfigurationError(
+                "timeline word format differs from the configuration's")
+        if n_ticks is None:
+            n_ticks = timeline.horizon_slots
+        if not 0 < n_ticks <= timeline.horizon_slots:
+            raise ConfigurationError(
+                f"n_ticks must be in (0, {timeline.horizon_slots}], "
+                f"got {n_ticks}")
+        patterns = dict(traffic or {})
+        unknown = sorted(set(patterns) - set(timeline.channel_names))
+        if unknown:
+            raise ConfigurationError(
+                f"traffic names channels outside the timeline: {unknown}")
+        fmt = self.fmt
+        arrivals: dict[str, deque[tuple[int, BePacket]]] = {}
+        sources: dict[str, str] = {}
+        for name, intervals in timeline.channel_intervals().items():
+            sources[name] = intervals[0][2].path.source
+            queue: deque[tuple[int, BePacket]] = deque()
+            pattern = patterns.get(name)
+            for start, stop, ca in intervals:
+                if ca.path.source != sources[name]:
+                    raise ConfigurationError(
+                        f"channel {name!r} restarts from a different "
+                        "source NI; the baseline keeps one queue per "
+                        "channel")
+                end = min(stop, n_ticks)
+                span = end - start
+                if pattern is None or span <= 0:
+                    continue
+                base_cycle = start * fmt.flit_size
+                for event in pattern.events(span * fmt.flit_size):
+                    tick = start + -(-event.cycle // fmt.flit_size)
+                    if tick >= end:
+                        # An arrival mid-way through the last active
+                        # slot only becomes injectable at the stop
+                        # boundary itself — by then the session is
+                        # gone (the flit-level simulator drops the
+                        # same arrival with the schedule row).
+                        continue
+                    shifted = MessageEvent(base_cycle + event.cycle,
+                                           event.words, event.message_id)
+                    queue.extend(
+                        (tick, p) for p in self._packetise(
+                            name, ca.path.out_ports, shifted))
+            arrivals[name] = queue
+        return self._run_loop(n_ticks, arrivals, sources)
+
+    def _run_loop(self, n_ticks: int,
+                  arrivals: dict[str, deque[tuple[int, BePacket]]],
+                  sources: dict[str, str]) -> BeSimResult:
+        """The tick loop over prebuilt arrival queues.
+
+        ``sources`` maps each channel to its injecting NI, in the
+        deterministic (name-sorted) order queues are arbitrated in.
+        """
         period_ps = round(1e12 / self.frequency_hz)
         stats = StatsCollector()
         routers = self._build_routers()
-        arrivals = self._build_arrivals(n_ticks)
         nis: dict[str, _NiState] = {}
         channel_queue: dict[str, _SourceQueue] = {}
-        for name, ca in sorted(self.config.allocation.channels.items()):
-            state = nis.setdefault(ca.path.source,
+        for name, source in sorted(sources.items()):
+            state = nis.setdefault(source,
                                    _NiState([], RoundRobinArbiter(1)))
             queue = _SourceQueue(channel=name)
             state.queues.append(queue)

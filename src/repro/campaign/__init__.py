@@ -9,7 +9,7 @@ results either way.
 """
 
 from repro.campaign.presets import (churn_campaign, demo_campaign,
-                                    micro_campaign)
+                                    micro_campaign, replay_campaign)
 from repro.campaign.runner import (CampaignResult, CampaignRunner,
                                    execute_run)
 from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
@@ -21,4 +21,5 @@ __all__ = [
     "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed",
     "CampaignRunner", "CampaignResult", "execute_run",
     "demo_campaign", "micro_campaign", "churn_campaign",
+    "replay_campaign",
 ]

@@ -12,7 +12,8 @@ from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
 from repro.service.churn import ChurnSpec
 from repro.service.qos import QosClass
 
-__all__ = ["demo_campaign", "micro_campaign", "churn_campaign"]
+__all__ = ["demo_campaign", "micro_campaign", "churn_campaign",
+           "replay_campaign"]
 
 
 def demo_campaign(*, n_slots: int = 600,
@@ -20,9 +21,10 @@ def demo_campaign(*, n_slots: int = 600,
     """The ``python -m repro campaign --demo`` grid.
 
     Two topologies × two traffic mixes × two backends = 8 simulation
-    scenarios plus one service-churn scenario, each across the seed
-    grid — wide enough to exercise the pool and both scenario modes,
-    small enough to finish in seconds.
+    scenarios plus one service-churn scenario and one churn-replay
+    scenario, each across the seed grid — wide enough to exercise the
+    pool and all three scenario modes, small enough to finish in
+    seconds.
     """
     scenarios = scenario_grid(
         topologies={
@@ -40,11 +42,19 @@ def demo_campaign(*, n_slots: int = 600,
         },
         workload=WorkloadSpec(n_channels=6, n_ips=8),
         n_slots=n_slots, table_size=16)
-    scenarios += (ScenarioSpec(
-        name="mesh2x2-churn-serve", mode="serve",
-        topology=TopologySpec(kind="mesh", cols=2, rows=2,
-                              nis_per_router=1),
-        churn=ChurnSpec(n_sessions=150), table_size=16),)
+    scenarios += (
+        ScenarioSpec(
+            name="mesh2x2-churn-serve", mode="serve",
+            topology=TopologySpec(kind="mesh", cols=2, rows=2,
+                                  nis_per_router=1),
+            churn=ChurnSpec(n_sessions=150), table_size=16),
+        ScenarioSpec(
+            name="mesh3x3-churn-replay", mode="replay", backend="flit",
+            topology=TopologySpec(kind="mesh", cols=3, rows=3,
+                                  nis_per_router=2),
+            churn=ChurnSpec(n_sessions=60), n_slots=1200,
+            table_size=16),
+    )
     return CampaignSpec(name="demo", scenarios=scenarios, seeds=seeds)
 
 
@@ -112,4 +122,33 @@ def churn_campaign(*, n_sessions: int = 400,
                     mode="serve", topology=topology, churn=churn,
                     table_size=32))
     return CampaignSpec(name="churn", scenarios=tuple(scenarios),
+                        seeds=seeds)
+
+
+def replay_campaign(*, n_sessions: int = 120, n_slots: int = 2400,
+                    seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
+    """A dynamic-composability sweep: topology × backend under churn.
+
+    Every scenario records a churn trace through the control plane,
+    fits it into ``n_slots`` simulation slots, and replays it as a
+    reconfiguration timeline on the named backend.  The flit scenarios
+    state the paper's claim (survivor traces bit-identical across every
+    epoch); the best-effort scenarios show the same churn destroying
+    isolation on the baseline.
+    """
+    topologies = {
+        "mesh3x3": TopologySpec(kind="mesh", cols=3, rows=3,
+                                nis_per_router=2),
+        "cmesh4x3": TopologySpec(kind="cmesh", cols=4, rows=3,
+                                 nis_per_router=4),
+    }
+    scenarios = []
+    for topo_label, topology in sorted(topologies.items()):
+        for backend in ("flit", "be"):
+            scenarios.append(ScenarioSpec(
+                name=f"{topo_label}-{backend}-replay", mode="replay",
+                backend=backend, topology=topology,
+                churn=ChurnSpec(n_sessions=n_sessions),
+                n_slots=n_slots, table_size=32))
+    return CampaignSpec(name="replay", scenarios=tuple(scenarios),
                         seeds=seeds)

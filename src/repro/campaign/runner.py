@@ -41,6 +41,8 @@ def execute_run(run: RunSpec) -> dict[str, object]:
     scenario = run.scenario
     if scenario.mode == "serve":
         return _execute_serve_run(run)
+    if scenario.mode == "replay":
+        return _execute_replay_run(run)
     record: dict[str, object] = {
         "run_id": run.run_id,
         "scenario": scenario.name,
@@ -115,6 +117,59 @@ def _execute_serve_run(run: RunSpec) -> dict[str, object]:
     return record
 
 
+def _execute_replay_run(run: RunSpec) -> dict[str, object]:
+    """Execute one ``mode="replay"`` run: record churn, replay, verify.
+
+    The event stream is truncated at three quarters of its length so
+    sessions whose close falls in the dropped tail are still open at
+    the cut — those become the replay's survivors.
+    """
+    from repro.service.churn import ChurnSpec, ChurnWorkload
+    from repro.service.controller import SessionService
+    from repro.simulation.composability import (replay_traffic,
+                                                verify_timeline)
+
+    scenario = run.scenario
+    churn = scenario.churn or ChurnSpec()
+    record: dict[str, object] = {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "replay",
+        "backend": scenario.backend,
+        "topology": scenario.topology.label,
+        "churn": churn.label,
+        "n_slots": scenario.n_slots,
+        "table_size": scenario.table_size,
+    }
+    try:
+        topology = scenario.topology.build()
+        workload = ChurnWorkload(
+            churn, topology, derive_seed(run.run_seed, "churn", run.seed))
+        events = workload.events(limit=3 * churn.n_sessions // 2)
+        service = SessionService(
+            topology, table_size=scenario.table_size,
+            frequency_hz=scenario.frequency_mhz * 1e6,
+            name=scenario.name, seed=run.seed, record_events=False,
+            record_timeline=True)
+        service.run(events)
+        timeline = service.timeline(horizon_slots=scenario.n_slots)
+        report = verify_timeline(
+            timeline, replay_traffic(timeline),
+            backend_factory=lambda config: create_backend(
+                scenario.backend, config),
+            scenario=scenario.name)
+    except (AllocationError, ConfigurationError) as exc:
+        record["status"] = "configuration_failed"
+        record["error"] = str(exc)
+        return record
+    record["status"] = "ok"
+    result = report.to_record()
+    result["n_channels"] = len(timeline.channel_names)
+    record["result"] = result
+    return record
+
+
 @dataclass
 class CampaignResult:
     """The aggregated outcome of one campaign execution."""
@@ -169,6 +224,11 @@ class CampaignResult:
                     totals = result["totals"]
                     row["messages"] = totals["n_events"]
                     row["accept"] = totals["accept_rate"]
+                elif "composable" in result:  # replay-mode record
+                    row["messages"] = result["n_channels"]
+                    row["status"] = (
+                        f"{record['status']}/"
+                        f"{'composable' if result['composable'] else 'diverged'}")
                 else:
                     row["messages"] = result["messages_delivered"]
                     latency = result.get("latency_ns")

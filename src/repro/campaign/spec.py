@@ -195,14 +195,19 @@ class TrafficSpec:
 class ScenarioSpec:
     """One cell of the campaign grid (before seed expansion).
 
-    Two scenario modes share the grid machinery:
+    Three scenario modes share the grid machinery:
 
     * ``mode="simulate"`` (default) — allocate a workload and drive a
       simulation backend, as before;
     * ``mode="serve"`` — run the online control plane
       (:class:`~repro.service.controller.SessionService`) over a seeded
       churn workload; ``churn`` parameterises the session stream and the
-      ``workload``/``traffic``/``backend`` axes are ignored.
+      ``workload``/``traffic``/``backend`` axes are ignored;
+    * ``mode="replay"`` — run the control plane with timeline recording,
+      fit the recorded churn into ``n_slots`` simulation slots, execute
+      it on ``backend`` (flit or be — the cycle model cannot
+      reconfigure mid-run), and report the dynamic composability
+      verdict (survivor traces, churn run vs solo reference).
     """
 
     name: str
@@ -214,22 +219,26 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
-    mode: str = "simulate"          # simulate | serve
-    churn: ChurnSpec | None = None  # serve mode only
+    mode: str = "simulate"          # simulate | serve | replay
+    churn: ChurnSpec | None = None  # serve / replay modes only
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
-        if self.mode not in ("simulate", "serve"):
+        if self.mode not in ("simulate", "serve", "replay"):
             raise ConfigurationError(
                 f"unknown scenario mode {self.mode!r}; expected "
-                "'simulate' or 'serve'")
-        if self.churn is not None and self.mode != "serve":
+                "'simulate', 'serve' or 'replay'")
+        if self.churn is not None and self.mode == "simulate":
             raise ConfigurationError(
-                "churn spec only applies to mode='serve' scenarios")
+                "churn spec only applies to serve/replay scenarios")
         if self.backend not in available_backends():
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{available_backends()}")
+        if self.mode == "replay" and self.backend == "cycle":
+            raise ConfigurationError(
+                "mode='replay' needs a backend that can reconfigure "
+                "mid-run; use 'flit' or 'be'")
         if self.backend == "cycle" and self.clocking not in (
                 "synchronous", "mesochronous", "asynchronous"):
             raise ConfigurationError(

@@ -79,6 +79,10 @@ _EXPORTS: dict[str, str] = {
     # reconfiguration and dataflow analysis
     "ReconfigurationManager": "repro.core.reconfiguration",
     "TransitionReport": "repro.core.reconfiguration",
+    "ReconfigurationTimeline": "repro.core.timeline",
+    "TimelineEvent": "repro.core.timeline",
+    "TimelineRecorder": "repro.core.timeline",
+    "replay_configuration": "repro.core.timeline",
     "LatencyRateServer": "repro.core.dataflow",
     "latency_rate_of": "repro.core.dataflow",
     "analyse_dataflow": "repro.core.dataflow",

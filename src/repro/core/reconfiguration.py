@@ -15,17 +15,26 @@ operation on a live :class:`~repro.core.allocation.Allocation`:
 * every transition returns a :class:`TransitionReport` proving that the
   reservations of all running applications are bit-identical before and
   after — the static counterpart of the simulator's trace-equality
-  composability check.
+  composability check;
+* with a :class:`~repro.core.timeline.TimelineRecorder` attached, every
+  successful transition is also emitted onto a replayable
+  :class:`~repro.core.timeline.ReconfigurationTimeline`, so the exact
+  start/stop sequence can afterwards be *executed* by the flit-level
+  simulator and the trace-equality claim verified dynamically.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.allocation import Allocation, SlotAllocator
 from repro.core.application import Application
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.topology.mapping import Mapping
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.timeline import TimelineRecorder
 
 __all__ = ["TransitionReport", "ReconfigurationManager"]
 
@@ -62,13 +71,17 @@ class ReconfigurationManager:
     """Live use-case transitions over one allocation."""
 
     def __init__(self, allocator: SlotAllocator, mapping: Mapping,
-                 allocation: Allocation | None = None):
+                 allocation: Allocation | None = None, *,
+                 recorder: "TimelineRecorder | None" = None):
         self.allocator = allocator
         self.mapping = mapping
         self.allocation = allocation or Allocation(
             allocator.topology, allocator.table_size,
             allocator.frequency_hz, allocator.fmt)
         self.history: list[TransitionReport] = []
+        #: Optional timeline sink; successful transitions are recorded
+        #: at the ``at_s`` timestamp the caller supplies.
+        self.recorder = recorder
 
     # -- queries --------------------------------------------------------------
 
@@ -83,8 +96,8 @@ class ReconfigurationManager:
 
     # -- transitions ------------------------------------------------------------
 
-    def start_application(self, application: Application
-                          ) -> TransitionReport:
+    def start_application(self, application: Application, *,
+                          at_s: float = 0.0) -> TransitionReport:
         """Allocate a new application without disturbing the others."""
         if self.is_running(application.name):
             raise ConfigurationError(
@@ -110,9 +123,16 @@ class ReconfigurationManager:
             running_before=running_before,
             running_after=self.running_applications)
         self.history.append(report)
+        if self.recorder is not None:
+            self.recorder.record_start(
+                at_s, application.name,
+                tuple(self.allocation.channels[spec.name]
+                      for spec in sorted(application.channels,
+                                         key=lambda s: s.name)))
         return report
 
-    def stop_application(self, application_name: str) -> TransitionReport:
+    def stop_application(self, application_name: str, *,
+                         at_s: float = 0.0) -> TransitionReport:
         """Release one application's reservations; others keep theirs."""
         if not self.is_running(application_name):
             raise ConfigurationError(
@@ -129,11 +149,14 @@ class ReconfigurationManager:
             running_before=running_before,
             running_after=self.running_applications)
         self.history.append(report)
+        if self.recorder is not None:
+            self.recorder.record_stop(at_s, application_name)
         return report
 
-    def switch(self, stop: str, start: Application) -> tuple[
+    def switch(self, stop: str, start: Application, *,
+               at_s: float = 0.0) -> tuple[
             TransitionReport, TransitionReport]:
         """A use-case transition: stop one application, start another."""
-        stop_report = self.stop_application(stop)
-        start_report = self.start_application(start)
+        stop_report = self.stop_application(stop, at_s=at_s)
+        start_report = self.start_application(start, at_s=at_s)
         return stop_report, start_report

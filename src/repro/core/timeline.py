@@ -1,0 +1,438 @@
+"""Replayable reconfiguration timelines: live churn as a simulation input.
+
+The control plane (:class:`~repro.core.reconfiguration.
+ReconfigurationManager`, :class:`~repro.service.controller.
+SessionService`) performs start/stop transitions *analytically*: slots
+are moved in the bookkeeping and invariants are re-checked, but no
+network is ever simulated across a transition.  A
+:class:`ReconfigurationTimeline` closes that gap: it is the replayable
+artifact of a churn run — every transition, timestamped in TDM slots and
+carrying the exact :class:`~repro.core.allocation.ChannelAllocation`
+records the transition committed — which the flit-level and best-effort
+simulators can then *execute* epoch by epoch
+(:meth:`~repro.simulation.flitsim.FlitLevelSimulator.run_timeline`).
+
+Construction validates the timeline the same way the allocator validates
+a static configuration: within every epoch (a maximal span with a
+constant active set) no two active channels may share a link slot, so a
+valid timeline is a sequence of valid configurations glued together by
+transitions.
+
+:class:`TimelineRecorder` converts wall-of-model-time transitions
+(seconds, as the service sees them) into slot-stamped events; because
+service time and simulated slot time are wildly different scales (a
+session lives milliseconds, a slot lasts nanoseconds), the recorder can
+*fit* the recorded trace into a requested simulation horizon, preserving
+event order and relative spacing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.allocation import Allocation, ChannelAllocation
+from repro.core.application import UseCase
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.words import WordFormat
+from repro.topology.graph import Topology
+from repro.topology.mapping import Mapping
+
+__all__ = ["TimelineEvent", "ReconfigurationTimeline", "TimelineRecorder",
+           "replay_configuration"]
+
+_ACTIONS = ("start", "stop")
+
+
+@dataclass(frozen=True)
+class TimelineEvent:
+    """One slot-stamped transition of a reconfiguration timeline.
+
+    A ``start`` carries the exact allocations its transition committed
+    (route and injection slots per channel); a ``stop`` releases every
+    channel its application holds, so it carries none.
+    """
+
+    slot: int
+    action: str
+    application: str
+    channels: tuple[ChannelAllocation, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.slot < 0:
+            raise ConfigurationError(
+                f"timeline event slot must be >= 0, got {self.slot}")
+        if self.action not in _ACTIONS:
+            raise ConfigurationError(
+                f"unknown timeline action {self.action!r}; expected one "
+                f"of {_ACTIONS}")
+        if not self.application:
+            raise ConfigurationError(
+                "timeline event needs an application name")
+        if self.action == "start" and not self.channels:
+            raise ConfigurationError(
+                f"start of {self.application!r} carries no channel "
+                "allocations")
+        if self.action == "stop" and self.channels:
+            raise ConfigurationError(
+                f"stop of {self.application!r} must not carry channels")
+
+
+class ReconfigurationTimeline:
+    """An ordered, per-epoch-validated sequence of start/stop events.
+
+    Events are normalised into deterministic order — by slot, stops
+    before starts (slots a departing application frees at a boundary are
+    available to an arriving one at the same boundary), then application
+    name — and validated on construction: balanced start/stop pairing
+    per application, unique active channel names, and contention-freedom
+    of every epoch's active set.
+    """
+
+    def __init__(self, topology: Topology,
+                 events: tuple[TimelineEvent, ...] | list[TimelineEvent],
+                 *, horizon_slots: int, table_size: int,
+                 frequency_hz: float, fmt: WordFormat | None = None):
+        if horizon_slots <= 0:
+            raise ConfigurationError(
+                f"horizon_slots must be positive, got {horizon_slots}")
+        if table_size <= 0:
+            raise ConfigurationError(
+                f"table_size must be positive, got {table_size}")
+        if frequency_hz <= 0:
+            raise ConfigurationError("frequency_hz must be positive")
+        self.topology = topology
+        self.horizon_slots = horizon_slots
+        self.table_size = table_size
+        self.frequency_hz = frequency_hz
+        self.fmt = fmt or WordFormat()
+        self.events: tuple[TimelineEvent, ...] = tuple(sorted(
+            events, key=lambda e: (e.slot, e.action != "stop",
+                                   e.application)))
+        self._validate()
+
+    # -- validation ------------------------------------------------------------
+
+    def _validate(self) -> None:
+        active_apps: dict[str, tuple[ChannelAllocation, ...]] = {}
+        active_names: set[str] = set()
+        occupied: dict[tuple[tuple[str, str], int], str] = {}
+        link_keys = set(self.topology.iter_link_keys())
+        for event in self.events:
+            if event.slot >= self.horizon_slots:
+                raise ConfigurationError(
+                    f"timeline event at slot {event.slot} lies beyond "
+                    f"the horizon of {self.horizon_slots} slots")
+            if event.action == "start":
+                if event.application in active_apps:
+                    raise ConfigurationError(
+                        f"application {event.application!r} started "
+                        "twice without an intervening stop")
+                for ca in event.channels:
+                    name = ca.spec.name
+                    if name in active_names:
+                        raise ConfigurationError(
+                            f"channel {name!r} started while already "
+                            "active")
+                    for key, slots in ca.link_slots(
+                            self.table_size).items():
+                        if key not in link_keys:
+                            raise ConfigurationError(
+                                f"channel {name!r} uses link {key} "
+                                "unknown to the topology")
+                        for slot in slots:
+                            holder = occupied.get((key, slot))
+                            if holder is not None:
+                                raise AllocationError(
+                                    f"epoch starting at slot "
+                                    f"{event.slot}: contention on link "
+                                    f"{key} slot {slot}: {holder!r} vs "
+                                    f"{name!r}",
+                                    channel=name,
+                                    reason="slot contention")
+                            occupied[(key, slot)] = name
+                    active_names.add(name)
+                active_apps[event.application] = event.channels
+            else:
+                channels = active_apps.pop(event.application, None)
+                if channels is None:
+                    raise ConfigurationError(
+                        f"stop of {event.application!r} at slot "
+                        f"{event.slot} without a matching start")
+                for ca in channels:
+                    active_names.discard(ca.spec.name)
+                    for key, slots in ca.link_slots(
+                            self.table_size).items():
+                        for slot in slots:
+                            del occupied[(key, slot)]
+
+    # -- queries ---------------------------------------------------------------
+
+    @property
+    def channel_names(self) -> tuple[str, ...]:
+        """All channel names ever started, sorted."""
+        names: set[str] = set()
+        for event in self.events:
+            names.update(ca.spec.name for ca in event.channels)
+        return tuple(sorted(names))
+
+    def channel_allocations(self) -> dict[str, ChannelAllocation]:
+        """First-start allocation of every channel, keyed by name."""
+        out: dict[str, ChannelAllocation] = {}
+        for event in self.events:
+            for ca in event.channels:
+                out.setdefault(ca.spec.name, ca)
+        return out
+
+    def channel_intervals(self) -> dict[
+            str, tuple[tuple[int, int, ChannelAllocation], ...]]:
+        """Active ``(start_slot, end_slot, allocation)`` spans per channel.
+
+        A channel never stopped runs to the horizon; a restarted channel
+        contributes one span per start.
+        """
+        spans: dict[str, list[tuple[int, int, ChannelAllocation]]] = {}
+        open_spans: dict[str, dict[str, tuple[int, ChannelAllocation]]] = {}
+        for event in self.events:
+            if event.action == "start":
+                held = open_spans.setdefault(event.application, {})
+                for ca in event.channels:
+                    held[ca.spec.name] = (event.slot, ca)
+            else:
+                for name, (start, ca) in sorted(
+                        open_spans.pop(event.application, {}).items()):
+                    spans.setdefault(name, []).append(
+                        (start, event.slot, ca))
+        for held in open_spans.values():
+            for name, (start, ca) in sorted(held.items()):
+                spans.setdefault(name, []).append(
+                    (start, self.horizon_slots, ca))
+        return {name: tuple(sorted(entry))
+                for name, entry in sorted(spans.items())}
+
+    def survivors(self, *, until: int | None = None) -> tuple[str, ...]:
+        """Channels still running at slot ``until`` (default: horizon).
+
+        These are the channels whose behaviour the dynamic composability
+        check compares against a solo run: they lived through every
+        epoch boundary after their start.  Pass ``until`` when only a
+        prefix of the timeline is simulated.
+        """
+        if until is None:
+            until = self.horizon_slots
+        return tuple(sorted(
+            name for name, intervals in self.channel_intervals().items()
+            if any(start < until <= stop
+                   for start, stop, _ in intervals)))
+
+    def epoch_boundaries(self) -> tuple[int, ...]:
+        """Slots at which the active channel set changes, including 0."""
+        return tuple(sorted({0} | {e.slot for e in self.events}))
+
+    @property
+    def n_epochs(self) -> int:
+        """Number of maximal constant-configuration spans."""
+        return len(self.epoch_boundaries())
+
+    def change_plan(self) -> tuple[
+            tuple[ChannelAllocation, ...],
+            tuple[tuple[int, tuple[str, ...],
+                        tuple[ChannelAllocation, ...]], ...]]:
+        """Compiled form for simulators: initial channels plus changes.
+
+        Returns the channels active from slot 0 and, per later boundary
+        slot, the channel names to remove and the allocations to add —
+        stops first, mirroring the event normalisation.
+        """
+        app_channels: dict[str, tuple[ChannelAllocation, ...]] = {}
+        initial: list[ChannelAllocation] = []
+        by_slot: dict[int, tuple[list[str], list[ChannelAllocation]]] = {}
+        for event in self.events:
+            if event.action == "start":
+                app_channels[event.application] = event.channels
+                if event.slot == 0:
+                    initial.extend(event.channels)
+                else:
+                    by_slot.setdefault(event.slot, ([], []))[1].extend(
+                        event.channels)
+            else:
+                stopped = app_channels.pop(event.application)
+                by_slot.setdefault(event.slot, ([], []))[0].extend(
+                    ca.spec.name for ca in stopped)
+        changes = tuple(
+            (slot, tuple(stops), tuple(starts))
+            for slot, (stops, starts) in sorted(by_slot.items()))
+        return tuple(initial), changes
+
+    def restricted_to(self, channel_names) -> "ReconfigurationTimeline":
+        """The timeline containing only the named channels' transitions.
+
+        This is the *solo reference* of the dynamic composability check:
+        the survivors keep their exact start slots and allocations while
+        every other application's churn disappears.
+        """
+        wanted = set(channel_names)
+        retained_apps: set[str] = set()
+        events: list[TimelineEvent] = []
+        for event in self.events:
+            if event.action == "start":
+                kept = tuple(ca for ca in event.channels
+                             if ca.spec.name in wanted)
+                if kept:
+                    retained_apps.add(event.application)
+                    events.append(TimelineEvent(
+                        event.slot, "start", event.application, kept))
+            elif event.application in retained_apps:
+                retained_apps.discard(event.application)
+                events.append(TimelineEvent(
+                    event.slot, "stop", event.application))
+        return ReconfigurationTimeline(
+            self.topology, events, horizon_slots=self.horizon_slots,
+            table_size=self.table_size, frequency_hz=self.frequency_hz,
+            fmt=self.fmt)
+
+    def to_record(self) -> dict[str, object]:
+        """Deterministic JSON-ready form (routes and slots included)."""
+        return {
+            "topology": self.topology.name,
+            "horizon_slots": self.horizon_slots,
+            "table_size": self.table_size,
+            "frequency_mhz": round(self.frequency_hz / 1e6, 3),
+            "n_epochs": self.n_epochs,
+            "events": [
+                {"slot": e.slot, "action": e.action,
+                 "application": e.application,
+                 "channels": [
+                     {"name": ca.spec.name,
+                      "src": ca.path.source, "dst": ca.path.dest,
+                      "routers": list(ca.path.routers),
+                      "slots": list(ca.slots)}
+                     for ca in e.channels]}
+                for e in self.events],
+        }
+
+    def __repr__(self) -> str:
+        return (f"ReconfigurationTimeline({len(self.events)} events, "
+                f"{self.n_epochs} epochs over {self.horizon_slots} "
+                "slots)")
+
+
+class TimelineRecorder:
+    """Collects timestamped transitions and builds a timeline.
+
+    The control plane records transitions in *seconds* of service time;
+    :meth:`build` maps them onto TDM slots.  With ``fit=True`` (the
+    default) the trace is linearly compressed so the last transition
+    lands at ``fill`` of the requested horizon — service time (session
+    lifetimes of milliseconds) and slot time (nanoseconds) differ by six
+    orders of magnitude, so replaying at the physical slot rate would
+    need billions of slots.  Order and relative spacing of transitions
+    are preserved either way, which is all the composability argument
+    needs: the active-set sequence is identical to the live run's.
+    """
+
+    def __init__(self, topology: Topology, *, table_size: int,
+                 frequency_hz: float, fmt: WordFormat | None = None,
+                 slots_per_second: float | None = None):
+        self.topology = topology
+        self.table_size = table_size
+        self.frequency_hz = frequency_hz
+        self.fmt = fmt or WordFormat()
+        if slots_per_second is not None and slots_per_second <= 0:
+            raise ConfigurationError("slots_per_second must be positive")
+        self.slots_per_second = slots_per_second or (
+            frequency_hz / self.fmt.flit_size)
+        self._transitions: list[tuple[float, str, str,
+                                      tuple[ChannelAllocation, ...]]] = []
+
+    @property
+    def n_transitions(self) -> int:
+        """Transitions recorded so far."""
+        return len(self._transitions)
+
+    def _record(self, time_s: float, action: str, application: str,
+                channels: tuple[ChannelAllocation, ...]) -> None:
+        if time_s < 0:
+            raise ConfigurationError("transition time must be >= 0")
+        if self._transitions and time_s < self._transitions[-1][0]:
+            raise ConfigurationError(
+                "transitions must be recorded in time order")
+        self._transitions.append((time_s, action, application, channels))
+
+    def record_start(self, time_s: float, application: str,
+                     channels) -> None:
+        """Record one application/session start with its allocations."""
+        self._record(time_s, "start", application, tuple(channels))
+
+    def record_stop(self, time_s: float, application: str) -> None:
+        """Record one application/session stop."""
+        self._record(time_s, "stop", application, ())
+
+    def build(self, *, horizon_slots: int, fit: bool = True,
+              fill: float = 0.75) -> ReconfigurationTimeline:
+        """Convert the recorded transitions into a validated timeline.
+
+        Transitions mapping to a slot at or beyond the horizon are
+        dropped (the mapping is monotone, so a dropped start always
+        drops its stop too); a start whose stop is dropped becomes a
+        survivor.  A session whose start and stop compress onto the
+        *same* slot is zero-length at this resolution — it influences no
+        epoch, so both its events are dropped (keeping it would order
+        the stop before its own start under the stops-first boundary
+        normalisation).
+        """
+        if not 0 < fill <= 1:
+            raise ConfigurationError("fill must be in (0, 1]")
+        rate = self.slots_per_second
+        fitted = False
+        if fit and self._transitions:
+            last_s = self._transitions[-1][0]
+            if last_s > 0:
+                rate = horizon_slots * fill / last_s
+                fitted = True
+        events: list[TimelineEvent | None] = []
+        open_start: dict[str, int] = {}  # application -> index in events
+        for time_s, action, application, channels in self._transitions:
+            slot = int(time_s * rate)
+            if fitted:
+                # A fitted trace lies inside the horizon by construction;
+                # clamp away float wobble at fill=1.0 so the final
+                # transition is never silently dropped.
+                slot = min(slot, horizon_slots - 1)
+            if slot >= horizon_slots:
+                continue
+            if action == "start":
+                open_start[application] = len(events)
+            else:
+                index = open_start.pop(application, None)
+                if index is not None and events[index].slot == slot:
+                    events[index] = None  # zero-length session
+                    continue
+            events.append(TimelineEvent(slot, action, application,
+                                        channels))
+        return ReconfigurationTimeline(
+            self.topology, [e for e in events if e is not None],
+            horizon_slots=horizon_slots, table_size=self.table_size,
+            frequency_hz=self.frequency_hz, fmt=self.fmt)
+
+
+def replay_configuration(timeline: ReconfigurationTimeline
+                         ) -> "NocConfiguration":
+    """An empty-allocation configuration for replaying ``timeline``.
+
+    Timeline replay draws its channel set from the timeline's events,
+    not from a static allocation, but the simulation backends bind a
+    :class:`~repro.core.configuration.NocConfiguration` for the
+    operating point (topology, table size, frequency, word format).
+    This builds that carrier configuration.
+    """
+    from repro.core.configuration import NocConfiguration
+
+    return NocConfiguration(
+        topology=timeline.topology,
+        use_case=UseCase("replay", ()),
+        mapping=Mapping({}),
+        allocation=Allocation(timeline.topology, timeline.table_size,
+                              timeline.frequency_hz, timeline.fmt),
+        table_size=timeline.table_size,
+        frequency_hz=timeline.frequency_hz,
+        fmt=timeline.fmt)

@@ -16,7 +16,12 @@ consistent throughout —
 * after **every** transition the composability invariant is re-checked:
   no other running session's reservations may have moved (the paper's
   undisrupted-reconfiguration property, continuously verified under
-  churn instead of once).
+  churn instead of once);
+* with ``record_timeline=True`` every accepted open and released close
+  is also emitted onto a :class:`~repro.core.timeline.
+  ReconfigurationTimeline` — the replayable artifact the flit-level
+  simulator executes epoch by epoch, closing the loop from analytical
+  isolation proofs to cycle-level trace equality.
 
 The run loop is deliberately synchronous and deterministic: one event
 stream in, one report out, byte-identical across repeated runs.
@@ -51,7 +56,9 @@ class SessionService:
                  options: AllocatorOptions | None = None,
                  name: str = "service", seed: int = 0,
                  window: int = 100, record_events: bool = True,
-                 validate_every: int = 512):
+                 validate_every: int = 512,
+                 record_timeline: bool = False,
+                 timeline_slot_rate: float | None = None):
         if allocator is None:
             allocator = SlotAllocator(
                 topology,
@@ -95,6 +102,27 @@ class SessionService:
         self.active: dict[str, object] = {}
         self.peak_active = 0
         self._last_time_s = 0.0
+        self.recorder = None
+        if record_timeline:
+            from repro.core.timeline import TimelineRecorder
+            self.recorder = TimelineRecorder(
+                topology, table_size=self.allocator.table_size,
+                frequency_hz=self.allocator.frequency_hz,
+                fmt=self.allocator.fmt,
+                slots_per_second=timeline_slot_rate)
+
+    def timeline(self, *, horizon_slots: int, fit: bool = True):
+        """The recorded churn as a replayable reconfiguration timeline.
+
+        Requires ``record_timeline=True``; ``fit`` compresses the trace
+        into the requested horizon (see :meth:`~repro.core.timeline.
+        TimelineRecorder.build`).
+        """
+        if self.recorder is None:
+            raise ConfigurationError(
+                "timeline recording is off; construct the service with "
+                "record_timeline=True")
+        return self.recorder.build(horizon_slots=horizon_slots, fit=fit)
 
     # -- event handling -------------------------------------------------------
 
@@ -157,6 +185,9 @@ class SessionService:
             self.active[session.session_id] = ca
             self.peak_active = max(self.peak_active, len(self.active))
             accepted = True
+            if self.recorder is not None:
+                self.recorder.record_start(event.time_s,
+                                           session.session_id, (ca,))
         self.checker.check_transition(session.session_id)
         self.metrics.record_open(record, qos_name=session.qos.name,
                                  accepted=accepted, wall_s=wall)
@@ -168,6 +199,9 @@ class SessionService:
             self.admission.release(session.session_id)
             del self.active[session.session_id]
             self.checker.check_transition(session.session_id)
+            if self.recorder is not None:
+                self.recorder.record_stop(event.time_s,
+                                          session.session_id)
         record: dict[str, object] | None = None
         if self.metrics.record_events:
             record = {

@@ -39,6 +39,10 @@ _EXPORTS: dict[str, str] = {
     "ComposabilityReport": "repro.simulation.composability",
     "run_with_channels": "repro.simulation.composability",
     "compare_subsets": "repro.simulation.composability",
+    "DynamicComposabilityReport": "repro.simulation.composability",
+    "replay_traffic": "repro.simulation.composability",
+    "verify_timeline": "repro.simulation.composability",
+    "run_replay_demo": "repro.simulation.replay",
 }
 
 __all__ = sorted(_EXPORTS)

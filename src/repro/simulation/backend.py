@@ -34,6 +34,7 @@ from typing import Callable, Mapping
 
 from repro.core.configuration import NocConfiguration
 from repro.core.exceptions import ConfigurationError
+from repro.core.timeline import ReconfigurationTimeline
 from repro.core.words import WordFormat
 from repro.simulation.monitors import (LatencySummary, StatsCollector,
                                        TraceRecorder, latency_digest)
@@ -65,12 +66,20 @@ class SimRequest:
         without reallocation (the best-effort baseline's frequency
         sweep).  TDM backends reject an override: their slot tables are
         allocated for the configuration's frequency.
+    timeline:
+        Optional :class:`~repro.core.timeline.ReconfigurationTimeline`
+        of live start/stop transitions to execute instead of a static
+        channel set.  The channel universe then comes from the
+        timeline's events; traffic names must refer to timeline
+        channels.  Backends that cannot reconfigure mid-run (the
+        cycle-accurate model) reject timeline requests.
     """
 
     n_slots: int
     traffic: Mapping[str, TrafficPattern] = field(default_factory=dict)
     seed: int = 1
     frequency_hz: float | None = None
+    timeline: ReconfigurationTimeline | None = None
 
     def __post_init__(self) -> None:
         if self.n_slots <= 0:
@@ -78,6 +87,11 @@ class SimRequest:
                 f"n_slots must be positive, got {self.n_slots}")
         if self.frequency_hz is not None and self.frequency_hz <= 0:
             raise ConfigurationError("frequency_hz override must be positive")
+        if self.timeline is not None and \
+                self.n_slots > self.timeline.horizon_slots:
+            raise ConfigurationError(
+                f"n_slots {self.n_slots} exceeds the timeline horizon "
+                f"of {self.timeline.horizon_slots} slots")
 
 
 @dataclass
@@ -236,12 +250,32 @@ class SimulationBackend(ABC):
         """Execute one request and return the uniform result."""
 
     def _check_traffic(self, request: SimRequest) -> None:
-        unknown = sorted(set(request.traffic) -
-                         set(self.config.allocation.channels))
+        if request.timeline is not None:
+            known = set(request.timeline.channel_names)
+            universe = "timeline"
+        else:
+            known = set(self.config.allocation.channels)
+            universe = "configuration"
+        unknown = sorted(set(request.traffic) - known)
         if unknown:
             raise ConfigurationError(
-                f"traffic names channels outside the configuration: "
+                f"traffic names channels outside the {universe}: "
                 f"{unknown}")
+
+    def _check_timeline(self, request: SimRequest) -> None:
+        timeline = request.timeline
+        if timeline is None:
+            return
+        if timeline.topology is not self.config.topology:
+            raise ConfigurationError(
+                "timeline was recorded on a different topology object")
+        if timeline.table_size != self.config.table_size:
+            raise ConfigurationError(
+                f"timeline table size {timeline.table_size} != "
+                f"configuration table size {self.config.table_size}")
+        if timeline.fmt != self.config.fmt:
+            raise ConfigurationError(
+                "timeline word format differs from the configuration's")
 
     def _reject_frequency_override(self, request: SimRequest) -> None:
         if request.frequency_hz is not None and \
@@ -256,18 +290,31 @@ class SimulationBackend(ABC):
 
 
 class FlitLevelBackend(SimulationBackend):
-    """Fast flit-level TDM simulation (the paper's aelite network)."""
+    """Fast flit-level TDM simulation (the paper's aelite network).
+
+    ``recompile`` selects the schedule-recompilation strategy for
+    timeline requests: ``"incremental"`` (default) rebuilds only the
+    injection-slot rows a transition touches, ``"full"`` recompiles the
+    whole schedule at every epoch boundary (the reference the tier-2
+    benchmark compares against).
+    """
 
     name = "flit"
 
     def __init__(self, config: NocConfiguration, *,
                  flow_control: bool = False,
                  rx_buffer_words: int | None = None,
-                 check_contention: bool = False):
+                 check_contention: bool = False,
+                 recompile: str = "incremental"):
         super().__init__(config)
+        if recompile not in ("incremental", "full"):
+            raise ConfigurationError(
+                f"unknown recompile strategy {recompile!r}; expected "
+                "'incremental' or 'full'")
         self.flow_control = flow_control
         self.rx_buffer_words = rx_buffer_words
         self.check_contention = check_contention
+        self.recompile = recompile
 
     def run(self, request: SimRequest) -> SimResult:
         from repro.simulation.flitsim import FlitLevelSimulator
@@ -277,16 +324,28 @@ class FlitLevelBackend(SimulationBackend):
             self.config, flow_control=self.flow_control,
             rx_buffer_words=self.rx_buffer_words,
             check_contention=self.check_contention)
-        for channel, pattern in sorted(request.traffic.items()):
-            sim.set_traffic(channel, pattern)
-        result = sim.run(request.n_slots)
+        if request.timeline is not None:
+            # Shared compatibility checks here; the frequency rule
+            # (TDM schedules cannot be retimed) is enforced by the
+            # simulator itself, which direct callers also hit.
+            self._check_timeline(request)
+            result = sim.run_timeline(
+                request.timeline, request.n_slots,
+                traffic=dict(request.traffic),
+                incremental=self.recompile == "incremental")
+        else:
+            for channel, pattern in sorted(request.traffic.items()):
+                sim.set_traffic(channel, pattern)
+            result = sim.run(request.n_slots)
         return SimResult(
             backend=self.name, stats=result.stats, trace=result.trace,
             simulated_slots=result.simulated_slots,
             frequency_hz=result.frequency_hz, fmt=result.fmt,
             meta={"stalled_slots_by_channel":
                   result.stalled_slots_by_channel,
-                  "flits_by_channel": result.flits_by_channel},
+                  "flits_by_channel": result.flits_by_channel,
+                  "n_epochs": result.n_epochs,
+                  "recompile": self.recompile},
             raw=result)
 
 
@@ -306,6 +365,10 @@ class CycleAccurateBackend(SimulationBackend):
 
     def run(self, request: SimRequest) -> SimResult:
         from repro.simulation.cyclesim import DetailedNetwork
+        if request.timeline is not None:
+            raise ConfigurationError(
+                "backend 'cycle' cannot execute reconfiguration "
+                "timelines; replay on 'flit' (TDM) or 'be'")
         self._check_traffic(request)
         self._reject_frequency_override(request)
         network = DetailedNetwork(
@@ -350,9 +413,14 @@ class BestEffortBackend(SimulationBackend):
             self.config, frequency_hz=frequency,
             buffer_flits=self.buffer_flits,
             max_packet_flits=self.max_packet_flits)
-        for channel, pattern in sorted(request.traffic.items()):
-            sim.set_traffic(channel, pattern)
-        result = sim.run(request.n_slots)
+        if request.timeline is not None:
+            self._check_timeline(request)
+            result = sim.run_timeline(request.timeline, request.n_slots,
+                                      traffic=dict(request.traffic))
+        else:
+            for channel, pattern in sorted(request.traffic.items()):
+                sim.set_traffic(channel, pattern)
+            result = sim.run(request.n_slots)
         return SimResult(
             backend=self.name, stats=result.stats,
             simulated_slots=result.simulated_ticks,

@@ -15,20 +15,33 @@ protocol, so *any* backend can be put under the isolation microscope: the
 TDM backends pass by construction; the best-effort baseline
 (:mod:`repro.baseline`) measurably fails, which is the point of the
 paper's Section VII comparison.
+
+:func:`verify_timeline` is the *dynamic* form of the same claim — the
+paper's strongest statement, that starting or stopping an application
+does not perturb a running application *by a single cycle*.  It executes
+a :class:`~repro.core.timeline.ReconfigurationTimeline` of live churn
+twice: once in full and once restricted to the surviving channels (the
+solo reference), then requires the survivors' flit traces to be
+bit-identical across every reconfiguration epoch.  On the TDM flit
+backend that holds by construction; on the best-effort baseline the same
+timeline measurably diverges.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable
+from typing import Callable, Iterable
 
 from repro.core.configuration import NocConfiguration
+from repro.core.timeline import ReconfigurationTimeline, replay_configuration
 from repro.simulation.backend import (FlitLevelBackend, SimRequest,
                                       SimulationBackend)
 from repro.simulation.monitors import TraceRecorder
-from repro.simulation.traffic import TrafficPattern
+from repro.simulation.traffic import ConstantBitRate, TrafficPattern
 
-__all__ = ["ComposabilityReport", "run_with_channels", "compare_subsets"]
+__all__ = ["ComposabilityReport", "run_with_channels", "compare_subsets",
+           "DynamicComposabilityReport", "replay_traffic",
+           "verify_timeline"]
 
 #: Builds the backend a comparison runs on; defaults to flit-level.
 BackendFactory = Callable[[NocConfiguration], SimulationBackend]
@@ -65,11 +78,17 @@ def run_with_channels(config: NocConfiguration,
     allocation is untouched — stopping an application does not reconfigure
     the network) but offer no traffic, exactly like a stopped application.
     ``backend_factory`` selects the simulator; the default is the fast
-    flit-level backend (``flow_control`` only applies to that default).
+    flit-level backend.  ``flow_control`` only applies to that default,
+    so combining it with a factory is a conflict, not a preference.
     """
     if backend_factory is None:
         backend = FlitLevelBackend(config, flow_control=flow_control)
     else:
+        if flow_control:
+            raise ValueError(
+                "flow_control only applies to the default flit-level "
+                "backend; configure flow control inside backend_factory "
+                "instead")
         backend = backend_factory(config)
     request = SimRequest(
         n_slots=n_slots,
@@ -103,13 +122,119 @@ def compare_subsets(config: NocConfiguration,
     for name, active in sorted(scenarios.items()):
         restricted = run_with_channels(config, traffic, active, n_slots,
                                        backend_factory=backend_factory)
-        compare_on = sorted(active & all_channels)
-        identical = tuple(
-            ch for ch in compare_on
-            if reference.trace(ch) == restricted.trace(ch))
-        diverged = tuple(
-            ch for ch in compare_on
-            if reference.trace(ch) != restricted.trace(ch))
+        identical: list[str] = []
+        diverged: list[str] = []
+        for ch in sorted(active & all_channels):
+            matched = reference.trace(ch) == restricted.trace(ch)
+            (identical if matched else diverged).append(ch)
         reports.append(ComposabilityReport(
-            scenario=name, identical=identical, diverged=diverged))
+            scenario=name, identical=tuple(identical),
+            diverged=tuple(diverged)))
     return reports
+
+
+@dataclass(frozen=True)
+class DynamicComposabilityReport:
+    """Outcome of one churn-vs-solo timeline comparison.
+
+    ``survivors`` are the channels compared (present, with identical
+    start slots and allocations, in both the full churn run and the solo
+    reference); ``n_epochs`` counts the full timeline's reconfiguration
+    epochs the survivors lived through.
+    """
+
+    scenario: str
+    backend: str
+    n_epochs: int
+    survivors: tuple[str, ...]
+    identical: tuple[str, ...]
+    diverged: tuple[str, ...]
+
+    @property
+    def is_composable(self) -> bool:
+        """True when every survivor behaved identically under churn."""
+        return not self.diverged
+
+    def to_record(self) -> dict[str, object]:
+        """Deterministic JSON-ready verdict."""
+        return {
+            "scenario": self.scenario,
+            "backend": self.backend,
+            "n_epochs": self.n_epochs,
+            "n_survivors": len(self.survivors),
+            "survivors": list(self.survivors),
+            "identical": len(self.identical),
+            "diverged": list(self.diverged),
+            "composable": self.is_composable,
+        }
+
+
+def replay_traffic(timeline: ReconfigurationTimeline, *,
+                   rate_factor: float = 1.0
+                   ) -> dict[str, TrafficPattern]:
+    """CBR traffic at every timeline channel's required rate.
+
+    Patterns are interpreted relative to each channel's start slot, so
+    one pattern per channel covers restarts too.
+    """
+    return {
+        name: ConstantBitRate.from_rate(
+            ca.spec.throughput_bytes_per_s * rate_factor,
+            timeline.frequency_hz, timeline.fmt)
+        for name, ca in sorted(timeline.channel_allocations().items())}
+
+
+def verify_timeline(timeline: ReconfigurationTimeline,
+                    traffic: dict[str, TrafficPattern], *,
+                    survivors: Iterable[str] | None = None,
+                    n_slots: int | None = None,
+                    backend_factory: BackendFactory | None = None,
+                    scenario: str = "churn-vs-solo"
+                    ) -> DynamicComposabilityReport:
+    """Replay a churn timeline and check survivors against a solo run.
+
+    The timeline is executed twice on the same backend: once in full
+    (every recorded start/stop applied at its slot) and once restricted
+    to the ``survivors`` (default: every channel still running at the
+    horizon).  A TDM backend must produce bit-identical survivor traces;
+    the best-effort baseline (:class:`~repro.simulation.backend.
+    BestEffortBackend` via ``backend_factory``) demonstrably does not.
+    """
+    config = replay_configuration(timeline)
+    if backend_factory is None:
+        backend = FlitLevelBackend(config)
+    else:
+        backend = backend_factory(config)
+    if n_slots is None:
+        n_slots = timeline.horizon_slots
+    if survivors is None:
+        # Survivors of the *simulated window*: channels still running
+        # when the run ends, even if the full timeline stops them later.
+        survivors = timeline.survivors(until=n_slots)
+    survivors = tuple(sorted(survivors))
+    unknown = sorted(set(survivors) - set(timeline.channel_names))
+    if unknown:
+        raise ValueError(
+            f"survivors name channels outside the timeline: {unknown}")
+    churn = backend.run(SimRequest(
+        n_slots=n_slots, traffic=traffic,
+        timeline=timeline)).composability_trace()
+    survivor_set = set(survivors)
+    solo = backend.run(SimRequest(
+        n_slots=n_slots,
+        traffic={ch: pattern for ch, pattern in traffic.items()
+                 if ch in survivor_set},
+        timeline=timeline.restricted_to(survivors))).composability_trace()
+    identical: list[str] = []
+    diverged: list[str] = []
+    for ch in survivors:
+        matched = churn.trace(ch) == solo.trace(ch)
+        (identical if matched else diverged).append(ch)
+    # Count only epochs the run actually entered (boundaries beyond a
+    # truncated window were never simulated).
+    n_epochs = sum(1 for boundary in timeline.epoch_boundaries()
+                   if boundary < n_slots)
+    return DynamicComposabilityReport(
+        scenario=scenario, backend=backend.name,
+        n_epochs=n_epochs, survivors=survivors,
+        identical=tuple(identical), diverged=tuple(diverged))

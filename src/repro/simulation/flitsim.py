@@ -29,6 +29,18 @@ slot tables are compiled once into a per-table-slot list of channel
 runtime states and the per-channel arrival streams into flat arrays of
 precomputed ready-slots, so a simulated slot touches exactly the
 channels that own it instead of re-scanning every NI's table.
+
+Execution is *epoch-based*: a run is a sequence of spans with a constant
+channel set, separated by reconfiguration boundaries.  A static
+:meth:`~FlitLevelSimulator.run` is the one-epoch special case;
+:meth:`~FlitLevelSimulator.run_timeline` executes a
+:class:`~repro.core.timeline.ReconfigurationTimeline` of live start/stop
+transitions.  At each boundary only the channels the transition touches
+have their injection-slot schedule entries rebuilt (*incremental
+recompilation*); every surviving channel's runtime — pending messages,
+arrival cursor, credit state, trace sinks — crosses the boundary
+untouched, which is exactly the paper's undisrupted-reconfiguration
+property at cycle level.
 """
 
 from __future__ import annotations
@@ -36,6 +48,7 @@ from __future__ import annotations
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappop, heappush
+from typing import TYPE_CHECKING
 
 from repro.core.allocation import ChannelAllocation
 from repro.core.configuration import NocConfiguration
@@ -45,6 +58,9 @@ from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
                                        StatsCollector, TraceRecorder,
                                        latency_digest)
 from repro.simulation.traffic import TrafficPattern
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only import
+    from repro.core.timeline import ReconfigurationTimeline
 
 __all__ = ["FlitLevelSimulator", "FlitSimResult"]
 
@@ -97,6 +113,7 @@ class FlitSimResult:
     fmt: WordFormat
     stalled_slots_by_channel: dict[str, int]
     flits_by_channel: dict[str, int]
+    n_epochs: int = 1
 
     @property
     def simulated_ns(self) -> float:
@@ -152,6 +169,59 @@ class FlitLevelSimulator:
         """Simulate ``n_slots`` flit cycles and return all measurements."""
         if n_slots <= 0:
             raise ConfigurationError(f"n_slots must be positive, got {n_slots}")
+        states = self._build_channel_states(n_slots)
+        return self._execute(n_slots, states, (), {}, True)
+
+    def run_timeline(self, timeline: "ReconfigurationTimeline",
+                     n_slots: int | None = None, *,
+                     traffic: dict[str, TrafficPattern] | None = None,
+                     incremental: bool = True) -> FlitSimResult:
+        """Execute a reconfiguration timeline epoch by epoch.
+
+        The channel set comes from the timeline's events, not from the
+        configuration's allocation; each channel's traffic pattern is
+        interpreted relative to its start slot.  ``incremental=True``
+        (the default) rebuilds only the injection-slot schedule entries
+        of channels a transition touches; ``incremental=False``
+        recompiles the whole schedule at every boundary — behaviourally
+        identical, and kept as the reference the tier-2 benchmark
+        measures the incremental path against.
+        """
+        if timeline.table_size != self.table_size:
+            raise ConfigurationError(
+                f"timeline table size {timeline.table_size} != "
+                f"simulator table size {self.table_size}")
+        if timeline.frequency_hz != self.frequency_hz:
+            raise ConfigurationError(
+                "timeline frequency differs from the configuration's; "
+                "TDM schedules cannot be retimed")
+        if timeline.fmt != self.fmt:
+            raise ConfigurationError(
+                "timeline word format differs from the configuration's")
+        if n_slots is None:
+            n_slots = timeline.horizon_slots
+        if not 0 < n_slots <= timeline.horizon_slots:
+            raise ConfigurationError(
+                f"n_slots must be in (0, {timeline.horizon_slots}], "
+                f"got {n_slots}")
+        patterns = dict(traffic or {})
+        unknown = sorted(set(patterns) - set(timeline.channel_names))
+        if unknown:
+            raise ConfigurationError(
+                f"traffic names channels outside the timeline: {unknown}")
+        initial, changes = timeline.change_plan()
+        states = {
+            ca.spec.name: self._make_runtime(
+                ca.spec.name, ca, patterns.get(ca.spec.name), 0, n_slots)
+            for ca in sorted(initial, key=lambda ca: ca.spec.name)}
+        changes = tuple(c for c in changes if c[0] < n_slots)
+        return self._execute(n_slots, states, changes, patterns,
+                             incremental)
+
+    def _execute(self, n_slots: int, states: dict[str, _ChannelRuntime],
+                 changes: tuple, patterns: dict[str, TrafficPattern],
+                 incremental: bool) -> FlitSimResult:
+        """Run the slot loop over one or more constant-channel epochs."""
         fmt = self.fmt
         flit_size = fmt.flit_size
         payload_per_flit = fmt.payload_words_per_flit
@@ -161,120 +231,206 @@ class FlitLevelSimulator:
         check_contention = self.check_contention
         stats = StatsCollector()
         trace = TraceRecorder()
+        all_states: list[_ChannelRuntime] = []
 
-        channels = self._build_channel_states(n_slots * flit_size)
-        schedule = self._compile_schedule(channels)
-        for state in channels.values():
+        def register(state: _ChannelRuntime) -> None:
             channel_stats = stats.sink(state.name)
             state.injections = channel_stats.injections
             state.deliveries = channel_stats.deliveries
+            all_states.append(state)
 
-        credit_returns: list[tuple[int, str, int]] = []  # (slot, ch, words)
+        for state in states.values():
+            register(state)
+        schedule = self._compile_schedule(states)
+
+        # (slot, seq, runtime, words): credits return to the exact
+        # runtime that spent them, so a channel restarted under a
+        # timeline never absorbs its previous incarnation's returns;
+        # the sequence number keeps heap ordering off the runtimes.
+        credit_returns: list[tuple[int, int, _ChannelRuntime, int]] = []
+        credit_seq = 0
         occupancy: dict[tuple[tuple[str, str], int], str] = {}
         injection_record = InjectionRecord
         delivery_record = DeliveryRecord
 
-        for abs_slot in range(n_slots):
-            # Release credits that completed their loop.
-            while credit_returns and credit_returns[0][0] <= abs_slot:
-                _, ch_name, words = heappop(credit_returns)
-                state = channels[ch_name]
-                if state.credits_words is not None:
-                    state.credits_words += words
-            for state in schedule[abs_slot % table_size]:
-                # Move arrivals whose ready slot has passed into the queue.
-                pos = state.ev_pos
-                if pos < state.ev_len and state.ev_ready[pos] <= abs_slot:
-                    pending_append = state.pending.append
-                    ev_ready = state.ev_ready
-                    while pos < state.ev_len and ev_ready[pos] <= abs_slot:
-                        pending_append([state.ev_id[pos],
-                                        state.ev_words[pos],
-                                        state.ev_words[pos],
-                                        state.ev_cycle[pos]])
-                        pos += 1
-                    state.ev_pos = pos
-                pending = state.pending
-                if not pending:
-                    continue
-                message = pending[0]
-                words_left = message[1]
-                payload_words = (words_left if words_left < payload_per_flit
-                                 else payload_per_flit)
-                credits = state.credits_words
-                if credits is not None and credits < payload_words:
-                    state.stalled_slots += 1
-                    continue
-                if check_contention:
-                    self._check_links(state, abs_slot, occupancy)
-                message[1] = words_left - payload_words
-                if credits is not None:
-                    state.credits_words = credits - payload_words
-                    heappush(credit_returns,
-                             (abs_slot + state.credit_loop_slots,
-                              state.name, payload_words))
-                state.flits_sent += 1
-                cycle = abs_slot * flit_size
-                state.injections.append(injection_record(
-                    channel=state.name, message_id=message[0],
-                    sequence=state.flits_sent - 1, slot_index=abs_slot,
-                    cycle=cycle, time_ps=cycle * period_ps))
-                if message[1] <= 0:
-                    pending.popleft()
-                    delivered_cycle = (abs_slot + state.traversal_slots) * \
-                        flit_size
-                    state.deliveries.append(delivery_record(
+        span_start = 0
+        for boundary, stops, starts in (*changes, (n_slots, (), ())):
+            for abs_slot in range(span_start, min(boundary, n_slots)):
+                # Release credits that completed their loop.
+                while credit_returns and credit_returns[0][0] <= abs_slot:
+                    _, _, state, words = heappop(credit_returns)
+                    if state.credits_words is not None:
+                        state.credits_words += words
+                for state in schedule[abs_slot % table_size]:
+                    # Move arrivals whose ready slot has passed into the
+                    # queue.
+                    pos = state.ev_pos
+                    if pos < state.ev_len and state.ev_ready[pos] <= abs_slot:
+                        pending_append = state.pending.append
+                        ev_ready = state.ev_ready
+                        while pos < state.ev_len and ev_ready[pos] <= abs_slot:
+                            pending_append([state.ev_id[pos],
+                                            state.ev_words[pos],
+                                            state.ev_words[pos],
+                                            state.ev_cycle[pos]])
+                            pos += 1
+                        state.ev_pos = pos
+                    pending = state.pending
+                    if not pending:
+                        continue
+                    message = pending[0]
+                    words_left = message[1]
+                    payload_words = (words_left
+                                     if words_left < payload_per_flit
+                                     else payload_per_flit)
+                    credits = state.credits_words
+                    if credits is not None and credits < payload_words:
+                        state.stalled_slots += 1
+                        continue
+                    if check_contention:
+                        self._check_links(state, abs_slot, occupancy)
+                    message[1] = words_left - payload_words
+                    if credits is not None:
+                        state.credits_words = credits - payload_words
+                        heappush(credit_returns,
+                                 (abs_slot + state.credit_loop_slots,
+                                  credit_seq, state, payload_words))
+                        credit_seq += 1
+                    state.flits_sent += 1
+                    cycle = abs_slot * flit_size
+                    state.injections.append(injection_record(
                         channel=state.name, message_id=message[0],
-                        created_cycle=message[3],
-                        created_time_ps=message[3] * period_ps,
-                        delivered_cycle=delivered_cycle,
-                        delivered_time_ps=delivered_cycle * period_ps,
-                        payload_bytes=message[2] * bytes_per_word))
-                    trace_events = state.trace_events
-                    if trace_events is None:
-                        trace_events = trace.channel_sink(state.name)
-                        state.trace_events = trace_events
-                    trace_events.append((message[0], abs_slot,
-                                         delivered_cycle))
+                        sequence=state.flits_sent - 1, slot_index=abs_slot,
+                        cycle=cycle, time_ps=cycle * period_ps))
+                    if message[1] <= 0:
+                        pending.popleft()
+                        delivered_cycle = (abs_slot +
+                                           state.traversal_slots) * \
+                            flit_size
+                        state.deliveries.append(delivery_record(
+                            channel=state.name, message_id=message[0],
+                            created_cycle=message[3],
+                            created_time_ps=message[3] * period_ps,
+                            delivered_cycle=delivered_cycle,
+                            delivered_time_ps=delivered_cycle * period_ps,
+                            payload_bytes=message[2] * bytes_per_word))
+                        trace_events = state.trace_events
+                        if trace_events is None:
+                            trace_events = trace.channel_sink(state.name)
+                            state.trace_events = trace_events
+                        trace_events.append((message[0], abs_slot,
+                                             delivered_cycle))
+            if boundary >= n_slots:
+                break
+            span_start = boundary
+            schedule = self._apply_transition(
+                states, schedule, stops, starts, boundary, n_slots,
+                patterns, incremental, register)
         stats.prune_empty()
+        stalled: dict[str, int] = {}
+        flits: dict[str, int] = {}
+        for state in all_states:
+            stalled[state.name] = stalled.get(state.name, 0) + \
+                state.stalled_slots
+            flits[state.name] = flits.get(state.name, 0) + \
+                state.flits_sent
         return FlitSimResult(
             stats=stats, trace=trace, simulated_slots=n_slots,
             frequency_hz=self.frequency_hz, fmt=fmt,
-            stalled_slots_by_channel={
-                name: st.stalled_slots for name, st in channels.items()},
-            flits_by_channel={
-                name: st.flits_sent for name, st in channels.items()})
+            stalled_slots_by_channel=stalled,
+            flits_by_channel=flits,
+            n_epochs=len(changes) + 1)
 
     # -- helpers ---------------------------------------------------------------
 
-    def _build_channel_states(self, horizon_cycles: int
+    def _build_channel_states(self, n_slots: int
                               ) -> dict[str, _ChannelRuntime]:
+        return {
+            name: self._make_runtime(name, alloc,
+                                     self._patterns.get(name), 0, n_slots)
+            for name, alloc in
+            sorted(self.config.allocation.channels.items())}
+
+    def _make_runtime(self, name: str, alloc: ChannelAllocation,
+                      pattern: TrafficPattern | None, start_slot: int,
+                      n_slots: int) -> _ChannelRuntime:
+        """Fresh per-channel state for a channel starting at a slot.
+
+        Traffic patterns are relative to the channel's start: an event
+        at pattern cycle ``c`` becomes ready ``c`` cycles after the
+        channel (re)starts.
+        """
         fmt = self.fmt
         flit_size = fmt.flit_size
-        states: dict[str, _ChannelRuntime] = {}
-        for name, alloc in sorted(self.config.allocation.channels.items()):
-            state = _ChannelRuntime(name, alloc)
-            pattern = self._patterns.get(name)
-            if pattern is not None:
-                events = pattern.events(horizon_cycles)
-                # ceil(cycle / flit_size): first slot whose boundary has
-                # passed the arrival cycle.
-                state.ev_ready = [-(-e.cycle // flit_size) for e in events]
-                state.ev_cycle = [e.cycle for e in events]
-                state.ev_words = [e.words for e in events]
-                state.ev_id = [e.message_id for e in events]
-                state.ev_len = len(events)
-            if self.flow_control:
-                state.credits_words = self.rx_buffer_words or \
-                    (alloc.n_slots * fmt.payload_words_per_flit * 4)
-                state.credit_loop_slots = (alloc.path.traversal_slots * 2 +
-                                           self.table_size)
-            if self.check_contention:
-                state.contention_keys = tuple(
-                    (link.key, shift) for link, shift in
-                    zip(alloc.path.links, alloc.path.link_shifts))
+        state = _ChannelRuntime(name, alloc)
+        if pattern is not None:
+            base_cycle = start_slot * flit_size
+            events = pattern.events((n_slots - start_slot) * flit_size)
+            # ceil(cycle / flit_size): first slot whose boundary has
+            # passed the arrival cycle.
+            state.ev_ready = [start_slot + -(-e.cycle // flit_size)
+                              for e in events]
+            state.ev_cycle = [base_cycle + e.cycle for e in events]
+            state.ev_words = [e.words for e in events]
+            state.ev_id = [e.message_id for e in events]
+            state.ev_len = len(events)
+        if self.flow_control:
+            state.credits_words = self.rx_buffer_words or \
+                (alloc.n_slots * fmt.payload_words_per_flit * 4)
+            state.credit_loop_slots = (alloc.path.traversal_slots * 2 +
+                                       self.table_size)
+        if self.check_contention:
+            state.contention_keys = tuple(
+                (link.key, shift) for link, shift in
+                zip(alloc.path.links, alloc.path.link_shifts))
+        return state
+
+    def _apply_transition(self, states: dict[str, _ChannelRuntime],
+                          schedule: list[list[_ChannelRuntime]],
+                          stops: tuple[str, ...],
+                          starts: tuple[ChannelAllocation, ...],
+                          slot: int, n_slots: int,
+                          patterns: dict[str, TrafficPattern],
+                          incremental: bool,
+                          register) -> list[list[_ChannelRuntime]]:
+        """Apply one epoch boundary's stops and starts to the schedule.
+
+        Incremental mode touches only the schedule rows of the changed
+        channels, inserting new runtimes in source-NI order so the row
+        ordering — and therefore every survivor's trace — is identical
+        to a full recompilation.
+        """
+        for name in stops:
+            state = states.pop(name, None)
+            if state is None:
+                raise SimulationError(
+                    f"timeline stops unknown channel {name!r} at slot "
+                    f"{slot}")
+            if incremental:
+                for table_slot in state.alloc.slots:
+                    schedule[table_slot].remove(state)
+        for alloc in starts:
+            name = alloc.spec.name
+            if name in states:
+                raise SimulationError(
+                    f"timeline starts channel {name!r} twice at slot "
+                    f"{slot}")
+            state = self._make_runtime(name, alloc, patterns.get(name),
+                                       slot, n_slots)
+            register(state)
             states[name] = state
-        return states
+            if incremental:
+                source = alloc.path.source
+                for table_slot in alloc.slots:
+                    row = schedule[table_slot]
+                    index = 0
+                    while index < len(row) and \
+                            row[index].alloc.path.source < source:
+                        index += 1
+                    row.insert(index, state)
+        if not incremental:
+            schedule = self._compile_schedule(states)
+        return schedule
 
     def _compile_schedule(self, channels: dict[str, _ChannelRuntime]
                           ) -> list[list[_ChannelRuntime]]:

@@ -176,13 +176,65 @@ class TestExecution:
 class TestPresets:
     def test_demo_campaign_shape(self):
         spec = demo_campaign()
-        assert len(spec.scenarios) == 9  # 8 simulate + 1 serve
-        assert len(spec.expand()) == 18
+        assert len(spec.scenarios) == 10  # 8 simulate + 1 serve + 1 replay
+        assert len(spec.expand()) == 20
         modes = {s.mode for s in spec.scenarios}
-        assert modes == {"simulate", "serve"}
+        assert modes == {"simulate", "serve", "replay"}
 
     def test_micro_campaign_runs_clean(self):
         result = CampaignRunner(micro_campaign(n_slots=200),
                                 workers=1).run()
         assert result.n_runs == 4
         assert result.n_failed == 0
+
+
+class TestReplayMode:
+    def _replay_scenario(self, backend="flit"):
+        from repro.service.churn import ChurnSpec
+        return ScenarioSpec(
+            name=f"replay-{backend}", mode="replay", backend=backend,
+            topology=TopologySpec(kind="mesh", cols=3, rows=3,
+                                  nis_per_router=2),
+            churn=ChurnSpec(n_sessions=50), n_slots=800, table_size=16)
+
+    def test_replay_rejects_cycle_backend(self):
+        with pytest.raises(ConfigurationError):
+            self._replay_scenario(backend="cycle")
+
+    def test_churn_spec_rejected_for_simulate(self):
+        from repro.service.churn import ChurnSpec
+        with pytest.raises(ConfigurationError):
+            ScenarioSpec(name="s", mode="simulate",
+                         churn=ChurnSpec(n_sessions=10))
+
+    def test_flit_replay_record_is_composable(self):
+        spec = CampaignSpec(name="replay",
+                            scenarios=(self._replay_scenario(),),
+                            seeds=(1,))
+        record = execute_run(spec.expand()[0])
+        assert record["status"] == "ok"
+        result = record["result"]
+        assert result["composable"] is True
+        assert result["diverged"] == []
+        assert result["n_epochs"] >= 3
+        assert result["n_survivors"] >= 1
+        json.dumps(record)
+
+    def test_replay_runs_deterministic(self):
+        spec = CampaignSpec(name="replay",
+                            scenarios=(self._replay_scenario("be"),),
+                            seeds=(2,))
+        first = CampaignRunner(spec, workers=1).run()
+        second = CampaignRunner(spec, workers=1).run()
+        assert first.to_json() == second.to_json()
+        assert first.records[0]["status"] == "ok"
+
+    def test_replay_summary_rows_render(self):
+        from repro.experiments.report import format_table
+        spec = CampaignSpec(name="replay",
+                            scenarios=(self._replay_scenario(),),
+                            seeds=(1,))
+        result = CampaignRunner(spec, workers=1).run()
+        rows = result.summary_rows()
+        assert rows[0]["status"].endswith("composable")
+        format_table(rows, title="replay")

@@ -159,3 +159,60 @@ class TestExploration:
         # Larger tables lower utilisation (same slots of more).
         utils = [r.mean_link_utilisation for r in feasible]
         assert utils == sorted(utils, reverse=True)
+
+
+class TestTableSizeScanSection7Mesh:
+    """Table-size scan on the Section VII topology (4x3 cmesh, 4 NIs).
+
+    Six bandwidth-only channels fan out of one NI, so any table smaller
+    than six slots cannot even serialise the injection link — the scan
+    must report that corner infeasible and, once the table is large
+    enough, stay feasible for every larger size (feasibility of a
+    bandwidth-only workload is monotone in table size).
+    """
+
+    @pytest.fixture(scope="class")
+    def scan(self):
+        from repro.core.application import Application, UseCase
+        from repro.core.connection import MB, ChannelSpec
+        from repro.topology.builders import concentrated_mesh
+        from repro.topology.mapping import Mapping
+
+        topology = concentrated_mesh(4, 3, nis_per_router=4)
+        nis = topology.nis
+        channels = tuple(
+            ChannelSpec(f"fan{i}", "hub", f"leaf{i}", 40 * MB,
+                        application="fan")
+            for i in range(6))
+        use_case = UseCase("fanout", (Application("fan", channels),))
+        mapping = Mapping({"hub": nis[0], **{
+            f"leaf{i}": nis[i + 1] for i in range(6)}})
+        return table_size_scan(topology, use_case, mapping,
+                               frequency_hz=500e6,
+                               table_sizes=[4, 8, 16, 32, 64])
+
+    def test_feasibility_is_monotone_in_table_size(self, scan):
+        flags = [r.feasible for r in scan]
+        assert flags[0] is False  # 4 slots < 6 channels on one NI link
+        assert True in flags
+        # Once feasible, never infeasible again at a larger size.
+        assert flags == sorted(flags)
+
+    def test_bound_quality_fields(self, scan):
+        for result in scan:
+            if not result.feasible:
+                assert result.mean_latency_bound_ns is None
+                assert result.max_latency_bound_ns is None
+                assert result.mean_link_utilisation is None
+            else:
+                assert result.mean_latency_bound_ns is not None
+                assert result.max_latency_bound_ns >= \
+                    result.mean_latency_bound_ns > 0
+                assert 0 < result.mean_link_utilisation <= 1
+        # Larger tables spread the same demand thinner.
+        utils = [r.mean_link_utilisation for r in scan if r.feasible]
+        assert utils == sorted(utils, reverse=True)
+        # Longer rotations worsen the worst-case wait, so latency
+        # bounds grow with the table.
+        latencies = [r.max_latency_bound_ns for r in scan if r.feasible]
+        assert latencies == sorted(latencies)

@@ -1,0 +1,500 @@
+"""Epoch-based timeline replay and dynamic composability.
+
+The load-bearing claims:
+
+* **Artifact validity** — a :class:`ReconfigurationTimeline` is a
+  sequence of contention-free configurations: overlapping reservations,
+  unbalanced start/stop pairs, and out-of-horizon events are rejected
+  at construction;
+* **Equivalence** — a one-epoch timeline run is bit-identical to the
+  static simulator, and incremental schedule recompilation is
+  bit-identical to a full per-epoch rebuild;
+* **Dynamic composability** — on the flit-level TDM backend, survivors
+  of a churn timeline produce bit-identical traces whether or not the
+  churn happens (across >= 3 reconfiguration epochs), while the
+  best-effort baseline demonstrably diverges under the same timeline;
+* **Round trip** — the control plane's recorded churn replays through
+  the simulators deterministically (byte-identical reports).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core.allocation import SlotAllocator
+from repro.core.application import Application, UseCase
+from repro.core.configuration import configure
+from repro.core.connection import MB, ChannelSpec
+from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.reconfiguration import ReconfigurationManager
+from repro.core.timeline import (ReconfigurationTimeline, TimelineEvent,
+                                 TimelineRecorder, replay_configuration)
+from repro.service.churn import ChurnSpec, ChurnWorkload
+from repro.service.controller import SessionService
+from repro.simulation.backend import (BestEffortBackend,
+                                      CycleAccurateBackend,
+                                      FlitLevelBackend, SimRequest)
+from repro.simulation.composability import (replay_traffic,
+                                            run_with_channels,
+                                            verify_timeline)
+from repro.simulation.flitsim import FlitLevelSimulator
+from repro.simulation.traffic import Saturating
+from repro.topology.builders import mesh
+from repro.topology.mapping import Mapping
+
+
+def _mesh_timeline(mesh_config, horizon=1000):
+    """appX (c0, c1) runs throughout; appY (c2) churns mid-run."""
+    alloc = mesh_config.allocation
+    events = [
+        TimelineEvent(0, "start", "appX",
+                      (alloc.channel("c0"), alloc.channel("c1"))),
+        TimelineEvent(300, "start", "appY", (alloc.channel("c2"),)),
+        TimelineEvent(600, "stop", "appY"),
+    ]
+    return ReconfigurationTimeline(
+        mesh_config.topology, events, horizon_slots=horizon,
+        table_size=mesh_config.table_size,
+        frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+
+
+class TestTimelineArtifact:
+    def test_event_validation(self, mesh_config):
+        ca = mesh_config.allocation.channel("c0")
+        with pytest.raises(ConfigurationError):
+            TimelineEvent(-1, "start", "app", (ca,))
+        with pytest.raises(ConfigurationError):
+            TimelineEvent(0, "teleport", "app", (ca,))
+        with pytest.raises(ConfigurationError):
+            TimelineEvent(0, "start", "app")  # start without channels
+        with pytest.raises(ConfigurationError):
+            TimelineEvent(0, "stop", "app", (ca,))  # stop with channels
+
+    def test_queries(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        assert timeline.channel_names == ("c0", "c1", "c2")
+        assert timeline.n_epochs == 3
+        assert timeline.epoch_boundaries() == (0, 300, 600)
+        assert timeline.survivors() == ("c0", "c1")
+        intervals = timeline.channel_intervals()
+        assert intervals["c0"] == ((0, 1000,
+                                    mesh_config.allocation.channel("c0")),)
+        assert intervals["c2"][0][:2] == (300, 600)
+
+    def test_change_plan(self, mesh_config):
+        initial, changes = _mesh_timeline(mesh_config).change_plan()
+        assert sorted(ca.spec.name for ca in initial) == ["c0", "c1"]
+        assert [(slot, stops, tuple(ca.spec.name for ca in starts))
+                for slot, stops, starts in changes] == \
+            [(300, (), ("c2",)), (600, ("c2",), ())]
+
+    def test_restriction_drops_churn(self, mesh_config):
+        solo = _mesh_timeline(mesh_config).restricted_to(("c0", "c1"))
+        assert solo.channel_names == ("c0", "c1")
+        assert solo.n_epochs == 1
+        assert solo.survivors() == ("c0", "c1")
+
+    def test_contention_between_epoch_channels_rejected(self, mesh_config):
+        """Two concurrently active channels must not share a link slot."""
+        alloc = mesh_config.allocation
+        c0 = alloc.channel("c0")
+        clone = type(c0)(spec=ChannelSpec(
+            "ghost", c0.spec.src_ip, c0.spec.dst_ip,
+            c0.spec.throughput_bytes_per_s, application="ghost"),
+            path=c0.path, slots=c0.slots)
+        with pytest.raises(AllocationError):
+            ReconfigurationTimeline(
+                mesh_config.topology,
+                [TimelineEvent(0, "start", "appX", (c0,)),
+                 TimelineEvent(10, "start", "ghost", (clone,))],
+                horizon_slots=100, table_size=mesh_config.table_size,
+                frequency_hz=mesh_config.frequency_hz,
+                fmt=mesh_config.fmt)
+        # Sequential (non-overlapping) reuse of the same slots is legal.
+        timeline = ReconfigurationTimeline(
+            mesh_config.topology,
+            [TimelineEvent(0, "start", "appX", (c0,)),
+             TimelineEvent(10, "stop", "appX"),
+             TimelineEvent(20, "start", "ghost", (clone,))],
+            horizon_slots=100, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        assert timeline.n_epochs == 3
+
+    def test_unbalanced_and_out_of_horizon_rejected(self, mesh_config):
+        ca = mesh_config.allocation.channel("c0")
+        make = lambda events: ReconfigurationTimeline(  # noqa: E731
+            mesh_config.topology, events, horizon_slots=100,
+            table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        with pytest.raises(ConfigurationError):
+            make([TimelineEvent(0, "stop", "appX")])
+        with pytest.raises(ConfigurationError):
+            make([TimelineEvent(0, "start", "appX", (ca,)),
+                  TimelineEvent(5, "start", "appX", (ca,))])
+        with pytest.raises(ConfigurationError):
+            make([TimelineEvent(100, "start", "appX", (ca,))])
+
+    def test_to_record_is_json_stable(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        text = json.dumps(timeline.to_record(), sort_keys=True)
+        again = json.dumps(_mesh_timeline(mesh_config).to_record(),
+                           sort_keys=True)
+        assert text == again
+
+
+class TestRecorder:
+    def test_fit_preserves_order_and_pairing(self, mesh_config):
+        recorder = TimelineRecorder(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        alloc = mesh_config.allocation
+        recorder.record_start(0.0, "appX", (alloc.channel("c0"),
+                                            alloc.channel("c1")))
+        recorder.record_start(0.010, "appY", (alloc.channel("c2"),))
+        recorder.record_stop(0.020, "appY")
+        timeline = recorder.build(horizon_slots=1000)
+        assert timeline.n_epochs == 3
+        assert timeline.survivors() == ("c0", "c1")
+        # fit lands the last transition at fill * horizon.
+        assert timeline.epoch_boundaries()[-1] == 750
+
+    def test_zero_length_session_dropped_not_crashed(self, mesh_config):
+        """Fit-compression may land a session's open and close on the
+        same slot; such a zero-length session influences no epoch and
+        must be dropped, not trip the stop-before-start ordering."""
+        alloc = mesh_config.allocation
+        recorder = TimelineRecorder(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        recorder.record_start(0.0, "appX", (alloc.channel("c0"),))
+        recorder.record_start(1.0, "blip", (alloc.channel("c2"),))
+        recorder.record_stop(1.0001, "blip")  # << one slot at this fit
+        recorder.record_stop(2.0, "appX")
+        timeline = recorder.build(horizon_slots=1000)
+        assert "c2" not in timeline.channel_names
+        assert timeline.channel_names == ("c0",)
+
+    def test_fill_one_keeps_the_final_transition(self, mesh_config):
+        """fill=1.0 must clamp float wobble instead of silently
+        dropping the last transition (which would fake a survivor)."""
+        alloc = mesh_config.allocation
+        recorder = TimelineRecorder(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        recorder.record_start(0.0, "appX", (alloc.channel("c0"),))
+        recorder.record_start(0.005, "appY", (alloc.channel("c2"),))
+        recorder.record_stop(0.020, "appY")
+        timeline = recorder.build(horizon_slots=1000, fill=1.0)
+        assert timeline.survivors() == ("c0",)
+        assert timeline.epoch_boundaries()[-1] == 999
+
+    def test_out_of_order_times_rejected(self, mesh_config):
+        recorder = TimelineRecorder(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz)
+        recorder.record_stop(1.0, "a")  # pairing checked at build time
+        with pytest.raises(ConfigurationError):
+            recorder.record_stop(0.5, "b")
+
+    def test_manager_emits_timeline(self, mesh_config):
+        recorder = TimelineRecorder(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        allocator = SlotAllocator(
+            mesh_config.topology, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        manager = ReconfigurationManager(allocator, mesh_config.mapping,
+                                         recorder=recorder)
+        use_case = mesh_config.use_case
+        manager.start_application(use_case.application("appX"), at_s=0.0)
+        manager.start_application(use_case.application("appY"),
+                                  at_s=0.010)
+        manager.stop_application("appY", at_s=0.020)
+        assert recorder.n_transitions == 3
+        timeline = recorder.build(horizon_slots=800)
+        assert timeline.survivors() == ("c0", "c1")
+        assert timeline.n_epochs == 3
+
+    def test_replay_configuration_carrier(self, mesh_config):
+        config = replay_configuration(_mesh_timeline(mesh_config))
+        assert config.topology is mesh_config.topology
+        assert config.table_size == mesh_config.table_size
+        assert not config.allocation.channels
+
+
+class TestEpochExecution:
+    def test_single_epoch_equals_static_run(self, mesh_config):
+        """The static simulator is the one-epoch special case."""
+        alloc = mesh_config.allocation
+        timeline = ReconfigurationTimeline(
+            mesh_config.topology,
+            [TimelineEvent(0, "start", "appX",
+                           (alloc.channel("c0"), alloc.channel("c1"))),
+             TimelineEvent(0, "start", "appY", (alloc.channel("c2"),))],
+            horizon_slots=800, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        traffic = replay_traffic(timeline)
+        static_sim = FlitLevelSimulator(mesh_config)
+        for name, pattern in traffic.items():
+            static_sim.set_traffic(name, pattern)
+        static = static_sim.run(800)
+        dynamic = FlitLevelSimulator(mesh_config).run_timeline(
+            timeline, traffic=traffic)
+        assert dynamic.n_epochs == 1
+        for name in timeline.channel_names:
+            assert static.trace.trace(name) == dynamic.trace.trace(name)
+
+    def test_incremental_equals_full_rebuild(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        traffic = replay_traffic(timeline)
+        results = {
+            mode: FlitLevelSimulator(mesh_config).run_timeline(
+                timeline, traffic=traffic, incremental=mode == "inc")
+            for mode in ("inc", "full")}
+        assert results["inc"].n_epochs == results["full"].n_epochs == 3
+        for name in timeline.channel_names:
+            assert results["inc"].trace.trace(name) == \
+                results["full"].trace.trace(name)
+        assert results["inc"].flits_by_channel == \
+            results["full"].flits_by_channel
+
+    def test_churning_channel_only_lives_inside_its_epochs(
+            self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        result = FlitLevelSimulator(mesh_config).run_timeline(
+            timeline, traffic=replay_traffic(timeline))
+        slots = [slot for _, slot, _ in result.trace.trace("c2")]
+        assert slots, "churn channel should have delivered messages"
+        assert min(slots) >= 300
+        assert max(slots) < 600
+
+    def test_contention_check_holds_across_epochs(self, mesh_config):
+        sim = FlitLevelSimulator(mesh_config, check_contention=True)
+        timeline = _mesh_timeline(mesh_config)
+        sim.run_timeline(timeline, traffic=replay_traffic(timeline))
+
+    def test_flow_control_supported_across_epochs(self, mesh_config):
+        sim = FlitLevelSimulator(mesh_config, flow_control=True)
+        timeline = _mesh_timeline(mesh_config)
+        result = sim.run_timeline(timeline,
+                                  traffic=replay_traffic(timeline))
+        assert result.flits_by_channel["c0"] > 0
+
+    def test_restart_does_not_inherit_stale_credits(self, mesh_config):
+        """Credit returns in flight when a channel stops must not top up
+        its restarted incarnation: the restart behaves exactly like a
+        brand-new channel with the same allocation."""
+        alloc = mesh_config.allocation
+        c2 = alloc.channel("c2")
+        ghost = type(c2)(spec=ChannelSpec(
+            "ghost", c2.spec.src_ip, c2.spec.dst_ip,
+            c2.spec.throughput_bytes_per_s, application="ghost"),
+            path=c2.path, slots=c2.slots)
+
+        def make(second):
+            app, ca = ("appY", c2) if second == "c2" else ("ghost", ghost)
+            return ReconfigurationTimeline(
+                mesh_config.topology,
+                [TimelineEvent(0, "start", "appY", (c2,)),
+                 TimelineEvent(100, "stop", "appY"),
+                 TimelineEvent(102, "start", app, (ca,))],
+                horizon_slots=600, table_size=mesh_config.table_size,
+                frequency_hz=mesh_config.frequency_hz,
+                fmt=mesh_config.fmt)
+
+        saturating = Saturating(mesh_config.fmt.payload_words_per_flit,
+                                mesh_config.fmt.flit_size)
+        flits = {}
+        for second in ("c2", "ghost"):
+            timeline = make(second)
+            sim = FlitLevelSimulator(mesh_config, flow_control=True,
+                                     rx_buffer_words=2)
+            result = sim.run_timeline(
+                timeline,
+                traffic={name: saturating
+                         for name in timeline.channel_names})
+            flits[second] = result.flits_by_channel
+        # The restarted incarnation's share equals what an identically
+        # allocated fresh channel achieves from the same slot.
+        restart_share = flits["c2"]["c2"] - flits["ghost"]["c2"]
+        assert restart_share == flits["ghost"]["ghost"]
+
+    def test_be_arrival_in_final_slot_dropped_at_stop(self, mesh_config):
+        """A message maturing exactly at the stop boundary belongs to
+        the stopped session and must not be injected (the flit-level
+        simulator drops the same arrival with the schedule row)."""
+        from repro.baseline.be_network import BeNetworkSimulator
+        from repro.simulation.traffic import ConstantBitRate
+        alloc = mesh_config.allocation
+        timeline = ReconfigurationTimeline(
+            mesh_config.topology,
+            [TimelineEvent(0, "start", "appY", (alloc.channel("c2"),)),
+             TimelineEvent(2, "stop", "appY")],
+            horizon_slots=50, table_size=mesh_config.table_size,
+            frequency_hz=mesh_config.frequency_hz, fmt=mesh_config.fmt)
+        # flit_size=3: events at cycles 0 and 5; cycle 5 matures at
+        # tick ceil(5/3)=2 == stop and must be dropped.
+        pattern = ConstantBitRate(1, 5.0)
+        result = BeNetworkSimulator(mesh_config).run_timeline(
+            timeline, traffic={"c2": pattern})
+        injected = {r.message_id
+                    for r in result.stats.channel("c2").injections}
+        assert injected == {0}
+
+    def test_timeline_request_validation(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        with pytest.raises(ConfigurationError):
+            SimRequest(n_slots=timeline.horizon_slots + 1,
+                       timeline=timeline)
+        backend = FlitLevelBackend(mesh_config)
+        bad_traffic = {"ghost": next(iter(
+            replay_traffic(timeline).values()))}
+        with pytest.raises(ConfigurationError):
+            backend.run(SimRequest(n_slots=100, timeline=timeline,
+                                   traffic=bad_traffic))
+        with pytest.raises(ConfigurationError):
+            CycleAccurateBackend(mesh_config).run(
+                SimRequest(n_slots=100, timeline=timeline))
+        with pytest.raises(ConfigurationError):
+            FlitLevelBackend(mesh_config, recompile="psychic")
+
+    def test_backend_meta_reports_epochs(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        result = FlitLevelBackend(mesh_config).run(SimRequest(
+            n_slots=timeline.horizon_slots,
+            traffic=replay_traffic(timeline), timeline=timeline))
+        assert result.meta["n_epochs"] == 3
+        assert result.meta["recompile"] == "incremental"
+
+
+class TestDynamicComposability:
+    def test_flit_survivors_identical_across_epochs(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        report = verify_timeline(timeline, replay_traffic(timeline))
+        assert report.backend == "flit"
+        assert report.n_epochs == 3
+        assert report.survivors == ("c0", "c1")
+        assert report.is_composable
+        assert report.diverged == ()
+
+    def test_be_baseline_diverges_under_churn(self):
+        """Converging wormhole channels couple on shared buffers/ports."""
+        topo = mesh(2, 2, nis_per_router=1, pipeline_stages=1)
+        channels = (
+            ChannelSpec("sA", "ipA", "ipD", 120 * MB, application="appA"),
+            ChannelSpec("sB", "ipB", "ipD", 120 * MB, application="appB"),
+        )
+        use_case = UseCase("conv", (Application("appA", channels[:1]),
+                                    Application("appB", channels[1:])))
+        mapping = Mapping({"ipA": "ni0_0_0", "ipB": "ni1_0_0",
+                           "ipD": "ni1_1_0"})
+        config = configure(topo, use_case, table_size=8,
+                           frequency_hz=500e6, mapping=mapping)
+        alloc = config.allocation
+        timeline = ReconfigurationTimeline(
+            topo,
+            [TimelineEvent(0, "start", "appA", (alloc.channel("sA"),)),
+             TimelineEvent(200, "start", "appB", (alloc.channel("sB"),)),
+             TimelineEvent(800, "stop", "appB")],
+            horizon_slots=1200, table_size=8, frequency_hz=500e6,
+            fmt=config.fmt)
+        # Saturate the shared output port so arbitration must interleave.
+        traffic = {name: Saturating(config.fmt.payload_words_per_flit,
+                                    config.fmt.flit_size)
+                   for name in ("sA", "sB")}
+        flit = verify_timeline(timeline, traffic)
+        assert flit.is_composable
+        be = verify_timeline(timeline, traffic,
+                             backend_factory=BestEffortBackend)
+        assert be.survivors == ("sA",)
+        assert be.diverged == ("sA",)
+        assert not be.is_composable
+
+    def test_explicit_survivors_validated(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        with pytest.raises(ValueError):
+            verify_timeline(timeline, replay_traffic(timeline),
+                            survivors=("ghost",))
+
+    def test_truncated_window_survivors_and_epochs(self, mesh_config):
+        """n_slots < horizon: survivors and epoch count reflect the
+        simulated window, not the full timeline."""
+        timeline = _mesh_timeline(mesh_config)  # c2 stops at 600
+        report = verify_timeline(timeline, replay_traffic(timeline),
+                                 n_slots=500)
+        # c2 is still running when the truncated run ends.
+        assert report.survivors == ("c0", "c1", "c2")
+        assert report.n_epochs == 2  # boundary 600 was never simulated
+        assert report.is_composable
+
+    def test_verdict_record_is_deterministic(self, mesh_config):
+        timeline = _mesh_timeline(mesh_config)
+        traffic = replay_traffic(timeline)
+        first = verify_timeline(timeline, traffic).to_record()
+        second = verify_timeline(timeline, traffic).to_record()
+        assert json.dumps(first, sort_keys=True) == \
+            json.dumps(second, sort_keys=True)
+
+
+class TestServiceRoundTrip:
+    def _service_timeline(self, n_events=120, horizon=1200):
+        topology = mesh(3, 3, nis_per_router=2)
+        workload = ChurnWorkload(ChurnSpec(n_sessions=n_events // 2 + 8),
+                                 topology, seed=7)
+        service = SessionService(topology, table_size=32,
+                                 frequency_hz=500e6,
+                                 record_events=False,
+                                 record_timeline=True)
+        service.run(workload.events(limit=n_events))
+        return service.timeline(horizon_slots=horizon)
+
+    def test_recorded_churn_is_composable_on_flit(self):
+        timeline = self._service_timeline()
+        assert timeline.n_epochs >= 3
+        report = verify_timeline(timeline, replay_traffic(timeline))
+        assert report.survivors
+        assert report.is_composable
+
+    def test_timeline_requires_recording(self):
+        topology = mesh(2, 2, nis_per_router=1)
+        service = SessionService(topology)
+        with pytest.raises(ConfigurationError):
+            service.timeline(horizon_slots=100)
+
+    def test_round_trip_deterministic(self):
+        a = self._service_timeline().to_record()
+        b = self._service_timeline().to_record()
+        assert json.dumps(a, sort_keys=True) == \
+            json.dumps(b, sort_keys=True)
+
+
+class TestSatellites:
+    def test_run_with_channels_rejects_conflicting_flow_control(
+            self, mesh_config):
+        traffic = {}
+        with pytest.raises(ValueError):
+            run_with_channels(mesh_config, traffic, set(), 10,
+                              flow_control=True,
+                              backend_factory=BestEffortBackend)
+        # Either option alone stays legal.
+        run_with_channels(mesh_config, traffic, set(), 10,
+                          flow_control=True)
+        run_with_channels(mesh_config, traffic, set(), 10,
+                          backend_factory=BestEffortBackend)
+
+
+class TestReplayDemo:
+    def test_demo_round_trip(self):
+        from repro.simulation.replay import run_replay_demo
+        record, report_json, identical = run_replay_demo(
+            n_events=80, n_slots=800, seed=11)
+        assert identical
+        verdicts = record["verdicts"]
+        assert verdicts["flit"]["composable"]
+        assert verdicts["flit"]["n_survivors"] >= 1
+        assert verdicts["flit"]["n_epochs"] >= 3
+        # The canonical JSON parses back to the record.
+        assert json.loads(report_json) == json.loads(
+            json.dumps(record, sort_keys=True))
