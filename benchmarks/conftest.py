@@ -31,6 +31,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the epoch-replay benchmark on the Section VII use "
              "case (tier-2; asserts incremental schedule "
              "recompilation beats full per-epoch rebuild by >= 2x)")
+    parser.addoption(
+        "--design-search", action="store_true", default=False,
+        help="run the design-space screening benchmark (tier-2; "
+             "asserts analytical lower-bound pruning beats exhaustive "
+             "candidate evaluation by >= 2x on the same grid)")
 
 from repro.core.application import Application, UseCase
 from repro.core.configuration import configure

@@ -29,7 +29,12 @@ Package map (see DESIGN.md for the full inventory):
 * :mod:`repro.service` — the online NoC control plane: admission-
   controlled session churn over a live allocation, with per-accept
   analytical bound quotes and the composability invariant re-checked
-  on every transition (``python -m repro serve --demo``).
+  on every transition (``python -m repro serve --demo``);
+* :mod:`repro.design` — the design-space explorer: dimension a network
+  from a workload via analytical lower-bound pruning, annealed mapping
+  optimisation, probe-cached feasibility bisection and synthesis cost
+  models, fanned out over the campaign pool into a byte-deterministic
+  Pareto front (``python -m repro design --demo``).
 """
 
 from __future__ import annotations
@@ -62,6 +67,9 @@ _EXPORTS: dict[str, str] = {
     "create_backend": "repro.simulation.backend",
     "CampaignSpec": "repro.campaign.spec",
     "CampaignRunner": "repro.campaign.runner",
+    "DesignExplorer": "repro.design.explorer",
+    "DesignSpace": "repro.design.space",
+    "DesignSpec": "repro.design.space",
     "MB": "repro.core.connection",
     "GB": "repro.core.connection",
 }

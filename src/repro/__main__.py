@@ -13,6 +13,7 @@ Usage::
     python -m repro campaign ...  # scenario-campaign engine (below)
     python -m repro serve ...     # online admission service (below)
     python -m repro replay ...    # dynamic composability replay (below)
+    python -m repro design ...    # design-space explorer (below)
 
 Running campaigns
 -----------------
@@ -26,10 +27,33 @@ worker processes, aggregated into one deterministic JSON report::
     python -m repro campaign --demo --workers 4   # wider pool
     python -m repro campaign --demo --output report.json
     python -m repro campaign --demo --list        # show the grid, don't run
+    python -m repro campaign --preset churn_campaign   # any preset
+    python -m repro campaign --preset design_campaign --workers 4
 
 Serial and parallel executions produce byte-identical reports; ``--demo``
-verifies that on every invocation by running both and comparing.  Use
+verifies that on every invocation by running both and comparing.
+``--preset`` runs any registered preset grid (churn, replay, design,
+micro, demo); a bad name lists what is available.  Use
 ``repro.campaign.scenario_grid`` from Python to build custom grids.
+
+Dimensioning a network
+----------------------
+
+The ``design`` subcommand runs the :mod:`repro.design` explorer: take a
+workload, search topology family × extent × NIs-per-router × slot-table
+size × word format × mapping, and emit the Pareto front over silicon
+area, operating frequency and worst-case guarantee slack::
+
+    python -m repro design --demo                 # Section VII demo
+    python -m repro design --demo --workers 4     # wider pool
+    python -m repro design --demo --output report.json
+
+The demo dimensions the Section VII workload (demo scale) over an
+18-candidate space capped at the paper's 500 MHz clock and must
+rediscover the paper's hand-picked point: the minimum-area feasible
+candidate is the 2x2 concentrated mesh at or below 500 MHz.  The whole
+exploration runs twice and the canonical JSON reports must be
+byte-identical.
 
 Running the admission service
 -----------------------------
@@ -166,25 +190,37 @@ def _ablations() -> None:
 
 
 def _campaign(args: argparse.Namespace) -> int:
-    from repro.campaign import CampaignRunner, demo_campaign
-    if not args.demo:
-        print("campaign: only the built-in --demo grid is runnable from "
-              "the CLI; build custom grids with repro.campaign in Python",
+    from repro.campaign import CampaignRunner, demo_campaign, preset_by_name
+    from repro.core.exceptions import ConfigurationError
+    if args.demo and args.preset:
+        print("campaign: --demo and --preset are mutually exclusive",
               file=sys.stderr)
         return 2
-    spec = demo_campaign()
+    if args.demo:
+        spec = demo_campaign()
+    elif args.preset:
+        try:
+            spec = preset_by_name(args.preset)
+        except ConfigurationError as exc:
+            print(f"campaign: {exc}", file=sys.stderr)
+            return 2
+    else:
+        print("campaign: pick --demo or --preset <name>; build custom "
+              "grids with repro.campaign in Python", file=sys.stderr)
+        return 2
     runs = spec.expand()
     if args.list:
         print(format_table(
             [{"run": r.run_id,
               "backend": (r.scenario.backend
-                          if r.scenario.mode != "serve" else "serve"),
+                          if r.scenario.mode in ("simulate", "replay")
+                          else r.scenario.mode),
               "mode": r.scenario.mode,
               "topology": r.scenario.topology.label,
               "traffic": (r.scenario.traffic.pattern
                           if r.scenario.mode == "simulate"
                           else (r.scenario.churn.label
-                                if r.scenario.churn else "churn")),
+                                if r.scenario.churn else "-")),
               "n_slots": r.scenario.n_slots} for r in runs],
             title=f"campaign {spec.name!r} — {len(runs)} runs"))
         return 0
@@ -195,12 +231,12 @@ def _campaign(args: argparse.Namespace) -> int:
                              f"runs on {workers} workers "
                              f"({result.n_failed} failed)"))
     agree = True
-    if workers > 1:
+    if workers > 1 and args.demo:
         serial = CampaignRunner(spec, workers=1).run()
         agree = serial.to_json() == result.to_json()
         print(f"\nserial/parallel reports byte-identical: "
               f"{'yes' if agree else 'NO — DETERMINISM BUG'}")
-    else:
+    elif workers == 1:
         print("\nworkers=1: in-process run, serial/parallel "
               "determinism check skipped")
     if args.output:
@@ -209,6 +245,46 @@ def _campaign(args: argparse.Namespace) -> int:
     else:
         print("\n" + result.to_json())
     return 0 if agree else 1
+
+
+def _design(args: argparse.Namespace) -> int:
+    from repro.design import run_design_demo
+    if not args.demo:
+        print("design: only the built-in --demo exploration is runnable "
+              "from the CLI; build custom problems with repro.design in "
+              "Python (DesignExplorer, DesignSpace, workload_from_churn)",
+              file=sys.stderr)
+        return 2
+    workers = max(1, args.workers)
+    report, identical, matches = run_design_demo(workers=workers,
+                                                 seed=args.seed)
+    n_crashed = report.count("configuration_failed")
+    title = (f"design demo — {report.n_candidates} candidates "
+             f"({report.count('ok')} feasible, "
+             f"{report.count('pruned')} pruned analytically, "
+             f"{report.count('infeasible')} infeasible"
+             + (f", {n_crashed} failed to configure" if n_crashed
+                else "") + ")")
+    print(format_table(report.summary_rows(), title=title))
+    chosen = report.min_area_point()
+    if chosen is not None:
+        result = chosen["result"]
+        print(f"\nchosen point: {chosen['scenario']} at "
+              f"{result['operating_frequency_mhz']:.0f} MHz, "
+              f"{result['area']['total_um2'] / 1e6:.3f} mm^2 "
+              f"(paper hand-picks the 2x2 mesh at 500 MHz)")
+    print(f"minimum-area point matches the paper's dimensioning "
+          f"(2x2 mesh at <= 500 MHz): "
+          f"{'yes' if matches else 'NO — SEARCH REGRESSION'}")
+    print(f"repeated-run reports byte-identical: "
+          f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    if n_crashed:
+        print(f"{n_crashed} candidate evaluation(s) crashed "
+              "(configuration_failed) — see the JSON report")
+    if args.output:
+        report.write(args.output)
+        print(f"canonical JSON report written to {args.output}")
+    return 0 if (identical and matches and not n_crashed) else 1
 
 
 def _serve(args: argparse.Namespace) -> int:
@@ -318,6 +394,11 @@ def main(argv: list[str] | None = None) -> int:
                           help="run the built-in demo grid "
                                "(2 topologies x 2 traffic mixes x 2 "
                                "backends x 2 seeds)")
+    campaign.add_argument("--preset", default=None, metavar="NAME",
+                          help="run a registered preset grid "
+                               "(demo_campaign, micro_campaign, "
+                               "churn_campaign, replay_campaign, "
+                               "design_campaign; short names work too)")
     campaign.add_argument("--workers", type=int, default=2,
                           help="worker processes (default 2; 1 runs "
                                "in-process for profiling/debugging)")
@@ -359,6 +440,23 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload seed (default 2009)")
     replay.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
+    design = sub.add_parser(
+        "design", help="dimension a network from a workload: explore "
+                       "the design space and emit the Pareto front")
+    design.add_argument("--demo", action="store_true",
+                        help="dimension the demo-scale Section VII "
+                             "workload over the built-in 18-candidate "
+                             "space (twice; reports must be "
+                             "byte-identical and the minimum-area point "
+                             "must be the paper's 2x2 mesh at <= 500 "
+                             "MHz)")
+    design.add_argument("--workers", type=int, default=2,
+                        help="worker processes for candidate "
+                             "evaluation (default 2)")
+    design.add_argument("--seed", type=int, default=2009,
+                        help="workload seed (default 2009)")
+    design.add_argument("--output", default=None,
+                        help="write the canonical JSON report here")
     args = parser.parse_args(argv)
     if args.experiment == "campaign":
         return _campaign(args)
@@ -366,6 +464,8 @@ def main(argv: list[str] | None = None) -> int:
         return _serve(args)
     if args.experiment == "replay":
         return _replay(args)
+    if args.experiment == "design":
+        return _design(args)
     if args.experiment == "all":
         for name in ("fig5", "fig6a", "fig6b", "costs", "usecase",
                      "sweep", "ablations"):

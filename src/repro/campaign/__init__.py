@@ -8,8 +8,9 @@ serially or across worker processes with byte-identical aggregated
 results either way.
 """
 
-from repro.campaign.presets import (churn_campaign, demo_campaign,
-                                    micro_campaign, replay_campaign)
+from repro.campaign.presets import (PRESETS, churn_campaign, demo_campaign,
+                                    design_campaign, micro_campaign,
+                                    preset_by_name, replay_campaign)
 from repro.campaign.runner import (CampaignResult, CampaignRunner,
                                    execute_run)
 from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
@@ -21,5 +22,5 @@ __all__ = [
     "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed",
     "CampaignRunner", "CampaignResult", "execute_run",
     "demo_campaign", "micro_campaign", "churn_campaign",
-    "replay_campaign",
+    "replay_campaign", "design_campaign", "PRESETS", "preset_by_name",
 ]

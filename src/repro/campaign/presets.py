@@ -7,13 +7,16 @@ nothing here is privileged.  They double as worked examples of
 
 from __future__ import annotations
 
+from typing import Callable
+
 from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
                                  TrafficSpec, WorkloadSpec, scenario_grid)
 from repro.service.churn import ChurnSpec
 from repro.service.qos import QosClass
 
 __all__ = ["demo_campaign", "micro_campaign", "churn_campaign",
-           "replay_campaign"]
+           "replay_campaign", "design_campaign", "PRESETS",
+           "preset_by_name"]
 
 
 def demo_campaign(*, n_slots: int = 600,
@@ -152,3 +155,69 @@ def replay_campaign(*, n_sessions: int = 120, n_slots: int = 2400,
                 n_slots=n_slots, table_size=32))
     return CampaignSpec(name="replay", scenarios=tuple(scenarios),
                         seeds=seeds)
+
+
+def design_campaign(*, target_admission_rate: float = 0.95,
+                    seed: int = 2009) -> CampaignSpec:
+    """A design-space sweep: dimension a network for a churn profile.
+
+    The workload is the expected concurrent session population of a
+    churn profile at a target admission rate (Little's law, see
+    :func:`repro.design.space.workload_from_churn`); every scenario is
+    one ``mode="design"`` candidate — topology family x slot-table size
+    — evaluated through pruning, mapping optimisation, feasibility
+    bisection and the synthesis cost models.  The aggregated records
+    are exactly what :func:`repro.design.pareto_front` consumes.
+    """
+    from repro.design.space import (DesignSpace, DesignSpec,
+                                    workload_from_churn)
+
+    use_case = workload_from_churn(
+        ChurnSpec(n_sessions=200, arrival_rate_per_s=800.0),
+        target_admission_rate=target_admission_rate, seed=seed)
+    space = DesignSpace(
+        topologies=(
+            TopologySpec(kind="mesh", cols=2, rows=2, nis_per_router=3),
+            TopologySpec(kind="mesh", cols=3, rows=3, nis_per_router=2),
+            TopologySpec(kind="cmesh", cols=3, rows=2, nis_per_router=4),
+            TopologySpec(kind="torus", cols=3, rows=3, nis_per_router=2),
+            TopologySpec(kind="ring", cols=5, nis_per_router=2),
+        ),
+        table_sizes=(16, 32),
+        mappings=("optimized",))
+    scenarios = tuple(
+        ScenarioSpec(
+            name=candidate.label, mode="design",
+            topology=candidate.topology,
+            table_size=candidate.table_size,
+            design=DesignSpec(
+                use_case=use_case, data_width=candidate.data_width,
+                mapping=candidate.mapping,
+                min_frequency_mhz=space.min_frequency_mhz,
+                max_frequency_mhz=space.max_frequency_mhz,
+                tolerance_mhz=space.tolerance_mhz, prune=space.prune))
+        for candidate in space.candidates())
+    return CampaignSpec(name="design", scenarios=scenarios, seeds=(1,),
+                        base_seed=seed)
+
+
+#: Registry of the ready-made campaigns, keyed by their function names
+#: (what ``python -m repro campaign --preset <name>`` accepts).
+PRESETS: dict[str, Callable[[], CampaignSpec]] = {
+    "demo_campaign": demo_campaign,
+    "micro_campaign": micro_campaign,
+    "churn_campaign": churn_campaign,
+    "replay_campaign": replay_campaign,
+    "design_campaign": design_campaign,
+}
+
+
+def preset_by_name(name: str) -> CampaignSpec:
+    """Build a preset campaign; unknown names list what is available."""
+    from repro.core.exceptions import ConfigurationError
+    key = name if name in PRESETS else f"{name}_campaign"
+    if key not in PRESETS:
+        raise ConfigurationError(
+            f"unknown campaign preset {name!r}; available: "
+            f"{', '.join(sorted(PRESETS))}")
+    return PRESETS[key]()

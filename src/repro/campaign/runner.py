@@ -43,6 +43,9 @@ def execute_run(run: RunSpec) -> dict[str, object]:
         return _execute_serve_run(run)
     if scenario.mode == "replay":
         return _execute_replay_run(run)
+    if scenario.mode == "design":
+        from repro.design.explorer import execute_design_run
+        return execute_design_run(run)
     record: dict[str, object] = {
         "run_id": run.run_id,
         "scenario": scenario.name,
@@ -185,8 +188,14 @@ class CampaignResult:
 
     @property
     def n_failed(self) -> int:
-        """Runs that ended in an allocation failure."""
-        return sum(1 for r in self.records if r["status"] != "ok")
+        """Runs that ended in a failure.
+
+        Design-mode screening verdicts (``pruned`` / ``infeasible``)
+        are *results* of a search, not failures — a dimensioning sweep
+        that rejects most of its grid worked exactly as designed.
+        """
+        return sum(1 for r in self.records
+                   if r["status"] not in ("ok", "pruned", "infeasible"))
 
     def to_json(self, *, indent: int = 2) -> str:
         """Canonical JSON report: sorted keys, ordered records.
@@ -213,14 +222,20 @@ class CampaignResult:
         for record in self.records:
             row: dict[str, object] = {
                 "run": record["run_id"],
-                "backend": record.get("backend", "serve"),
+                "backend": record.get("backend",
+                                      record.get("mode", "serve")),
                 "topology": record["topology"],
                 "traffic": record.get("traffic", record.get("churn", "-")),
                 "status": record["status"],
             }
             result = record.get("result")
             if isinstance(result, dict):
-                if "totals" in result:  # serve-mode record
+                if "area" in result:  # design-mode record
+                    row["messages"] = result["n_channels"]
+                    row["area_mm2"] = round(
+                        result["area"]["total_um2"] / 1e6, 4)
+                    row["mhz"] = result["operating_frequency_mhz"]
+                elif "totals" in result:  # serve-mode record
                     totals = result["totals"]
                     row["messages"] = totals["n_events"]
                     row["accept"] = totals["accept_rate"]

@@ -207,7 +207,14 @@ class ScenarioSpec:
       fit the recorded churn into ``n_slots`` simulation slots, execute
       it on ``backend`` (flit or be — the cycle model cannot
       reconfigure mid-run), and report the dynamic composability
-      verdict (survivor traces, churn run vs solo reference).
+      verdict (survivor traces, churn run vs solo reference);
+    * ``mode="design"`` — evaluate one design candidate for the
+      :mod:`repro.design` explorer: prune analytically, optimise the
+      mapping, bisect for the minimum feasible frequency and price the
+      network with the synthesis models.  ``design`` carries the
+      workload and evaluation recipe; ``topology``/``table_size`` name
+      the candidate and the ``traffic``/``backend``/``n_slots`` axes
+      are ignored.
     """
 
     name: str
@@ -219,18 +226,30 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
-    mode: str = "simulate"          # simulate | serve | replay
+    mode: str = "simulate"          # simulate | serve | replay | design
     churn: ChurnSpec | None = None  # serve / replay modes only
+    design: object | None = None    # design mode only (a DesignSpec)
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
-        if self.mode not in ("simulate", "serve", "replay"):
+        if self.mode not in ("simulate", "serve", "replay", "design"):
             raise ConfigurationError(
                 f"unknown scenario mode {self.mode!r}; expected "
-                "'simulate', 'serve' or 'replay'")
-        if self.churn is not None and self.mode == "simulate":
+                "'simulate', 'serve', 'replay' or 'design'")
+        if self.churn is not None and self.mode not in ("serve", "replay"):
             raise ConfigurationError(
-                "churn spec only applies to serve/replay scenarios")
+                "churn spec only applies to serve/replay scenarios; "
+                "design scenarios take their workload from the "
+                "DesignSpec (see repro.design.workload_from_churn)")
+        if self.mode == "design":
+            from repro.design.space import DesignSpec
+            if not isinstance(self.design, DesignSpec):
+                raise ConfigurationError(
+                    "mode='design' scenarios need a DesignSpec in "
+                    "'design'")
+        elif self.design is not None:
+            raise ConfigurationError(
+                "design spec only applies to design scenarios")
         if self.backend not in available_backends():
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of "

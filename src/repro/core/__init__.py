@@ -93,9 +93,10 @@ _EXPORTS: dict[str, str] = {
     "configuration_from_dict": "repro.core.serialization",
     "save_configuration": "repro.core.serialization",
     "load_configuration": "repro.core.serialization",
-    "min_feasible_frequency": "repro.core.exploration",
-    "table_size_scan": "repro.core.exploration",
-    "TableSizeResult": "repro.core.exploration",
+    # moved to repro.design.search; kept here for compatibility
+    "min_feasible_frequency": "repro.design.search",
+    "table_size_scan": "repro.design.search",
+    "TableSizeResult": "repro.design.search",
     # errors
     "ReproError": "repro.core.exceptions",
     "ConfigurationError": "repro.core.exceptions",

@@ -1,122 +1,22 @@
-"""Design-space exploration helpers.
+"""Deprecated: design-space exploration moved to :mod:`repro.design`.
 
-The paper picks 500 MHz for the use case because it is *sufficient*;
-a designer wants the tool to find that number.  This module provides:
-
-* :func:`min_feasible_frequency` — binary search for the lowest
-  operating frequency at which a use case allocates with all
-  requirements guaranteed (aelite's predictability makes this a pure
-  analysis question — no simulation needed);
-* :func:`table_size_scan` — feasibility and bound quality across
-  slot-table sizes, automating the trade-off the Section VII setup
-  resolves by hand.
+The exploration primitives grew into a full subsystem — analytical
+pruning, probe caching, mapping optimisation, and a parallel Pareto
+explorer — and now live in :mod:`repro.design.search`.  This module
+re-exports the original three names so existing imports keep working;
+new code should import from :mod:`repro.design` directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
 
-from repro.core.analysis import analyse, summarise
-from repro.core.application import UseCase
-from repro.core.configuration import configure
-from repro.core.exceptions import AllocationError, ConfigurationError
-from repro.core.words import WordFormat
-from repro.topology.graph import Topology
-from repro.topology.mapping import Mapping
+from repro.design.search import (TableSizeResult, min_feasible_frequency,
+                                 table_size_scan)
 
 __all__ = ["min_feasible_frequency", "TableSizeResult", "table_size_scan"]
 
-
-def _probe(topology: Topology, use_case: UseCase, mapping: Mapping,
-           table_size: int, frequency_hz: float,
-           fmt: WordFormat) -> AllocationError | None:
-    """``None`` when the use case allocates with all requirements met;
-    otherwise the allocator's failure (carrying channel and reason)."""
-    try:
-        configure(topology, use_case, table_size=table_size,
-                  frequency_hz=frequency_hz, fmt=fmt, mapping=mapping,
-                  require_met=True)
-        return None
-    except AllocationError as exc:
-        return exc
-
-
-def min_feasible_frequency(topology: Topology, use_case: UseCase,
-                           mapping: Mapping, *, table_size: int,
-                           fmt: WordFormat | None = None,
-                           low_hz: float = 100e6,
-                           high_hz: float = 2e9,
-                           tolerance_hz: float = 10e6) -> float:
-    """Lowest frequency at which every requirement is guaranteed.
-
-    Binary search over the operating frequency; raises
-    :class:`AllocationError` when even ``high_hz`` is insufficient — the
-    raised error surfaces the allocator's last failure (channel name and
-    reason), mirroring the Section VII negotiation loop, so the bottleneck
-    channel is diagnosable instead of just "infeasible".
-    Feasibility is monotone in frequency for a fixed workload (higher
-    frequency shortens slots and raises per-slot bandwidth), which the
-    search relies on.
-    """
-    fmt = fmt or WordFormat()
-    if low_hz <= 0 or high_hz <= low_hz or tolerance_hz <= 0:
-        raise ConfigurationError("invalid search interval")
-    failure = _probe(topology, use_case, mapping, table_size, high_hz, fmt)
-    if failure is not None:
-        raise AllocationError(
-            f"use case infeasible even at {high_hz / 1e6:.0f} MHz; "
-            f"last failure on channel {failure.channel!r}: "
-            f"{failure.reason}",
-            channel=failure.channel,
-            reason=failure.reason) from failure
-    if _probe(topology, use_case, mapping, table_size, low_hz,
-              fmt) is None:
-        return low_hz
-    lo, hi = low_hz, high_hz
-    while hi - lo > tolerance_hz:
-        mid = (lo + hi) / 2
-        if _probe(topology, use_case, mapping, table_size, mid,
-                  fmt) is None:
-            hi = mid
-        else:
-            lo = mid
-    return hi
-
-
-@dataclass(frozen=True)
-class TableSizeResult:
-    """One row of a slot-table-size scan."""
-
-    table_size: int
-    feasible: bool
-    mean_latency_bound_ns: float | None
-    max_latency_bound_ns: float | None
-    mean_link_utilisation: float | None
-
-
-def table_size_scan(topology: Topology, use_case: UseCase,
-                    mapping: Mapping, *, frequency_hz: float,
-                    table_sizes: list[int] | None = None,
-                    fmt: WordFormat | None = None
-                    ) -> list[TableSizeResult]:
-    """Feasibility and bound quality across slot-table sizes."""
-    fmt = fmt or WordFormat()
-    sizes = table_sizes or [8, 16, 32, 64, 128]
-    results: list[TableSizeResult] = []
-    for size in sizes:
-        try:
-            config = configure(topology, use_case, table_size=size,
-                               frequency_hz=frequency_hz, fmt=fmt,
-                               mapping=mapping, require_met=True)
-        except AllocationError:
-            results.append(TableSizeResult(size, False, None, None, None))
-            continue
-        bounds = analyse(config.allocation)
-        summary = summarise(bounds)
-        results.append(TableSizeResult(
-            table_size=size, feasible=True,
-            mean_latency_bound_ns=summary.mean_latency_ns,
-            max_latency_bound_ns=summary.max_latency_ns,
-            mean_link_utilisation=config.allocation
-            .mean_link_utilisation()))
-    return results
+warnings.warn(
+    "repro.core.exploration is deprecated; import min_feasible_frequency, "
+    "table_size_scan and TableSizeResult from repro.design instead",
+    DeprecationWarning, stacklevel=2)

@@ -1,0 +1,448 @@
+"""The parallel multi-objective design-space explorer.
+
+Closes the loop from workload to network: enumerate a
+:class:`~repro.design.space.DesignSpace`, reject provably infeasible
+candidates with the analytical bounds of :mod:`repro.design.prune`
+*before* any allocation runs, improve each survivor's mapping with the
+seeded annealer of :mod:`repro.design.mapping_opt`, bisect for its
+minimum feasible operating frequency (probe-cached, floor-tightened by
+the same bounds), and price it with the synthesis models — then return
+the byte-deterministic Pareto front over silicon area, operating
+frequency and worst-case guarantee slack.
+
+Candidate evaluation is one campaign run (``mode="design"``), so the
+fan-out, process pooling, record ordering and byte-determinism of
+:class:`~repro.campaign.runner.CampaignRunner` are inherited rather
+than reimplemented.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
+                                 TopologySpec, derive_seed)
+from repro.core.exceptions import (AllocationError, ConfigurationError,
+                                   TopologyError)
+from repro.core.requirements import link_payload_bytes_per_s
+from repro.core.words import WordFormat
+from repro.design.mapping_opt import optimize_mapping
+from repro.design.prune import frequency_lower_bound_hz, prune_candidate
+from repro.design.search import ProbeCache, min_feasible_configuration
+from repro.design.space import Candidate, DesignSpace, DesignSpec
+from repro.synthesis.network import network_area, network_fmax_hz
+from repro.topology.graph import Topology
+from repro.topology.mapping import (Mapping, communication_clustered,
+                                    hop_weighted_demand, round_robin,
+                                    router_distances, traffic_balanced)
+
+__all__ = ["evaluate_candidate", "execute_design_run", "pareto_front",
+           "DesignReport", "DesignExplorer", "run_design_demo"]
+
+
+def _mapping_portfolio(strategy: str, topology: Topology,
+                       design: DesignSpec, seed: int,
+                       link_budget: float, table_size: int,
+                       ceiling_hz: float, fmt: WordFormat
+                       ) -> list[tuple[str, Mapping, float]]:
+    """Mappings to try for one candidate, best bet first.
+
+    The annealed mapping minimises the analytical cost, but the greedy
+    allocator is not that cost — so for ``"optimized"`` the plain
+    heuristics ride along as fallbacks and a candidate is only declared
+    infeasible when *every* portfolio entry fails.  Entries are
+    ``(label, mapping, optimizer_improvement)``; construction failures
+    of individual heuristics (e.g. capacity) just drop the entry.
+    """
+    use_case = design.use_case
+    if strategy == "round_robin":
+        return [("round_robin", round_robin(use_case.ips, topology), 0.0)]
+    if strategy == "traffic_balanced":
+        return [("traffic_balanced",
+                 traffic_balanced(use_case.ips, use_case.channels,
+                                  topology), 0.0)]
+    if strategy == "communication_clustered":
+        return [("communication_clustered",
+                 communication_clustered(use_case.ips, use_case.channels,
+                                         topology), 0.0)]
+    # Build each heuristic once: they seed the annealer *and* ride
+    # along as fallback portfolio entries.
+    heuristics: list[tuple[str, Mapping]] = []
+    for label, build in (
+            ("traffic_balanced",
+             lambda: traffic_balanced(use_case.ips, use_case.channels,
+                                      topology)),
+            ("communication_clustered",
+             lambda: communication_clustered(use_case.ips,
+                                             use_case.channels,
+                                             topology))):
+        try:
+            heuristics.append((label, build()))
+        except (ConfigurationError, TopologyError):
+            continue
+    result = optimize_mapping(topology, use_case, seed=seed,
+                              spec=design.optimizer,
+                              warm_starts=[m for _, m in heuristics]
+                              or None,
+                              link_budget_bytes_per_s=link_budget,
+                              table_size=table_size,
+                              frequency_hz=ceiling_hz, fmt=fmt)
+    portfolio = [("optimized", result.mapping, result.improvement)]
+    for label, mapping in heuristics:
+        if all(mapping.ip_to_ni != m.ip_to_ni for _, m, _ in portfolio):
+            portfolio.append((label, mapping, 0.0))
+    return portfolio
+
+
+def evaluate_candidate(topology_spec: TopologySpec, design: DesignSpec,
+                       table_size: int, *, seed: int,
+                       cache: ProbeCache | None = None
+                       ) -> dict[str, object]:
+    """Evaluate one candidate into its JSON-ready result record.
+
+    The record's ``status`` distinguishes how far the candidate got:
+    ``pruned`` (analytical lower bound fired — no allocation was ever
+    attempted), ``infeasible`` (the allocator failed even at the
+    frequency ceiling), ``configuration_failed`` (the candidate cannot
+    host the workload at all), or ``ok`` with the full dimensioning.
+    """
+    record: dict[str, object] = {
+        "topology": topology_spec.label,
+        "table_size": table_size,
+        "data_width": design.data_width,
+        "mapping": design.mapping,
+    }
+    fmt = WordFormat(data_width=design.data_width)
+    use_case = design.use_case
+    try:
+        topology = topology_spec.build()
+        fmax_hz = network_fmax_hz(topology, fmt)
+        ceiling_hz = min(design.max_frequency_mhz * 1e6, fmax_hz)
+        search_floor_hz = design.min_frequency_mhz * 1e6
+        if ceiling_hz <= search_floor_hz:
+            record["status"] = "infeasible"
+            record["error"] = (
+                f"achievable ceiling {ceiling_hz / 1e6:.0f} MHz is below "
+                f"the search floor {search_floor_hz / 1e6:.0f} MHz")
+            return record
+        portfolio = _mapping_portfolio(
+            design.mapping, topology, design, seed,
+            link_payload_bytes_per_s(ceiling_hz, fmt), table_size,
+            ceiling_hz, fmt)
+    except (ConfigurationError, TopologyError) as exc:
+        record["status"] = "configuration_failed"
+        record["error"] = str(exc)
+        return record
+
+    chosen = None
+    first_prune = None
+    last_error: str | None = None
+    all_pruned = True
+    distances = router_distances(topology)
+    for label, mapping, improvement in portfolio:
+        mapping.validate(topology)
+        low_hz = search_floor_hz
+        if design.prune:
+            verdict = prune_candidate(topology, use_case, mapping,
+                                      table_size=table_size,
+                                      frequency_hz=ceiling_hz, fmt=fmt,
+                                      distances=distances)
+            if first_prune is None:
+                first_prune = verdict
+            if not verdict.feasible_possible:
+                last_error = verdict.reasons[0]
+                continue
+            low_hz = max(low_hz, frequency_lower_bound_hz(
+                topology, use_case, mapping, fmt=fmt))
+            low_hz = min(low_hz, ceiling_hz * 0.999)
+        all_pruned = False
+        try:
+            config = min_feasible_configuration(
+                topology, use_case, mapping, table_size=table_size,
+                fmt=fmt, low_hz=low_hz, high_hz=ceiling_hz,
+                tolerance_hz=design.tolerance_mhz * 1e6, cache=cache)
+        except (AllocationError, ConfigurationError, TopologyError) as exc:
+            last_error = str(exc)
+            continue
+        chosen = (label, mapping, improvement, config.frequency_hz,
+                  config, low_hz)
+        break
+    if chosen is None:
+        if design.prune and all_pruned and first_prune is not None:
+            record["status"] = "pruned"
+            record["prune"] = first_prune.to_record()
+        else:
+            record["status"] = "infeasible"
+            record["error"] = last_error or "empty mapping portfolio"
+        return record
+    mapping_used, mapping, improvement, frequency_hz, config, low_hz = \
+        chosen
+    record["mapping_used"] = mapping_used
+    bounds = config.bounds()
+    # Worst relative margin over every requirement; no cap — a 3x
+    # overprovisioned candidate must out-rank a 1.5x one on the slack
+    # objective.  None when the workload carries no finite requirement.
+    slack = float("inf")
+    latency_slack_ns: float | None = None
+    throughput_slack = float("inf")
+    for b in bounds.values():
+        throughput_slack = min(throughput_slack, b.throughput_slack)
+        if b.required_throughput_bytes_per_s > 0:
+            slack = min(slack, b.throughput_slack /
+                        b.required_throughput_bytes_per_s)
+        if b.required_latency_ns is not None:
+            latency_slack_ns = (b.latency_slack_ns
+                                if latency_slack_ns is None
+                                else min(latency_slack_ns,
+                                         b.latency_slack_ns))
+            slack = min(slack, b.latency_slack_ns / b.required_latency_ns)
+    channels_per_ni = {
+        ni: (len(config.allocation.channels_from_ni(ni)),
+             len(config.allocation.channels_to_ni(ni)))
+        for ni in topology.nis}
+    area = network_area(topology, table_size=table_size,
+                        frequency_hz=frequency_hz, fmt=fmt,
+                        channels_per_ni=channels_per_ni)
+    record["status"] = "ok"
+    record["result"] = {
+        "operating_frequency_mhz": round(frequency_hz / 1e6, 3),
+        "fmax_mhz": round(fmax_hz / 1e6, 1),
+        "frequency_floor_mhz": round(low_hz / 1e6, 3),
+        "area": area.to_record(),
+        "n_channels": len(bounds),
+        "n_routers": len(topology.routers),
+        "n_nis": len(topology.nis),
+        "worst_latency_slack_ns": (None if latency_slack_ns is None
+                                   else round(latency_slack_ns, 2)),
+        "worst_throughput_slack_mb_s": round(throughput_slack / 1e6, 3),
+        "guarantee_slack": (round(slack, 6) if slack != float("inf")
+                            else None),
+        "mean_link_utilisation": round(
+            config.allocation.mean_link_utilisation(), 6),
+        "hop_weighted_demand_mbhops": round(hop_weighted_demand(
+            topology, mapping, use_case.channels,
+            distances=distances) / 1e6, 3),
+        "mapping_improvement": round(improvement, 6),
+    }
+    return record
+
+
+def execute_design_run(run: RunSpec) -> dict[str, object]:
+    """Campaign-worker entry point for one ``mode="design"`` run.
+
+    No :class:`ProbeCache` is wired in here on purpose: within one run
+    every bisection midpoint is a fresh frequency and every portfolio
+    mapping a fresh fingerprint, so there is nothing to hit — the one
+    repeated probe the flow used to make (re-allocating at the
+    frequency the bisection just proved feasible) is gone because
+    :func:`~repro.design.search.min_feasible_configuration` returns
+    the winning probe's allocation directly.  Sharing a cache *across*
+    runs would also let the greedy allocator's rare non-monotone
+    corners leak one run's answers into another and break the
+    byte-identical-repeat guarantee; callers iterating interactively
+    on the same configuration can opt in via
+    ``evaluate_candidate(..., cache=...)``.
+    """
+    scenario = run.scenario
+    design = scenario.design
+    assert isinstance(design, DesignSpec)
+    record: dict[str, object] = {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "design",
+    }
+    record.update(evaluate_candidate(
+        scenario.topology, design, scenario.table_size,
+        seed=derive_seed(run.run_seed, "design", run.seed)))
+    return record
+
+
+def pareto_front(records: list[dict[str, object]]
+                 ) -> list[dict[str, object]]:
+    """Non-dominated subset of ``status="ok"`` candidate records.
+
+    Objectives: minimise total silicon area, minimise operating
+    frequency, maximise the worst-case guarantee slack.  The front is
+    sorted by (area, frequency, topology label, table size) so its JSON
+    form is stable.
+    """
+    ok = [r for r in records if r.get("status") == "ok"]
+
+    def key(r: dict[str, object]) -> tuple[float, float, float]:
+        result = r["result"]
+        slack = result["guarantee_slack"]  # None = no finite requirement
+        return (result["area"]["total_um2"],
+                result["operating_frequency_mhz"],
+                -slack if slack is not None else -float("inf"))
+
+    def dominates(a: tuple[float, float, float],
+                  b: tuple[float, float, float]) -> bool:
+        return all(x <= y for x, y in zip(a, b)) and a != b
+
+    keyed = [(key(r), r) for r in ok]
+    front = [r for k, r in keyed
+             if not any(dominates(other, k) for other, _ in keyed)]
+    front.sort(key=lambda r: (r["result"]["area"]["total_um2"],
+                              r["result"]["operating_frequency_mhz"],
+                              str(r["topology"]), r["table_size"]))
+    return front
+
+
+@dataclass
+class DesignReport:
+    """Aggregated, byte-deterministic outcome of one exploration."""
+
+    problem: str
+    base_seed: int
+    records: list[dict[str, object]] = field(default_factory=list)
+
+    @property
+    def front(self) -> list[dict[str, object]]:
+        """The Pareto-optimal candidate records."""
+        return pareto_front(self.records)
+
+    @property
+    def n_candidates(self) -> int:
+        """Total candidates examined."""
+        return len(self.records)
+
+    def count(self, status: str) -> int:
+        """Candidates that finished with ``status``."""
+        return sum(1 for r in self.records if r.get("status") == status)
+
+    def min_area_point(self) -> dict[str, object] | None:
+        """The cheapest feasible dimensioning (first point of the front)."""
+        front = self.front
+        return front[0] if front else None
+
+    def to_json(self, *, indent: int = 2) -> str:
+        """Canonical JSON: sorted keys, records ordered by run id."""
+        return json.dumps(
+            {"problem": self.problem, "base_seed": self.base_seed,
+             "n_candidates": self.n_candidates,
+             "n_ok": self.count("ok"), "n_pruned": self.count("pruned"),
+             "n_infeasible": self.count("infeasible"),
+             "front": [r["run_id"] for r in self.front],
+             "records": self.records},
+            indent=indent, sort_keys=True)
+
+    def write(self, path: str) -> None:
+        """Write the canonical JSON report to a file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Per-candidate table rows for the CLI."""
+        rows = []
+        front_ids = {r["run_id"] for r in self.front}
+        for record in self.records:
+            row: dict[str, object] = {
+                "candidate": record["scenario"],
+                "status": record["status"],
+                "pareto": "*" if record["run_id"] in front_ids else "",
+            }
+            result = record.get("result")
+            if isinstance(result, dict):
+                row["mhz"] = result["operating_frequency_mhz"]
+                row["area_mm2"] = round(
+                    result["area"]["total_um2"] / 1e6, 4)
+                row["slack"] = result["guarantee_slack"]
+                row["util"] = round(result["mean_link_utilisation"], 3)
+            prune = record.get("prune")
+            if isinstance(prune, dict) and prune["reasons"]:
+                row["why"] = prune["reasons"][0][:48]
+            rows.append(row)
+        return rows
+
+
+class DesignExplorer:
+    """Fan a design space out over the campaign runner's process pool."""
+
+    def __init__(self, design: DesignSpec | None = None, *,
+                 use_case=None, space: DesignSpace, workers: int = 1,
+                 name: str = "design", seed: int = 1,
+                 base_seed: int = 2009):
+        if design is None:
+            if use_case is None:
+                raise ConfigurationError(
+                    "DesignExplorer needs a DesignSpec or a use case")
+            design = DesignSpec(
+                use_case=use_case,
+                min_frequency_mhz=space.min_frequency_mhz,
+                max_frequency_mhz=space.max_frequency_mhz,
+                tolerance_mhz=space.tolerance_mhz,
+                prune=space.prune)
+        self.design = design
+        self.space = space
+        self.workers = workers
+        self.name = name
+        self.seed = seed
+        self.base_seed = base_seed
+
+    def campaign_spec(self) -> CampaignSpec:
+        """One ``mode="design"`` scenario per candidate of the space.
+
+        The space is authoritative for everything it declares — the
+        frequency interval, the tolerance and the prune flag besides
+        the candidate axes — so a 500 MHz-capped space never evaluates
+        above 500 MHz whatever the passed-in DesignSpec's defaults say;
+        the DesignSpec contributes the workload and the optimizer
+        settings.
+        """
+        scenarios = []
+        for candidate in self.space.candidates():
+            scenarios.append(ScenarioSpec(
+                name=candidate.label,
+                mode="design",
+                topology=candidate.topology,
+                table_size=candidate.table_size,
+                design=DesignSpec(
+                    use_case=self.design.use_case,
+                    data_width=candidate.data_width,
+                    mapping=candidate.mapping,
+                    optimizer=self.design.optimizer,
+                    min_frequency_mhz=self.space.min_frequency_mhz,
+                    max_frequency_mhz=self.space.max_frequency_mhz,
+                    tolerance_mhz=self.space.tolerance_mhz,
+                    prune=self.space.prune)))
+        return CampaignSpec(name=self.name, scenarios=tuple(scenarios),
+                            seeds=(self.seed,), base_seed=self.base_seed)
+
+    def explore(self) -> DesignReport:
+        """Evaluate every candidate and aggregate the Pareto report."""
+        result = CampaignRunner(self.campaign_spec(),
+                                workers=self.workers).run()
+        return DesignReport(problem=self.design.use_case.name,
+                            base_seed=self.base_seed,
+                            records=result.records)
+
+
+def run_design_demo(*, workers: int = 2, seed: int = 2009
+                    ) -> tuple[DesignReport, bool, bool]:
+    """Dimension the demo-scale Section VII workload, twice.
+
+    Returns ``(report, byte_identical, matches_paper)`` where
+    ``matches_paper`` asserts the acceptance claim: the minimum-area
+    feasible point of the Pareto front is the paper's 2x2 mesh operated
+    at or below 500 MHz.
+    """
+    from repro.design.space import demo_space, section7_demo_use_case
+
+    use_case = section7_demo_use_case(seed)
+
+    def once() -> DesignReport:
+        return DesignExplorer(use_case=use_case, space=demo_space(),
+                              workers=workers, name="design-demo").explore()
+
+    report = once()
+    identical = once().to_json() == report.to_json()
+    chosen = report.min_area_point()
+    matches = bool(
+        chosen is not None and
+        str(chosen["topology"]).startswith("mesh2x2") and
+        chosen["result"]["operating_frequency_mhz"] <= 500.0)
+    return report, identical, matches

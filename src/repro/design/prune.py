@@ -1,0 +1,275 @@
+"""Analytical lower-bound pruning of design candidates.
+
+Dimensioning a network means scoring hundreds of (topology, table size,
+word format, mapping) candidates; actually *allocating* a candidate is by
+far the most expensive step.  Everything here is a necessary condition —
+arithmetic over slot demands that every feasible allocation must satisfy
+— so a candidate rejected by :func:`prune_candidate` is provably
+infeasible for the whole frequency interval and never reaches the
+allocator.  The same arithmetic, solved for frequency instead of
+checked at a fixed one, yields :func:`frequency_lower_bound_hz`, which
+tightens the bisection interval of the feasibility search for the
+candidates that survive.
+
+Three bound families (all per Section III's TDM arithmetic, and in the
+spirit of the flow-based lower bounds of Even & Fais):
+
+* **serialisation** — an NI's injection (ejection) link is a single
+  resource of ``table_size`` slots; the channels sourced (sunk) at one
+  NI must fit it, both in count (one slot each, minimum) and in
+  aggregate slot demand at the candidate's frequency ceiling;
+* **aggregate capacity** — each channel consumes its slot demand on
+  every link of its route; summing demand times the *shortest possible*
+  route length cannot exceed the total slot capacity of all links;
+* **bisection** — for coordinate-embedded topologies (all builders
+  store ``x``/``y``), every vertical/horizontal cut must carry the slot
+  demand of all channels whose endpoints straddle it, per direction,
+  within the slot capacity of the links actually crossing the cut
+  (wrap-around links of tori count, because the cut edges are read off
+  the real link graph).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from repro.core.application import UseCase
+from repro.core.words import WordFormat
+from repro.topology.builders import router_coords
+from repro.topology.graph import NodeKind, Topology
+from repro.topology.mapping import Mapping, router_distances
+
+__all__ = ["PruneReport", "prune_candidate", "frequency_lower_bound_hz",
+           "min_traversal_slots"]
+
+
+@dataclass(frozen=True)
+class PruneReport:
+    """Outcome of the analytical feasibility screen of one candidate.
+
+    ``feasible_possible=False`` is a proof of infeasibility at (and
+    below) the checked frequency; ``True`` only means no lower bound
+    fired — the allocator still has the last word.
+    """
+
+    feasible_possible: bool
+    frequency_hz: float
+    reasons: tuple[str, ...] = field(default_factory=tuple)
+    checks: int = 0
+
+    def to_record(self) -> dict[str, object]:
+        """JSON-ready summary."""
+        return {"feasible_possible": self.feasible_possible,
+                "frequency_mhz": round(self.frequency_hz / 1e6, 3),
+                "reasons": list(self.reasons), "checks": self.checks}
+
+
+def min_traversal_slots(hop_distance: int, pipeline_stages: int = 0) -> int:
+    """Slots a flit needs end-to-end on a shortest route.
+
+    ``hop_distance`` router-router hops traverse ``hop_distance + 1``
+    routers; each router is one slot, the delivery slot is one more, and
+    every pipeline stage on the router-router links adds one.
+    """
+    return hop_distance + 2 + pipeline_stages * hop_distance
+
+
+def _ni_demands(use_case: UseCase, mapping: Mapping, table_size: int,
+                frequency_hz: float, fmt: WordFormat
+                ) -> tuple[dict[str, list[str]], dict[str, list[str]],
+                           dict[str, int]]:
+    """Per-NI channel lists (by src / dst) and per-channel slot demand."""
+    by_src: dict[str, list[str]] = {}
+    by_dst: dict[str, list[str]] = {}
+    demand: dict[str, int] = {}
+    for ch in use_case.channels:
+        by_src.setdefault(mapping.ni_of(ch.src_ip), []).append(ch.name)
+        by_dst.setdefault(mapping.ni_of(ch.dst_ip), []).append(ch.name)
+        # Throughput-only demand — the same rotation arithmetic as
+        # repro.core.requirements.slots_for_throughput, inlined because
+        # that helper *raises* beyond the table size while a bound must
+        # keep the unclamped ceil (the serialisation check below then
+        # reports the overflow as its infeasibility reason).  Latency
+        # requirements can only raise demand, so this stays a valid
+        # lower bound.
+        rotation_bytes = (ch.throughput_bytes_per_s * table_size *
+                          fmt.flit_size / frequency_hz)
+        n = max(1, math.ceil(rotation_bytes / fmt.payload_bytes_per_flit
+                             - 1e-12))
+        demand[ch.name] = n
+    return by_src, by_dst, demand
+
+
+def frequency_lower_bound_hz(topology: Topology, use_case: UseCase,
+                             mapping: Mapping, *,
+                             fmt: WordFormat | None = None) -> float:
+    """Frequency below which *no* allocation can exist.
+
+    From the serialisation bound: the channels sourced (or sunk) at one
+    NI share its single link, whose payload capacity is
+    ``f * payload_bytes_per_flit / flit_size``; solving
+    ``sum(throughput) <= capacity`` for ``f`` over the most loaded NI
+    gives the floor.  Exact fractional relaxation of the slot demand —
+    the integer ceils only push the true minimum higher.
+    """
+    fmt = fmt or WordFormat()
+    load: dict[str, float] = {}
+    for ch in use_case.channels:
+        for key in (("tx", mapping.ni_of(ch.src_ip)),
+                    ("rx", mapping.ni_of(ch.dst_ip))):
+            label = f"{key[0]}:{key[1]}"
+            load[label] = load.get(label, 0.0) + ch.throughput_bytes_per_s
+    if not load:
+        return 0.0
+    worst = max(load.values())
+    return worst * fmt.flit_size / fmt.payload_bytes_per_flit
+
+
+def _cut_links(router_links, coords: dict[str, tuple[int, int]],
+               index: int, boundary: int) -> tuple[int, int]:
+    """Directed router-router links crossing a coordinate cut.
+
+    Returns ``(forward, backward)`` counts for the cut between
+    coordinate ``<= boundary`` and ``> boundary`` along the axis at
+    ``index`` (0 = x, 1 = y); ``router_links`` and ``coords`` are
+    precomputed once per candidate by :func:`prune_candidate`.
+    """
+    forward = backward = 0
+    for link in router_links:
+        a = coords[link.src][index] <= boundary
+        b = coords[link.dst][index] <= boundary
+        if a and not b:
+            forward += 1
+        elif b and not a:
+            backward += 1
+    return forward, backward
+
+
+def prune_candidate(topology: Topology, use_case: UseCase,
+                    mapping: Mapping, *, table_size: int,
+                    frequency_hz: float,
+                    fmt: WordFormat | None = None,
+                    distances: dict[str, dict[str, int]] | None = None
+                    ) -> PruneReport:
+    """Run all analytical lower bounds at the candidate's frequency ceiling.
+
+    ``frequency_hz`` should be the *highest* frequency the search will
+    consider for this candidate (slot demand shrinks as frequency grows,
+    so a bound violated at the ceiling is violated everywhere below it).
+    ``distances`` may pass a precomputed :func:`router_distances` map so
+    repeated prunes of one topology share the all-pairs BFS.
+    """
+    fmt = fmt or WordFormat()
+    reasons: list[str] = []
+    checks = 0
+    by_src, by_dst, demand = _ni_demands(use_case, mapping, table_size,
+                                         frequency_hz, fmt)
+
+    # 0. Co-location: endpoints on one NI can never use the NoC.
+    for ch in use_case.channels:
+        checks += 1
+        if mapping.ni_of(ch.src_ip) == mapping.ni_of(ch.dst_ip):
+            reasons.append(
+                f"channel {ch.name!r}: both endpoints map to NI "
+                f"{mapping.ni_of(ch.src_ip)!r}")
+
+    # 1. Serialisation: counts and slot demand per NI link.
+    for side, groups in (("injection", by_src), ("ejection", by_dst)):
+        for ni in sorted(groups):
+            names = groups[ni]
+            checks += 1
+            if len(names) > table_size:
+                reasons.append(
+                    f"{side} link of {ni!r} must serialise {len(names)} "
+                    f"channels but the table has {table_size} slots")
+                continue
+            slots = sum(demand[name] for name in names)
+            if slots > table_size:
+                reasons.append(
+                    f"{side} link of {ni!r} needs {slots} slots of "
+                    f"{table_size} at "
+                    f"{frequency_hz / 1e6:.0f} MHz")
+
+    # 2. Aggregate capacity: demand x shortest route length vs all links.
+    distances = distances or router_distances(topology)
+    checks += 1
+    slot_hops = 0
+    for ch in use_case.channels:
+        src_router = topology.attached_router(mapping.ni_of(ch.src_ip))
+        dst_router = topology.attached_router(mapping.ni_of(ch.dst_ip))
+        hops = distances[src_router].get(dst_router)
+        if hops is None:
+            reasons.append(
+                f"channel {ch.name!r}: no route between routers "
+                f"{src_router!r} and {dst_router!r}")
+            continue
+        # One reservation per traversed link: NI out + hops + NI in.
+        slot_hops += demand[ch.name] * (hops + 2)
+    capacity = len(topology.links) * table_size
+    if slot_hops > capacity:
+        reasons.append(
+            f"aggregate demand of {slot_hops} slot-links exceeds the "
+            f"{capacity} available across {len(topology.links)} links")
+
+    # 3. Bisection: coordinate cuts, per direction.
+    coords = {r: router_coords(topology, r) for r in topology.routers}
+    router_links = [link for link in topology.links
+                    if topology.kind(link.src) is NodeKind.ROUTER
+                    and topology.kind(link.dst) is NodeKind.ROUTER]
+    endpoint_coords = [
+        (coords[topology.attached_router(mapping.ni_of(ch.src_ip))],
+         coords[topology.attached_router(mapping.ni_of(ch.dst_ip))],
+         demand[ch.name])
+        for ch in use_case.channels]
+    for axis, index in (("x", 0), ("y", 1)):
+        values = sorted({c[index] for c in coords.values()})
+        for boundary in values[:-1]:
+            forward_cap, backward_cap = _cut_links(router_links, coords,
+                                                   index, boundary)
+            forward = backward = 0
+            for src_coord, dst_coord, slots in endpoint_coords:
+                src_side = src_coord[index] <= boundary
+                dst_side = dst_coord[index] <= boundary
+                if src_side and not dst_side:
+                    forward += slots
+                elif dst_side and not src_side:
+                    backward += slots
+            checks += 1
+            for label, need, cap in (("->", forward, forward_cap),
+                                     ("<-", backward, backward_cap)):
+                if need > cap * table_size:
+                    reasons.append(
+                        f"bisection {axis}<={boundary} {label}: "
+                        f"{need} slots demanded across {cap} links "
+                        f"({cap * table_size} slot capacity)")
+
+    # 4. Latency floors on shortest routes.  The per-hop stage count is
+    # the *minimum* over router-router links so the floor stays a lower
+    # bound on heterogeneous pipelining.
+    stages = min(
+        (link.pipeline_stages for link in topology.links
+         if topology.kind(link.src) is NodeKind.ROUTER
+         and topology.kind(link.dst) is NodeKind.ROUTER),
+        default=0)
+    for ch in use_case.channels:
+        if ch.max_latency_ns is None:
+            continue
+        checks += 1
+        src_router = topology.attached_router(mapping.ni_of(ch.src_ip))
+        dst_router = topology.attached_router(mapping.ni_of(ch.dst_ip))
+        hops = distances[src_router].get(dst_router)
+        if hops is None:
+            continue  # already reported above
+        floor_slots = 1 + min_traversal_slots(hops, stages)
+        floor_ns = floor_slots * fmt.flit_size / frequency_hz * 1e9
+        if floor_ns > ch.max_latency_ns * (1 + 1e-9):
+            reasons.append(
+                f"channel {ch.name!r}: latency floor {floor_ns:.1f} ns "
+                f"over {hops} hops exceeds requirement "
+                f"{ch.max_latency_ns:.1f} ns at "
+                f"{frequency_hz / 1e6:.0f} MHz")
+
+    return PruneReport(feasible_possible=not reasons,
+                       frequency_hz=frequency_hz,
+                       reasons=tuple(reasons), checks=checks)

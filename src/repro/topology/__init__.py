@@ -25,6 +25,8 @@ _EXPORTS: dict[str, str] = {
     "round_robin": "repro.topology.mapping",
     "traffic_balanced": "repro.topology.mapping",
     "communication_clustered": "repro.topology.mapping",
+    "hop_weighted_demand": "repro.topology.mapping",
+    "router_distances": "repro.topology.mapping",
     "xy_route": "repro.topology.routing",
     "xy_path": "repro.topology.routing",
     "k_shortest_paths": "repro.topology.routing",

@@ -7,9 +7,18 @@ Three heuristics are provided, all deterministic:
 
 * :func:`round_robin` — simplest possible; IPs are dealt to NIs in order;
 * :func:`traffic_balanced` — greedy bin-packing by aggregate IP bandwidth,
-  heaviest first onto the lightest NI (ties broken by name);
+  heaviest first onto the lightest NI (ties broken by name), followed by a
+  deterministic hop-aware swap refinement; by construction the result is
+  never worse than :func:`round_robin` on :func:`hop_weighted_demand`,
+  which is what makes it a sound warm start for the design-space
+  mapping optimizer (:mod:`repro.design.mapping_opt`);
 * :func:`communication_clustered` — greedily co-locates heavily
   communicating IP pairs on nearby routers to shorten paths.
+
+:func:`hop_weighted_demand` is the shared placement metric: the sum over
+channels of required bandwidth times the router-hop distance between the
+endpoints' NIs — a topology-independent proxy for how many link-slots a
+mapping will consume.
 """
 
 from __future__ import annotations
@@ -25,7 +34,8 @@ from repro.core.exceptions import ConfigurationError, TopologyError
 from repro.topology.graph import Topology
 
 __all__ = ["Mapping", "round_robin", "traffic_balanced",
-           "communication_clustered"]
+           "communication_clustered", "hop_weighted_demand",
+           "router_distances"]
 
 
 @dataclass(frozen=True)
@@ -82,19 +92,119 @@ def round_robin(ips: Sequence[str], topo: Topology) -> Mapping:
     return Mapping(assignment)
 
 
+def router_distances(topo: Topology) -> dict[str, dict[str, int]]:
+    """All-pairs router-hop distances of the router subgraph.
+
+    Works on any builder family (torus wrap-around links included, since
+    the distances come from the actual link graph, not coordinates).
+    """
+    rg = topo.router_graph()
+    return {router: nx.single_source_shortest_path_length(rg, router)
+            for router in topo.routers}
+
+
+def hop_weighted_demand(topo: Topology, mapping: Mapping,
+                        channels: Iterable[ChannelSpec], *,
+                        distances: dict[str, dict[str, int]] | None
+                        = None) -> float:
+    """Sum over channels of throughput times router-hop distance.
+
+    The shared placement metric of the mapping heuristics and the
+    design-space optimizer: every router hop a channel traverses costs
+    one slot reservation on one more link, so bandwidth times hops is a
+    direct (topology-independent) proxy for aggregate slot consumption.
+    Channels whose endpoints share a router contribute zero.
+    """
+    dist = distances or router_distances(topo)
+    total = 0.0
+    for ch in channels:
+        src_router = topo.attached_router(mapping.ni_of(ch.src_ip))
+        dst_router = topo.attached_router(mapping.ni_of(ch.dst_ip))
+        hops = dist[src_router].get(dst_router)
+        if hops is None:
+            raise TopologyError(
+                f"channel {ch.name!r}: no router path from "
+                f"{src_router!r} to {dst_router!r} under mapping")
+        total += ch.throughput_bytes_per_s * hops
+    return total
+
+
+def _swap_refined(assignment: dict[str, str], topo: Topology,
+                  channels: Sequence[ChannelSpec],
+                  dist: dict[str, dict[str, int]], *,
+                  max_passes: int = 4) -> dict[str, str]:
+    """First-improvement swap pass minimising hop-weighted demand.
+
+    Swapping two IPs' NIs preserves the per-NI IP counts of the start
+    assignment, so whatever balance the seeding phase established
+    survives.  Deterministic: IPs are visited in sorted order and only
+    strictly improving swaps are taken.
+    """
+    router_of = {ni: topo.attached_router(ni) for ni in set(assignment.values())}
+    incident: dict[str, list[ChannelSpec]] = defaultdict(list)
+    for ch in channels:
+        incident[ch.src_ip].append(ch)
+        if ch.dst_ip != ch.src_ip:
+            incident[ch.dst_ip].append(ch)
+
+    def cost_around(ips_touched: tuple[str, str]) -> float:
+        seen: set[str] = set()
+        total = 0.0
+        for ip in ips_touched:
+            for ch in incident.get(ip, ()):
+                if ch.name in seen:
+                    continue
+                seen.add(ch.name)
+                hops = dist[router_of[assignment[ch.src_ip]]].get(
+                    router_of[assignment[ch.dst_ip]])
+                if hops is None:
+                    # A swap must never make an endpoint pair
+                    # unreachable (one-way custom topologies).
+                    return float("inf")
+                total += ch.throughput_bytes_per_s * hops
+        return total
+
+    mapped = sorted(assignment)
+    for _ in range(max_passes):
+        improved = False
+        for i, ip_a in enumerate(mapped):
+            for ip_b in mapped[i + 1:]:
+                if assignment[ip_a] == assignment[ip_b]:
+                    continue
+                before = cost_around((ip_a, ip_b))
+                assignment[ip_a], assignment[ip_b] = \
+                    assignment[ip_b], assignment[ip_a]
+                after = cost_around((ip_a, ip_b))
+                if after < before - 1e-9:
+                    improved = True
+                else:
+                    assignment[ip_a], assignment[ip_b] = \
+                        assignment[ip_b], assignment[ip_a]
+        if not improved:
+            break
+    return assignment
+
+
 def traffic_balanced(ips: Sequence[str], channels: Iterable[ChannelSpec],
                      topo: Topology) -> Mapping:
-    """Greedy balance of aggregate bandwidth across NIs.
+    """Greedy bandwidth balance across NIs, refined for locality.
 
     Each IP's weight is the sum of the throughput of all channels it
-    sources or sinks.  IPs are placed heaviest-first onto the NI with the
-    least accumulated weight.
+    sources or sinks; IPs are placed heaviest-first onto the NI with the
+    least accumulated weight.  The greedy assignment is then compared
+    against :func:`round_robin` on :func:`hop_weighted_demand` (the
+    better of the two is kept, ties favouring the balanced one) and
+    polished with a deterministic swap-only improvement pass — so the
+    result is **guaranteed** no worse than ``round_robin`` on
+    hop-weighted demand, while per-NI IP counts stay those of the
+    seeding phase.
     """
     nis = topo.nis
     if not nis:
         raise TopologyError("topology has no NIs to map onto")
+    channel_list = list(channels)
     weight: dict[str, float] = defaultdict(float)
-    for ch in channels:
+    for ch in channel_list:
         weight[ch.src_ip] += ch.throughput_bytes_per_s
         weight[ch.dst_ip] += ch.throughput_bytes_per_s
     load = {ni: 0.0 for ni in nis}
@@ -104,7 +214,23 @@ def traffic_balanced(ips: Sequence[str], channels: Iterable[ChannelSpec],
         target = min(nis, key=lambda ni: (load[ni], ni))
         assignment[ip] = target
         load[target] += weight.get(ip, 0.0)
-    return Mapping(assignment)
+    if not channel_list:
+        return Mapping(assignment)
+    dist = router_distances(topo)
+    rr = dict(round_robin(ips, topo).ip_to_ni)
+    try:
+        greedy_cost = hop_weighted_demand(topo, Mapping(assignment),
+                                          channel_list, distances=dist)
+        rr_cost = hop_weighted_demand(topo, Mapping(rr), channel_list,
+                                      distances=dist)
+    except TopologyError:
+        # Some endpoint pair has no router path (one-way custom
+        # topologies): skip the hop-aware refinement and keep the
+        # pre-refinement behaviour — the allocator reports such
+        # channels cleanly.
+        return Mapping(assignment)
+    start = assignment if greedy_cost <= rr_cost else rr
+    return Mapping(_swap_refined(dict(start), topo, channel_list, dist))
 
 
 def communication_clustered(ips: Sequence[str],

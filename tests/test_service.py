@@ -366,7 +366,7 @@ class TestExplorationFailureSurfacing:
         from dataclasses import replace
 
         from repro.core.application import Application, UseCase
-        from repro.core.exploration import min_feasible_frequency
+        from repro.design.search import min_feasible_frequency
 
         # A latency requirement below any path's traversal time can never
         # be met, at any frequency in the search interval.
