@@ -34,7 +34,15 @@ Package map (see DESIGN.md for the full inventory):
   from a workload via analytical lower-bound pruning, annealed mapping
   optimisation, probe-cached feasibility bisection and synthesis cost
   models, fanned out over the campaign pool into a byte-deterministic
-  Pareto front (``python -m repro design --demo``).
+  Pareto front (``python -m repro design --demo``), with a
+  ``spare_capacity`` knob that provisions headroom for failure
+  tolerance;
+* :mod:`repro.faults` — fault injection and degraded-mode guarantees:
+  seeded link/router failure schedules, guarantee-preserving
+  re-allocation over surviving routes
+  (:meth:`~repro.core.allocation.Allocation.rebuild_excluding`),
+  fault events in the control plane, and byte-deterministic
+  survivability reports (``python -m repro faults --demo``).
 """
 
 from __future__ import annotations
@@ -70,6 +78,11 @@ _EXPORTS: dict[str, str] = {
     "DesignExplorer": "repro.design.explorer",
     "DesignSpace": "repro.design.space",
     "DesignSpec": "repro.design.space",
+    "FaultSpec": "repro.faults.model",
+    "FaultEvent": "repro.faults.model",
+    "FaultSchedule": "repro.faults.model",
+    "SessionService": "repro.service.controller",
+    "ChurnSpec": "repro.service.churn",
     "MB": "repro.core.connection",
     "GB": "repro.core.connection",
 }

@@ -9,8 +9,9 @@ results either way.
 """
 
 from repro.campaign.presets import (PRESETS, churn_campaign, demo_campaign,
-                                    design_campaign, micro_campaign,
-                                    preset_by_name, replay_campaign)
+                                    design_campaign, fault_campaign,
+                                    micro_campaign, preset_by_name,
+                                    replay_campaign)
 from repro.campaign.runner import (CampaignResult, CampaignRunner,
                                    execute_run)
 from repro.campaign.spec import (CampaignSpec, RunSpec, ScenarioSpec,
@@ -22,5 +23,6 @@ __all__ = [
     "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed",
     "CampaignRunner", "CampaignResult", "execute_run",
     "demo_campaign", "micro_campaign", "churn_campaign",
-    "replay_campaign", "design_campaign", "PRESETS", "preset_by_name",
+    "replay_campaign", "design_campaign", "fault_campaign",
+    "PRESETS", "preset_by_name",
 ]

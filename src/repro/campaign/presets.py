@@ -11,12 +11,13 @@ from typing import Callable
 
 from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
                                  TrafficSpec, WorkloadSpec, scenario_grid)
+from repro.faults.model import FaultSpec
 from repro.service.churn import ChurnSpec
 from repro.service.qos import QosClass
 
 __all__ = ["demo_campaign", "micro_campaign", "churn_campaign",
-           "replay_campaign", "design_campaign", "PRESETS",
-           "preset_by_name"]
+           "replay_campaign", "design_campaign", "fault_campaign",
+           "PRESETS", "preset_by_name"]
 
 
 def demo_campaign(*, n_slots: int = 600,
@@ -24,10 +25,10 @@ def demo_campaign(*, n_slots: int = 600,
     """The ``python -m repro campaign --demo`` grid.
 
     Two topologies × two traffic mixes × two backends = 8 simulation
-    scenarios plus one service-churn scenario and one churn-replay
-    scenario, each across the seed grid — wide enough to exercise the
-    pool and all three scenario modes, small enough to finish in
-    seconds.
+    scenarios plus one service-churn scenario, one churn-replay
+    scenario and one churn+faults scenario, each across the seed grid —
+    wide enough to exercise the pool and every scenario mode, small
+    enough to finish in seconds.
     """
     scenarios = scenario_grid(
         topologies={
@@ -57,6 +58,14 @@ def demo_campaign(*, n_slots: int = 600,
                                   nis_per_router=2),
             churn=ChurnSpec(n_sessions=60), n_slots=1200,
             table_size=16),
+        ScenarioSpec(
+            name="mesh3x3-churn-faults", mode="faults", backend="flit",
+            topology=TopologySpec(kind="mesh", cols=3, rows=3,
+                                  nis_per_router=2),
+            churn=ChurnSpec(n_sessions=40),
+            faults=FaultSpec(n_faults=3, fault_rate_per_s=400.0,
+                             mean_repair_s=0.004),
+            n_slots=800, table_size=16),
     )
     return CampaignSpec(name="demo", scenarios=scenarios, seeds=seeds)
 
@@ -201,6 +210,45 @@ def design_campaign(*, target_admission_rate: float = 0.95,
                         base_seed=seed)
 
 
+def fault_campaign(*, n_sessions: int = 80, n_slots: int = 1600,
+                   seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
+    """A survivability sweep: fault rate × topology × slot-table size.
+
+    Every scenario runs the control plane over churn merged with a
+    seeded fault schedule (``mode="faults"``), folds the outcome against
+    the fault-free baseline of the identical churn, and replays the
+    churn+fault timeline on the flit backend for the fault-survivor
+    composability verdict.  The grid crosses a sparse adversary (few
+    faults, quick repairs) against a dense one (many faults, slow
+    repairs) over two topologies and two slot-table sizes — the
+    quantitative answer to "how much service survives N failures?".
+    """
+    topologies = {
+        "mesh3x3": TopologySpec(kind="mesh", cols=3, rows=3,
+                                nis_per_router=2),
+        "cmesh4x3": TopologySpec(kind="cmesh", cols=4, rows=3,
+                                 nis_per_router=4),
+    }
+    adversaries = {
+        "sparse": FaultSpec(n_faults=3, fault_rate_per_s=150.0,
+                            mean_repair_s=0.003),
+        "dense": FaultSpec(n_faults=8, fault_rate_per_s=600.0,
+                           mean_repair_s=0.01),
+    }
+    scenarios = []
+    for topo_label, topology in sorted(topologies.items()):
+        for adv_label, faults in sorted(adversaries.items()):
+            for table_size in (16, 32):
+                scenarios.append(ScenarioSpec(
+                    name=f"{topo_label}-{adv_label}-t{table_size}-faults",
+                    mode="faults", backend="flit", topology=topology,
+                    churn=ChurnSpec(n_sessions=n_sessions),
+                    faults=faults, n_slots=n_slots,
+                    table_size=table_size))
+    return CampaignSpec(name="faults", scenarios=tuple(scenarios),
+                        seeds=seeds)
+
+
 #: Registry of the ready-made campaigns, keyed by their function names
 #: (what ``python -m repro campaign --preset <name>`` accepts).
 PRESETS: dict[str, Callable[[], CampaignSpec]] = {
@@ -209,6 +257,7 @@ PRESETS: dict[str, Callable[[], CampaignSpec]] = {
     "churn_campaign": churn_campaign,
     "replay_campaign": replay_campaign,
     "design_campaign": design_campaign,
+    "fault_campaign": fault_campaign,
 }
 
 

@@ -43,6 +43,8 @@ def execute_run(run: RunSpec) -> dict[str, object]:
         return _execute_serve_run(run)
     if scenario.mode == "replay":
         return _execute_replay_run(run)
+    if scenario.mode == "faults":
+        return _execute_faults_run(run)
     if scenario.mode == "design":
         from repro.design.explorer import execute_design_run
         return execute_design_run(run)
@@ -173,6 +175,68 @@ def _execute_replay_run(run: RunSpec) -> dict[str, object]:
     return record
 
 
+def _execute_faults_run(run: RunSpec) -> dict[str, object]:
+    """Execute one ``mode="faults"`` run: churn + faults vs baseline.
+
+    The identical churn stream runs twice — once healthy, once merged
+    with the seeded fault schedule — and the churn+fault timeline is
+    replayed on the scenario backend so the record carries both the
+    survivability fold and the fault-survivor composability verdict.
+    """
+    from repro.faults.demo import run_churn_with_faults, survivability_record
+    from repro.faults.model import FaultSchedule, FaultSpec
+    from repro.service.churn import ChurnSpec, ChurnWorkload
+
+    scenario = run.scenario
+    churn = scenario.churn or ChurnSpec()
+    fault_spec = scenario.faults or FaultSpec()
+    record: dict[str, object] = {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "faults",
+        "backend": scenario.backend,
+        "topology": scenario.topology.label,
+        "churn": churn.label,
+        "faults": fault_spec.label,
+        "n_slots": scenario.n_slots,
+        "table_size": scenario.table_size,
+    }
+    try:
+        topology = scenario.topology.build()
+        workload = ChurnWorkload(
+            churn, topology, derive_seed(run.run_seed, "churn", run.seed))
+        events = workload.events(limit=3 * churn.n_sessions // 2)
+        schedule = FaultSchedule(
+            fault_spec, topology,
+            derive_seed(run.run_seed, "faults", run.seed))
+        outcome = run_churn_with_faults(
+            topology, events, schedule,
+            table_size=scenario.table_size,
+            frequency_hz=scenario.frequency_mhz * 1e6,
+            horizon_slots=scenario.n_slots, name=scenario.name,
+            seed=run.seed,
+            backend_factory=lambda config: create_backend(
+                scenario.backend, config),
+            scenario=scenario.name)
+    except (AllocationError, ConfigurationError) as exc:
+        record["status"] = "configuration_failed"
+        record["error"] = str(exc)
+        return record
+    record["status"] = "ok"
+    record["result"] = {
+        "survivability": survivability_record(
+            outcome.baseline.totals, outcome.faulty.totals,
+            outcome.faulty.faults),
+        "faults": outcome.faulty.faults,
+        "totals": outcome.faulty.totals,
+        "invariant": outcome.faulty.invariant,
+        "composability": outcome.verdict.to_record(),
+        "n_channels": len(outcome.timeline.channel_names),
+    }
+    return record
+
+
 @dataclass
 class CampaignResult:
     """The aggregated outcome of one campaign execution."""
@@ -230,7 +294,16 @@ class CampaignResult:
             }
             result = record.get("result")
             if isinstance(result, dict):
-                if "area" in result:  # design-mode record
+                if "survivability" in result:  # faults-mode record
+                    surv = result["survivability"]
+                    row["traffic"] = record.get("faults", "-")
+                    row["messages"] = result["totals"]["n_events"]
+                    row["survival"] = surv["session_survival"]
+                    row["retention"] = surv["guarantee_retention"]
+                    row["status"] = (
+                        f"{record['status']}/"
+                        f"{'composable' if result['composability']['composable'] else 'diverged'}")
+                elif "area" in result:  # design-mode record
                     row["messages"] = result["n_channels"]
                     row["area_mm2"] = round(
                         result["area"]["total_um2"] / 1e6, 4)

@@ -25,6 +25,7 @@ from repro.core.application import Application, UseCase
 from repro.core.configuration import NocConfiguration, configure
 from repro.core.connection import MB, ChannelSpec
 from repro.core.exceptions import ConfigurationError
+from repro.faults.model import FaultSpec
 from repro.service.churn import ChurnSpec
 from repro.simulation.traffic import (BernoulliMessages, Saturating,
                                       TrafficPattern)
@@ -43,6 +44,11 @@ def derive_seed(base_seed: int, *labels: object) -> int:
     Uses SHA-256 rather than :func:`hash` so the derivation is identical
     across processes (``PYTHONHASHSEED`` does not leak in) and across
     runs — the foundation of campaign determinism.
+
+    >>> derive_seed(2009, "demo/seed1") == derive_seed(2009, "demo/seed1")
+    True
+    >>> derive_seed(2009, "a") != derive_seed(2009, "b")
+    True
     """
     digest = hashlib.sha256(
         ":".join([str(base_seed), *map(str, labels)]).encode()).digest()
@@ -214,7 +220,14 @@ class ScenarioSpec:
       network with the synthesis models.  ``design`` carries the
       workload and evaluation recipe; ``topology``/``table_size`` name
       the candidate and the ``traffic``/``backend``/``n_slots`` axes
-      are ignored.
+      are ignored;
+    * ``mode="faults"`` — run the control plane over churn merged with
+      a seeded fault schedule (``faults``, a :class:`~repro.faults.
+      model.FaultSpec`; defaults apply when ``None``), compare against
+      the fault-free baseline run of the identical churn, and replay
+      the churn+fault timeline on ``backend`` for the fault-survivor
+      composability verdict.  Reports are survivability records
+      (admission retention, guarantee retention, session survival).
     """
 
     name: str
@@ -226,21 +239,24 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
-    mode: str = "simulate"          # simulate | serve | replay | design
-    churn: ChurnSpec | None = None  # serve / replay modes only
+    mode: str = "simulate"    # simulate | serve | replay | design | faults
+    churn: ChurnSpec | None = None  # serve / replay / faults modes
     design: object | None = None    # design mode only (a DesignSpec)
+    faults: FaultSpec | None = None  # faults mode only
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
-        if self.mode not in ("simulate", "serve", "replay", "design"):
+        if self.mode not in ("simulate", "serve", "replay", "design",
+                             "faults"):
             raise ConfigurationError(
                 f"unknown scenario mode {self.mode!r}; expected "
-                "'simulate', 'serve', 'replay' or 'design'")
-        if self.churn is not None and self.mode not in ("serve", "replay"):
+                "'simulate', 'serve', 'replay', 'design' or 'faults'")
+        if self.churn is not None and self.mode not in (
+                "serve", "replay", "faults"):
             raise ConfigurationError(
-                "churn spec only applies to serve/replay scenarios; "
-                "design scenarios take their workload from the "
-                "DesignSpec (see repro.design.workload_from_churn)")
+                "churn spec only applies to serve/replay/faults "
+                "scenarios; design scenarios take their workload from "
+                "the DesignSpec (see repro.design.workload_from_churn)")
         if self.mode == "design":
             from repro.design.space import DesignSpec
             if not isinstance(self.design, DesignSpec):
@@ -250,14 +266,17 @@ class ScenarioSpec:
         elif self.design is not None:
             raise ConfigurationError(
                 "design spec only applies to design scenarios")
+        if self.faults is not None and self.mode != "faults":
+            raise ConfigurationError(
+                "fault spec only applies to mode='faults' scenarios")
         if self.backend not in available_backends():
             raise ConfigurationError(
                 f"unknown backend {self.backend!r}; expected one of "
                 f"{available_backends()}")
-        if self.mode == "replay" and self.backend == "cycle":
+        if self.mode in ("replay", "faults") and self.backend == "cycle":
             raise ConfigurationError(
-                "mode='replay' needs a backend that can reconfigure "
-                "mid-run; use 'flit' or 'be'")
+                f"mode={self.mode!r} needs a backend that can "
+                "reconfigure mid-run; use 'flit' or 'be'")
         if self.backend == "cycle" and self.clocking not in (
                 "synchronous", "mesochronous", "asynchronous"):
             raise ConfigurationError(

@@ -62,6 +62,9 @@ _EXPORTS: dict[str, str] = {
     "AllocatorOptions": "repro.core.allocation",
     "Allocation": "repro.core.allocation",
     "ChannelAllocation": "repro.core.allocation",
+    "ChannelVerdict": "repro.core.allocation",
+    "RebuildReport": "repro.core.allocation",
+    "excluded_link_keys": "repro.core.allocation",
     "ChannelBounds": "repro.core.analysis",
     "AnalysisSummary": "repro.core.analysis",
     "analyse": "repro.core.analysis",

@@ -36,7 +36,7 @@ from typing import Sequence
 from repro.core.connection import ChannelSpec
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.core.path import Path
-from repro.core.requirements import slots_for_channel
+from repro.core.requirements import latency_bound_ns, slots_for_channel
 from repro.core.slot_table import (SlotTable, mask_to_slots, rotate_mask,
                                    shifted, spread_slots,
                                    worst_case_wait_slots)
@@ -47,7 +47,169 @@ from repro.topology.routing import (k_shortest_paths, merge_load_aware,
                                     weighted_shortest_path)
 
 __all__ = ["ChannelAllocation", "Allocation", "AllocatorOptions",
-           "SlotAllocator"]
+           "SlotAllocator", "ChannelVerdict", "RebuildReport",
+           "excluded_link_keys"]
+
+
+def excluded_link_keys(topology: Topology,
+                       failed_links=(), failed_routers=()
+                       ) -> frozenset[tuple[str, str]]:
+    """Normalise a failure set into the directed link keys it disables.
+
+    A failed link disables itself; a failed router disables every link
+    incident to it (so any path traversing the router, or any NI hanging
+    off it, loses its route).  Unknown links or routers are configuration
+    errors — a fault schedule must name real hardware.
+
+    >>> from repro.topology.builders import mesh
+    >>> topo = mesh(2, 2, nis_per_router=1)
+    >>> sorted(excluded_link_keys(topo, [("r0_0", "r1_0")]))
+    [('r0_0', 'r1_0')]
+    >>> len(excluded_link_keys(topo, failed_routers=["r0_0"]))
+    6
+    """
+    known = set(topology.iter_link_keys())
+    excluded: set[tuple[str, str]] = set()
+    for key in failed_links:
+        key = (key[0], key[1])
+        if key not in known:
+            raise ConfigurationError(
+                f"failure set names unknown link {key}")
+        excluded.add(key)
+    routers = set(topology.routers)
+    failed_router_set = set(failed_routers)
+    unknown = sorted(failed_router_set - routers)
+    if unknown:
+        raise ConfigurationError(
+            f"failure set names unknown router(s) {unknown}")
+    if failed_router_set:
+        excluded.update(key for key in known
+                        if key[0] in failed_router_set
+                        or key[1] in failed_router_set)
+    return frozenset(excluded)
+
+
+def _path_free_mask(link_tables: dict[tuple[str, str], "SlotTable"],
+                    path: Path, size: int) -> int:
+    """Bitmask of injection slots free on every link of ``path``.
+
+    Each link's free mask is rotated back by the link's slot shift and
+    intersected — the whole contention check is one AND per link.
+    Shared by the allocator hot path and degraded-mode re-allocation so
+    the shift semantics cannot diverge.
+    """
+    mask = (1 << size) - 1
+    for link, shift in zip(path.links, path.link_shifts):
+        mask &= rotate_mask(link_tables[link.key].free_mask, shift, size)
+        if not mask:
+            break
+    return mask
+
+
+@dataclass(frozen=True)
+class ChannelVerdict:
+    """How one channel fared through a degraded-mode re-allocation.
+
+    ``verdict`` is one of:
+
+    * ``"unaffected"`` — the channel's path touches no failed resource;
+      its reservations are carried over bit-identically;
+    * ``"rerouted_same_bounds"`` — rerouted over surviving links with a
+      worst-case latency bound and guaranteed throughput no worse than
+      before the fault;
+    * ``"rerouted_degraded"`` — rerouted, still meeting the channel's
+      stated requirements, but with weaker bounds than pre-fault;
+    * ``"dropped"`` — no surviving route can carry the channel.
+    """
+
+    channel: str
+    verdict: str
+    reason: str = ""
+    old_latency_ns: float | None = None
+    new_latency_ns: float | None = None
+    old_n_slots: int | None = None
+    new_n_slots: int | None = None
+
+    def to_record(self) -> dict[str, object]:
+        """Deterministic JSON-ready form."""
+        return {
+            "channel": self.channel,
+            "verdict": self.verdict,
+            "reason": self.reason,
+            "old_latency_ns": (None if self.old_latency_ns is None
+                               else round(self.old_latency_ns, 3)),
+            "new_latency_ns": (None if self.new_latency_ns is None
+                               else round(self.new_latency_ns, 3)),
+            "old_n_slots": self.old_n_slots,
+            "new_n_slots": self.new_n_slots,
+        }
+
+
+@dataclass
+class RebuildReport:
+    """Outcome of one :meth:`Allocation.rebuild_excluding` call.
+
+    ``allocation`` is the degraded-mode allocation: untouched channels
+    keep their exact :class:`ChannelAllocation` objects (the composability
+    invariant, re-checked and reported as ``untouched_intact``); affected
+    channels are rerouted over surviving paths or dropped, per
+    ``verdicts``.
+    """
+
+    allocation: "Allocation"
+    verdicts: dict[str, ChannelVerdict]
+    excluded_links: frozenset[tuple[str, str]]
+    failed_routers: tuple[str, ...]
+    untouched_intact: bool
+
+    def count(self, verdict: str) -> int:
+        """Channels that ended with ``verdict``."""
+        return sum(1 for v in self.verdicts.values()
+                   if v.verdict == verdict)
+
+    @property
+    def n_affected(self) -> int:
+        """Channels whose pre-fault path touched a failed resource."""
+        return sum(1 for v in self.verdicts.values()
+                   if v.verdict != "unaffected")
+
+    @property
+    def guarantee_retention(self) -> float:
+        """Fraction of affected channels rerouted with unchanged bounds.
+
+        1.0 when the failure touched no channel at all.
+        """
+        affected = self.n_affected
+        if not affected:
+            return 1.0
+        return self.count("rerouted_same_bounds") / affected
+
+    @property
+    def survival_rate(self) -> float:
+        """Fraction of affected channels that kept *any* allocation."""
+        affected = self.n_affected
+        if not affected:
+            return 1.0
+        return 1.0 - self.count("dropped") / affected
+
+    def to_record(self) -> dict[str, object]:
+        """Deterministic JSON-ready form (verdicts sorted by channel)."""
+        return {
+            "excluded_links": [list(key)
+                               for key in sorted(self.excluded_links)],
+            "failed_routers": list(self.failed_routers),
+            "n_channels": len(self.verdicts),
+            "n_affected": self.n_affected,
+            "n_unaffected": self.count("unaffected"),
+            "n_rerouted_same_bounds": self.count("rerouted_same_bounds"),
+            "n_rerouted_degraded": self.count("rerouted_degraded"),
+            "n_dropped": self.count("dropped"),
+            "guarantee_retention": round(self.guarantee_retention, 4),
+            "survival_rate": round(self.survival_rate, 4),
+            "untouched_intact": self.untouched_intact,
+            "verdicts": [self.verdicts[name].to_record()
+                         for name in sorted(self.verdicts)],
+        }
 
 
 @dataclass(frozen=True)
@@ -233,6 +395,165 @@ class Allocation:
                     f"occupancy bookkeeping diverged on link {key}: "
                     f"recorded {recorded}, derived {owners}")
 
+    # -- degraded-mode re-allocation ------------------------------------------
+
+    def rebuild_excluding(self, failed_links=(), failed_routers=(), *,
+                          options: "AllocatorOptions | None" = None,
+                          on_infeasible: str = "drop") -> RebuildReport:
+        """Guarantee-preserving re-allocation around failed resources.
+
+        Builds a *new* allocation in which every channel whose path avoids
+        the failed links/routers keeps its exact reservations (same
+        :class:`ChannelAllocation` object — the composability invariant
+        under degradation), and every affected channel is re-allocated
+        over surviving k-shortest paths, hardest-first.  ``self`` is
+        never mutated.
+
+        Per-channel outcomes are reported as :class:`ChannelVerdict`\\ s:
+        ``rerouted_same_bounds`` (bounds no worse than pre-fault),
+        ``rerouted_degraded`` (requirements still met, bounds weaker), or
+        ``dropped``.  With ``on_infeasible="raise"`` an un-reroutable
+        channel raises :class:`AllocationError` carrying the failing
+        channel and the per-candidate reasons instead of producing a
+        ``dropped`` verdict.
+
+        A zero-failure call reproduces the allocation exactly: every
+        channel is ``unaffected`` and the rebuilt occupancy is
+        byte-identical to the original.
+        """
+        if on_infeasible not in ("drop", "raise"):
+            raise ConfigurationError(
+                f"on_infeasible must be 'drop' or 'raise', "
+                f"got {on_infeasible!r}")
+        options = options or AllocatorOptions()
+        excluded = excluded_link_keys(self.topology, failed_links,
+                                      failed_routers)
+        rebuilt = Allocation(self.topology, self.table_size,
+                             self.frequency_hz, self.fmt)
+        verdicts: dict[str, ChannelVerdict] = {}
+        affected: list[ChannelAllocation] = []
+        for name, ca in sorted(self.channels.items()):
+            if excluded and not excluded.isdisjoint(ca.path.link_keys()):
+                affected.append(ca)
+            else:
+                try:
+                    rebuilt.commit(ca)
+                except AllocationError as exc:
+                    raise AllocationError(
+                        f"re-allocation bookkeeping failed while carrying "
+                        f"over unaffected channel {name!r}: {exc}",
+                        channel=name, reason=exc.reason) from exc
+                verdicts[name] = ChannelVerdict(
+                    channel=name, verdict="unaffected",
+                    old_latency_ns=self._latency_bound(ca),
+                    new_latency_ns=self._latency_bound(ca),
+                    old_n_slots=ca.n_slots, new_n_slots=ca.n_slots)
+        # Hardest first, mirroring the offline allocator: most slots
+        # held pre-fault, then tightest latency requirement, then name.
+        affected.sort(key=lambda ca: (
+            -ca.n_slots,
+            ca.spec.max_latency_ns if ca.spec.max_latency_ns is not None
+            else float("inf"),
+            ca.spec.name))
+        for ca in affected:
+            verdicts[ca.spec.name] = self._reroute_one(
+                rebuilt, ca, excluded, options, on_infeasible)
+        rebuilt.validate()
+        # Composability re-check for untouched channels: every (link,
+        # slot) reservation they held before the fault must be recorded
+        # to them in the rebuilt occupancy tables — derived from the
+        # tables, not from the carried-over objects, so bookkeeping
+        # corruption would actually trip it.
+        untouched_intact = True
+        for name, v in verdicts.items():
+            if v.verdict != "unaffected":
+                continue
+            for key, slots in self.channels[name].link_slots(
+                    self.table_size).items():
+                table = rebuilt.link_tables.get(key)
+                if table is None or any(table.owner(s) != name
+                                        for s in slots):
+                    untouched_intact = False
+                    break
+            if not untouched_intact:
+                break
+        return RebuildReport(
+            allocation=rebuilt, verdicts=verdicts,
+            excluded_links=excluded,
+            failed_routers=tuple(sorted(set(failed_routers))),
+            untouched_intact=untouched_intact)
+
+    def _latency_bound(self, ca: ChannelAllocation) -> float:
+        """Worst-case latency bound of one channel at this operating
+        point (injection wait plus path traversal, in nanoseconds)."""
+        return latency_bound_ns(ca.worst_wait_slots(self.table_size),
+                                ca.path, self.frequency_hz, self.fmt)
+
+    def _reroute_one(self, rebuilt: "Allocation", ca: ChannelAllocation,
+                     excluded: frozenset[tuple[str, str]],
+                     options: "AllocatorOptions",
+                     on_infeasible: str) -> ChannelVerdict:
+        """Re-allocate one fault-affected channel over surviving paths."""
+        from repro.core.exceptions import TopologyError
+
+        spec = ca.spec
+        old_latency = self._latency_bound(ca)
+        failures: list[str] = []
+        try:
+            candidates = [
+                p for p in k_shortest_paths(
+                    self.topology, ca.path.source, ca.path.dest,
+                    options.path_candidates, exclude_links=excluded)
+                if len(p.out_ports) <= self.fmt.max_hops]
+        except TopologyError as exc:
+            candidates = []
+            failures.append(str(exc))
+        for path in candidates:
+            try:
+                n, gap = slots_for_channel(spec, path, self.table_size,
+                                           self.frequency_hz, self.fmt)
+            except AllocationError as exc:
+                failures.append(f"{path!r}: {exc.reason}")
+                continue
+            size = self.table_size
+            mask = _path_free_mask(rebuilt.link_tables, path, size)
+            free = set(mask_to_slots(mask))
+            if len(free) < n:
+                failures.append(
+                    f"{path!r}: {len(free)} free slots < {n} needed")
+                continue
+            slots = spread_slots(free, n, size, max_gap=gap)
+            if slots is None:
+                failures.append(
+                    f"{path!r}: free slots cannot satisfy gap <= {gap}")
+                continue
+            new_ca = ChannelAllocation(spec=spec, path=path, slots=slots)
+            try:
+                rebuilt.commit(new_ca)
+            except AllocationError as exc:
+                raise AllocationError(
+                    f"re-allocation commit failed for channel "
+                    f"{spec.name!r} on {path!r}: {exc}",
+                    channel=spec.name, reason=exc.reason) from exc
+            new_latency = self._latency_bound(new_ca)
+            same = (new_ca.n_slots >= ca.n_slots
+                    and new_latency <= old_latency * (1 + 1e-9))
+            return ChannelVerdict(
+                channel=spec.name,
+                verdict=("rerouted_same_bounds" if same
+                         else "rerouted_degraded"),
+                old_latency_ns=old_latency, new_latency_ns=new_latency,
+                old_n_slots=ca.n_slots, new_n_slots=new_ca.n_slots)
+        detail = "; ".join(failures) if failures else "no surviving route"
+        if on_infeasible == "raise":
+            raise AllocationError(
+                f"cannot re-allocate channel {spec.name!r} around "
+                f"{len(excluded)} failed link(s): {detail}",
+                channel=spec.name, reason=detail)
+        return ChannelVerdict(
+            channel=spec.name, verdict="dropped", reason=detail,
+            old_latency_ns=old_latency, old_n_slots=ca.n_slots)
+
     # -- internals -----------------------------------------------------------
 
     def _table(self, key: tuple[str, str]) -> SlotTable:
@@ -303,6 +624,22 @@ class SlotAllocator:
         self._quote_cache: dict[
             tuple[str, str, float, float | None],
             tuple[tuple[Path, int, int | None], ...]] = {}
+        #: Directed link keys currently unusable (failed fabric).  The
+        #: route caches stay fault-agnostic; the exclusion is applied
+        #: when candidates are consulted, so repairs need no
+        #: invalidation.  Empty on the healthy path, which pays one
+        #: emptiness check.
+        self.excluded_links: frozenset[tuple[str, str]] = frozenset()
+
+    def set_excluded_links(
+            self, excluded: frozenset[tuple[str, str]]) -> None:
+        """Degrade (or restore) the fabric new allocations may use.
+
+        Candidate routes crossing an excluded link are dropped at
+        allocation time, so channels added after a fault cannot be
+        quoted guarantees over dead hardware.
+        """
+        self.excluded_links = frozenset(excluded)
 
     # -- public API -----------------------------------------------------------
 
@@ -419,19 +756,33 @@ class SlotAllocator:
             raise ConfigurationError(
                 f"channel {spec.name!r}: both endpoints map to NI "
                 f"{src_ni!r}; NI-local communication does not use the NoC")
-        usable = list(self.shortest_candidates(src_ni, dst_ni))
+        excluded = self.excluded_links
+        cached = self.shortest_candidates(src_ni, dst_ni)
+        usable = [p for p in cached
+                  if not excluded or excluded.isdisjoint(p.link_keys())]
+        exclusion_filtered = len(usable) < len(cached)
         if self.options.load_aware_path and allocation is not None:
             tables = allocation.link_tables
 
             def weight(key: tuple[str, str]) -> float:
+                if key in excluded:
+                    return 1e9  # failed fabric: effectively unroutable
                 table = tables.get(key)
                 return 4.0 * table.utilisation() if table is not None else 0.0
 
             weighted = weighted_shortest_path(self.topology, src_ni, dst_ni,
                                               weight)
-            if len(weighted.out_ports) <= self.fmt.max_hops:
+            if len(weighted.out_ports) <= self.fmt.max_hops and \
+                    (not excluded
+                     or excluded.isdisjoint(weighted.link_keys())):
                 merge_load_aware(usable, weighted)
         if not usable:
+            if exclusion_filtered:
+                raise AllocationError(
+                    f"channel {spec.name!r}: no route from {src_ni!r} "
+                    f"to {dst_ni!r} avoids the failed fabric",
+                    channel=spec.name,
+                    reason="no surviving route avoids failed fabric")
             raise AllocationError(
                 f"channel {spec.name!r}: no route from {src_ni!r} to "
                 f"{dst_ni!r} fits in {self.fmt.max_hops} header hops",
@@ -442,17 +793,11 @@ class SlotAllocator:
                             path: Path) -> int:
         """Bitmask of injection slots free on every link of ``path``.
 
-        Each link's free mask is rotated back by the link's slot shift and
-        intersected — the whole contention check is one AND per link.
+        Delegates to the shared rotate-and-AND intersection
+        (:func:`_path_free_mask`), one AND per link.
         """
-        size = self.table_size
-        mask = (1 << size) - 1
-        for link, shift in zip(path.links, path.link_shifts):
-            mask &= rotate_mask(allocation.link_tables[link.key].free_mask,
-                                shift, size)
-            if not mask:
-                break
-        return mask
+        return _path_free_mask(allocation.link_tables, path,
+                               self.table_size)
 
     def _free_injection_slots(self, allocation: Allocation,
                               path: Path) -> set[int]:

@@ -45,6 +45,11 @@ class ChannelSpec:
     burst_bytes:
         Largest back-to-back message the IP produces; used for buffer
         sizing, not for slot counting.
+
+    >>> spec = ChannelSpec("video0", "cpu", "display", 40 * MB,
+    ...                    max_latency_ns=500.0, application="video")
+    >>> spec.scaled(1.5).throughput_bytes_per_s == 60 * MB
+    True
     """
 
     name: str

@@ -28,7 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from repro.core.allocation import Allocation, SlotAllocator
+from repro.core.allocation import (Allocation, SlotAllocator,
+                                   excluded_link_keys)
 from repro.core.application import Application
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.topology.mapping import Mapping
@@ -82,6 +83,11 @@ class ReconfigurationManager:
         #: Optional timeline sink; successful transitions are recorded
         #: at the ``at_s`` timestamp the caller supplies.
         self.recorder = recorder
+        #: Currently failed fabric; :meth:`apply_fault` accumulates it
+        #: and :meth:`repair_fault` restores it, and the allocator is
+        #: kept in sync so later starts never route over dead hardware.
+        self.failed_links: frozenset[tuple[str, str]] = frozenset()
+        self.failed_routers: frozenset[str] = frozenset()
 
     # -- queries --------------------------------------------------------------
 
@@ -160,3 +166,78 @@ class ReconfigurationManager:
         stop_report = self.stop_application(stop, at_s=at_s)
         start_report = self.start_application(start, at_s=at_s)
         return stop_report, start_report
+
+    def apply_fault(self, failed_links=(), failed_routers=(), *,
+                    at_s: float = 0.0, on_infeasible: str = "drop"):
+        """Degrade the live allocation around failed fabric.
+
+        Delegates to :meth:`~repro.core.allocation.Allocation.
+        rebuild_excluding`: applications untouched by the failure keep
+        their exact reservations; affected channels are re-allocated
+        over surviving routes or dropped, per the returned
+        :class:`~repro.core.allocation.RebuildReport`.  Each disrupted
+        application is recorded to the attached timeline as a stop plus
+        (when any of its channels survive) a restart carrying the
+        degraded-mode allocations, and logged in :attr:`history` as an
+        ``action="fault"`` transition.
+
+        The failure persists: it accumulates into :attr:`failed_links` /
+        :attr:`failed_routers` and the allocator's exclusion set, so
+        applications started afterwards are routed around the dead
+        fabric too.  :meth:`repair_fault` restores resources.
+        """
+        all_links = self.failed_links | frozenset(
+            (k[0], k[1]) for k in failed_links)
+        all_routers = self.failed_routers | frozenset(failed_routers)
+        # Rebuild first: with on_infeasible="raise" a failure must leave
+        # the manager exactly as it was — no half-applied exclusions.
+        report = self.allocation.rebuild_excluding(
+            all_links, all_routers,
+            options=self.allocator.options,
+            on_infeasible=on_infeasible)
+        self.failed_links = all_links
+        self.failed_routers = all_routers
+        self.allocator.set_excluded_links(excluded_link_keys(
+            self.allocator.topology, all_links, all_routers))
+        rebuilt = report.allocation
+        old_channels = self.allocation.channels
+        running_before = self.running_applications
+        changed = tuple(sorted(
+            name for name, v in report.verdicts.items()
+            if v.verdict != "unaffected"))
+        disrupted = sorted({old_channels[name].spec.application
+                            for name in changed})
+        self.allocation = rebuilt
+        for app in disrupted:
+            if self.recorder is not None:
+                self.recorder.record_stop(at_s, app)
+                survivors = tuple(
+                    ca for _, ca in sorted(rebuilt.channels.items())
+                    if ca.spec.application == app)
+                if survivors:
+                    self.recorder.record_start(at_s, app, survivors)
+            self.history.append(TransitionReport(
+                action="fault", application=app,
+                channels_changed=tuple(
+                    n for n in changed
+                    if old_channels[n].spec.application == app),
+                untouched=report.untouched_intact,
+                running_before=running_before,
+                running_after=self.allocation.applications()))
+        return report
+
+    def repair_fault(self, failed_links=(), failed_routers=()) -> None:
+        """Restore previously failed fabric.
+
+        Running channels are left where they are (no disruption without
+        cause — the paper's reconfiguration ethos); only the exclusion
+        set shrinks, so later starts may use the repaired resources
+        again.
+        """
+        self.failed_links = self.failed_links - frozenset(
+            (k[0], k[1]) for k in failed_links)
+        self.failed_routers = self.failed_routers - frozenset(
+            failed_routers)
+        self.allocator.set_excluded_links(excluded_link_keys(
+            self.allocator.topology, self.failed_links,
+            self.failed_routers))

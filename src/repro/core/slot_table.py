@@ -149,6 +149,11 @@ def worst_case_wait_slots(slots: Iterable[int], size: int) -> int:
     slots.  This is the NI waiting-time term of the paper's latency bound
     (Section VII: "the latency follows directly from the waiting time in
     the NI plus the time required to traverse the path").
+
+    >>> worst_case_wait_slots([0, 4], 8)   # evenly spread
+    4
+    >>> worst_case_wait_slots([0, 1], 8)   # bunched: long dry stretch
+    7
     """
     return max_consecutive_gap(slots, size)
 
@@ -277,6 +282,16 @@ class SlotTable:
 
     Both roles need the same operations: reserve, release, query, and
     iterate.  Slot numbers are always in ``range(size)``.
+
+    >>> table = SlotTable(8)
+    >>> table.reserve(2, "video")
+    >>> table.reserve(6, "video")
+    >>> table.owner(2)
+    'video'
+    >>> sorted(table.free_slots())
+    [0, 1, 3, 4, 5, 7]
+    >>> table.utilisation()
+    0.25
 
     Occupancy is mirrored in an integer bitmask (bit ``s`` set = slot ``s``
     reserved) so free/reserved queries and the allocator's per-link

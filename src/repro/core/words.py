@@ -58,6 +58,12 @@ class WordFormat:
         NI.
     credit_bits:
         Bits for piggybacked end-to-end credits.
+
+    >>> fmt = WordFormat()          # the paper's 32-bit, 3-word format
+    >>> fmt.payload_bytes_per_flit  # one word per flit is the header
+    8
+    >>> fmt.max_hops                # path bits / port bits
+    7
     """
 
     data_width: int = 32

@@ -24,12 +24,13 @@ from repro.design.search import (ProbeCache, TableSizeResult,
                                  min_feasible_frequency, probe_fingerprint,
                                  table_size_scan)
 from repro.design.space import (Candidate, DesignSpace, DesignSpec,
-                                demo_space, section7_demo_use_case,
+                                demo_space, provisioned_use_case,
+                                section7_demo_use_case,
                                 workload_from_churn)
 
 __all__ = [
     "DesignSpec", "Candidate", "DesignSpace", "workload_from_churn",
-    "section7_demo_use_case", "demo_space",
+    "provisioned_use_case", "section7_demo_use_case", "demo_space",
     "PruneReport", "prune_candidate", "frequency_lower_bound_hz",
     "min_traversal_slots",
     "OptimizerSpec", "MappingSearchResult", "mapping_cost",

@@ -29,7 +29,8 @@ from repro.design.mapping_opt import OptimizerSpec
 from repro.service.churn import ChurnSpec
 
 __all__ = ["DesignSpec", "Candidate", "DesignSpace", "workload_from_churn",
-           "section7_demo_use_case", "demo_space", "MAPPING_STRATEGIES"]
+           "provisioned_use_case", "section7_demo_use_case", "demo_space",
+           "MAPPING_STRATEGIES"]
 
 MAPPING_STRATEGIES = ("optimized", "traffic_balanced", "round_robin",
                       "communication_clustered")
@@ -52,6 +53,10 @@ class DesignSpec:
     max_frequency_mhz: float = 1000.0
     tolerance_mhz: float = 10.0
     prune: bool = True
+    #: Fault-tolerance headroom: every channel requirement is inflated
+    #: by this fraction during evaluation, so the dimensioned network
+    #: keeps slack for degraded-mode re-allocation after failures.
+    spare_capacity: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.use_case.channels:
@@ -67,6 +72,8 @@ class DesignSpec:
             raise ConfigurationError("bad frequency interval")
         if self.tolerance_mhz <= 0:
             raise ConfigurationError("tolerance must be positive")
+        if self.spare_capacity < 0:
+            raise ConfigurationError("spare_capacity must be >= 0")
 
 
 @dataclass(frozen=True)
@@ -101,6 +108,11 @@ class DesignSpace:
     max_frequency_mhz: float = 1000.0
     tolerance_mhz: float = 10.0
     prune: bool = True
+    #: Fault-tolerance headroom applied to every candidate evaluation
+    #: (see :attr:`DesignSpec.spare_capacity`): dimension the network
+    #: as if every channel asked for ``1 + spare_capacity`` times its
+    #: throughput, so post-failure re-allocation has room to reroute.
+    spare_capacity: float = 0.0
 
     def __post_init__(self) -> None:
         if not self.topologies:
@@ -113,6 +125,8 @@ class DesignSpace:
             if strategy not in MAPPING_STRATEGIES:
                 raise ConfigurationError(
                     f"unknown mapping strategy {strategy!r}")
+        if self.spare_capacity < 0:
+            raise ConfigurationError("spare_capacity must be >= 0")
 
     def candidates(self) -> tuple[Candidate, ...]:
         """The full ordered candidate list (label-sorted, unique)."""
@@ -168,6 +182,37 @@ def workload_from_churn(churn: ChurnSpec, *,
     return UseCase(
         f"churn{churn.n_sessions}a{target_admission_rate:g}s{seed}",
         applications)
+
+
+def provisioned_use_case(use_case: UseCase,
+                         spare_capacity: float) -> UseCase:
+    """The workload with every throughput inflated for fault headroom.
+
+    ``spare_capacity=0.25`` dimensions the network as if every channel
+    asked for 25 % more bandwidth than it needs — the slack a
+    degraded-mode re-allocation draws on when failures concentrate the
+    surviving traffic onto fewer links.  Latency requirements are
+    untouched (a fault does not change what the application can
+    tolerate).
+
+    >>> from repro.core.application import Application, UseCase
+    >>> from repro.core.connection import MB, ChannelSpec
+    >>> uc = UseCase("w", (Application("a", (
+    ...     ChannelSpec("c", "x", "y", 8 * MB, application="a"),)),))
+    >>> provisioned_use_case(uc, 0.25).channels[0] \\
+    ...     .throughput_bytes_per_s / MB
+    10.0
+    """
+    if spare_capacity < 0:
+        raise ConfigurationError("spare_capacity must be >= 0")
+    if spare_capacity == 0:
+        return use_case
+    factor = 1.0 + spare_capacity
+    applications = tuple(
+        Application(app.name,
+                    tuple(ch.scaled(factor) for ch in app.channels))
+        for app in use_case.applications)
+    return UseCase(f"{use_case.name}+sc{spare_capacity:g}", applications)
 
 
 def section7_demo_use_case(seed: int = 2009) -> UseCase:

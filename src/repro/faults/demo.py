@@ -1,0 +1,193 @@
+"""The ``python -m repro faults --demo`` flow.
+
+Measures what survives a degrading fabric, quantitatively:
+
+1. run a seeded churn workload through the online control plane
+   *without* faults — the healthy baseline;
+2. run the identical churn merged with a seeded fault schedule (link
+   and router failures with repairs): fault-hit sessions are
+   force-released and re-admitted through the normal admission path,
+   every transition recorded onto the reconfiguration timeline;
+3. fit the churn+fault timeline into a simulation horizon and verify
+   dynamic composability on the flit-level TDM backend — every
+   fault-survivor's trace must be bit-identical to its solo reference;
+4. exercise the allocator layer directly:
+   :meth:`~repro.core.allocation.Allocation.rebuild_excluding` of the
+   final live allocation around the schedule's first failure, with
+   per-channel verdicts;
+5. aggregate everything into one survivability report
+   (admission-retention, guarantee-retention, session survival).
+
+The whole flow runs twice and the demo asserts the two canonical JSON
+reports are byte-identical — the same self-check as the campaign,
+serve, replay and design demos.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from repro.faults.model import FaultSchedule, FaultSpec
+from repro.simulation.composability import replay_traffic, verify_timeline
+from repro.topology.builders import mesh
+
+__all__ = ["demo_fault_spec", "survivability_record", "FaultRunOutcome",
+           "run_churn_with_faults", "run_faults_demo"]
+
+#: The replay demo's operating point: a 3x3 mesh with two NIs per
+#: router has enough path diversity for rerouting to actually happen.
+DEMO_TABLE_SIZE = 32
+DEMO_FREQUENCY_HZ = 500e6
+
+
+def demo_fault_spec(n_faults: int) -> FaultSpec:
+    """The demo adversary: ``n_faults`` failures paced to land inside
+    the ~20 ms the demo churn trace spans, most repaired quickly."""
+    return FaultSpec(n_faults=n_faults, fault_rate_per_s=400.0,
+                     mean_repair_s=0.004, router_fraction=0.25)
+
+
+def survivability_record(baseline_totals: dict[str, object],
+                         faulty_totals: dict[str, object],
+                         fault_section: dict[str, object] | None
+                         ) -> dict[str, object]:
+    """Fold a faulty run and its healthy baseline into retention metrics.
+
+    ``admission_retention`` is the faulty accept rate over the healthy
+    one (capped at 1.0 — a fault cannot *improve* admission, but slot
+    fragmentation noise can); ``guarantee_retention`` and
+    ``session_survival`` come from the fault section of the degraded
+    run's report.
+    """
+    base_rate = float(baseline_totals["accept_rate"])  # type: ignore
+    fault_rate = float(faulty_totals["accept_rate"])  # type: ignore
+    retention = fault_rate / base_rate if base_rate > 0 else 1.0
+    section = fault_section or {}
+    return {
+        "baseline_accept_rate": round(base_rate, 4),
+        "faulty_accept_rate": round(fault_rate, 4),
+        "admission_retention": round(min(1.0, retention), 4),
+        "guarantee_retention": section.get("guarantee_retention", 1.0),
+        "session_survival": section.get("session_survival", 1.0),
+        "n_evicted": section.get("n_evicted", 0),
+        "n_reallocated": section.get("n_reallocated", 0),
+        "n_dropped": section.get("n_dropped", 0),
+    }
+
+
+@dataclass
+class FaultRunOutcome:
+    """Everything one churn+faults experiment produces.
+
+    ``baseline`` is the healthy run of the identical churn, ``faulty``
+    the degraded run (its report carries the ``faults`` section),
+    ``timeline`` the replayable churn+fault trace, ``verdict`` the
+    fault-survivor composability check, and ``service`` the degraded
+    service instance (its live allocation feeds rebuild studies).
+    """
+
+    baseline: object
+    faulty: object
+    timeline: object
+    verdict: object
+    service: object
+
+
+def run_churn_with_faults(topology, events, schedule, *,
+                          table_size: int, frequency_hz: float,
+                          horizon_slots: int, name: str = "faults",
+                          seed: int = 0, backend_factory=None,
+                          scenario: str | None = None
+                          ) -> FaultRunOutcome:
+    """Run identical churn healthy and degraded, then replay and verify.
+
+    The single orchestration shared by the demo and the campaign's
+    ``mode="faults"`` runner: healthy baseline, churn merged with the
+    fault schedule (timeline recorded only for the degraded run — the
+    baseline's would be discarded), timeline fit, and the
+    fault-survivor composability check on ``backend_factory`` (default:
+    the flit-level TDM backend).
+    """
+    from repro.service.controller import SessionService, merge_events
+
+    def service(record_timeline: bool) -> SessionService:
+        return SessionService(
+            topology, table_size=table_size, frequency_hz=frequency_hz,
+            name=name, seed=seed, record_events=False,
+            record_timeline=record_timeline)
+
+    baseline_report = service(False).run(events)
+    faulty = service(True)
+    faulty_report = faulty.run(merge_events(events, schedule.events()))
+    timeline = faulty.timeline(horizon_slots=horizon_slots)
+    verdict = verify_timeline(timeline, replay_traffic(timeline),
+                              backend_factory=backend_factory,
+                              scenario=scenario or name)
+    return FaultRunOutcome(baseline=baseline_report,
+                           faulty=faulty_report, timeline=timeline,
+                           verdict=verdict, service=faulty)
+
+
+def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
+                    n_faults: int = 6, seed: int = 2009
+                    ) -> tuple[dict[str, object], str, bool]:
+    """Run the fault demo twice; return (record, json, byte-identical?).
+
+    The record carries the healthy baseline, the degraded run (with its
+    ``faults`` section), the survivability fold, the flit-level dynamic
+    composability verdict for the churn+fault timeline, and the static
+    ``rebuild_excluding`` study around the schedule's first failure.
+    """
+    # Local imports: campaign.spec imports service.churn which would
+    # cycle through the package __init__s at module scope.
+    from repro.campaign.spec import derive_seed
+    from repro.service.churn import ChurnSpec, ChurnWorkload
+
+    topology = mesh(3, 3, nis_per_router=2)
+    churn = ChurnSpec(n_sessions=max(1, (n_events + 1) // 2 + 8))
+    workload = ChurnWorkload(churn, topology,
+                             derive_seed(seed, "faults-demo"))
+    events = workload.events(limit=n_events)
+    schedule = FaultSchedule(demo_fault_spec(n_faults), topology,
+                             derive_seed(seed, "faults-demo", "schedule"))
+
+    def one_run() -> dict[str, object]:
+        outcome = run_churn_with_faults(
+            topology, events, schedule, table_size=DEMO_TABLE_SIZE,
+            frequency_hz=DEMO_FREQUENCY_HZ, horizon_slots=n_slots,
+            name="faults-demo", seed=seed, scenario="faults-demo")
+        baseline_report = outcome.baseline
+        faulty_report = outcome.faulty
+        timeline = outcome.timeline
+        verdict = outcome.verdict
+        first_fail = next(e for e in schedule.events()
+                          if e.action == "fail")
+        rebuild = outcome.service.allocation.rebuild_excluding(
+            failed_links=([first_fail.target]
+                          if first_fail.kind == "link" else ()),
+            failed_routers=([first_fail.target]
+                            if first_fail.kind == "router" else ()))
+        return {
+            "demo": "faults",
+            "seed": seed,
+            "n_events": len(events),
+            "n_fault_events": len(schedule.events()),
+            "horizon_slots": n_slots,
+            "fault_schedule": [
+                {"t_ms": round(e.time_s * 1e3, 4), "action": e.action,
+                 "kind": e.kind, "target": e.target_label}
+                for e in schedule.events()],
+            "baseline": baseline_report.to_record(),
+            "faulty": faulty_report.to_record(),
+            "survivability": survivability_record(
+                baseline_report.totals, faulty_report.totals,
+                faulty_report.faults),
+            "composability": verdict.to_record(),
+            "rebuild_first_failure": rebuild.to_record(),
+        }
+
+    first = one_run()
+    first_json = json.dumps(first, indent=2, sort_keys=True)
+    second_json = json.dumps(one_run(), indent=2, sort_keys=True)
+    return first, first_json, first_json == second_json

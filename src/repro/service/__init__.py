@@ -12,7 +12,10 @@ millions of user sessions opening and closing against a live network:
   re-checked after every transition;
 * :mod:`repro.service.metrics` — per-event records, windowed time
   series, deterministic JSON reports;
-* :mod:`repro.service.controller` — the event loop tying it together;
+* :mod:`repro.service.controller` — the event loop tying it together,
+  including fabric :class:`~repro.faults.model.FaultEvent` handling
+  (fault-hit sessions are force-released and re-admitted over
+  surviving routes, scored against their original quotes);
 * :mod:`repro.service.demo` — the ``python -m repro serve --demo`` flow.
 
 Churn scenarios also run inside :mod:`repro.campaign` grids (scenario
@@ -23,7 +26,7 @@ seed like any simulation scenario.
 from repro.service.admission import AdmissionController
 from repro.service.churn import (ChurnSpec, ChurnWorkload, SessionEvent,
                                  SessionRequest)
-from repro.service.controller import SessionService
+from repro.service.controller import SessionService, merge_events
 from repro.service.demo import run_demo
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
@@ -33,5 +36,6 @@ __all__ = [
     "QosClass", "DEFAULT_CLASSES", "class_by_name",
     "ChurnSpec", "ChurnWorkload", "SessionRequest", "SessionEvent",
     "AdmissionController", "CompositionInvariantChecker",
-    "ServiceMetrics", "ServiceReport", "SessionService", "run_demo",
+    "ServiceMetrics", "ServiceReport", "SessionService", "merge_events",
+    "run_demo",
 ]

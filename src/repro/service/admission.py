@@ -21,6 +21,11 @@ Commits go through :meth:`Allocation.commit`, so the authoritative
 bookkeeping — and its rollback-on-conflict guarantee — is shared with
 the offline flow and with :class:`~repro.core.reconfiguration.
 ReconfigurationManager`.
+
+Under fault injection the controller additionally honours an excluded
+link set (:meth:`AdmissionController.set_excluded_links`): candidates
+whose route crosses failed fabric are skipped at admit time, at zero
+cost to the healthy hot path (one emptiness check).
 """
 
 from __future__ import annotations
@@ -48,6 +53,8 @@ class _Candidate:
     # (occupancy table, slot shift) per traversed link, resolved once so
     # the hot loop does no dict lookups.
     tables: tuple[tuple[SlotTable, int], ...]
+    # Traversed link keys, for the degraded-mode exclusion check.
+    link_keys: frozenset[tuple[str, str]]
 
 
 class AdmissionController:
@@ -63,9 +70,22 @@ class AdmissionController:
         self._full = (1 << self._size) - 1
         self._candidates: dict[tuple[str, str, float, float | None],
                                tuple[_Candidate, ...]] = {}
+        #: Directed link keys currently unusable (failed fabric); empty
+        #: on the healthy-network hot path, which therefore pays nothing.
+        self.excluded_links: frozenset[tuple[str, str]] = frozenset()
         self.admits = 0
         self.rejects = 0
         self.releases = 0
+
+    def set_excluded_links(
+            self, excluded: frozenset[tuple[str, str]]) -> None:
+        """Degrade (or restore) the fabric the admission path may use.
+
+        Candidates whose route crosses an excluded link are skipped at
+        admit time; the candidate cache itself is fault-agnostic, so
+        repairs need no cache invalidation.
+        """
+        self.excluded_links = frozenset(excluded)
 
     # -- hot path -------------------------------------------------------------
 
@@ -83,8 +103,13 @@ class AdmissionController:
                 f"session {spec.name!r} is already admitted",
                 channel=spec.name, reason="session already admitted")
         size = self._size
+        excluded = self.excluded_links
         candidates = self._lookup(spec, src_ni, dst_ni)
+        n_usable = 0
         for cand in candidates:
+            if excluded and not excluded.isdisjoint(cand.link_keys):
+                continue
+            n_usable += 1
             mask = self._full
             for table, shift in cand.tables:
                 mask &= rotate_mask(table.free_mask, shift, size)
@@ -102,9 +127,14 @@ class AdmissionController:
             return ca
         self.rejects += 1
         # Distinguish transient capacity exhaustion (retry later may
-        # succeed) from requirements no route can ever meet.
-        reason = ("no candidate route has capacity" if candidates
-                  else "no route can meet the requirements")
+        # succeed) from requirements no route can ever meet, and from
+        # routes that exist but cross failed fabric.
+        if not candidates:
+            reason = "no route can meet the requirements"
+        elif not n_usable:
+            reason = "every candidate route crosses failed fabric"
+        else:
+            reason = "no candidate route has capacity"
         raise AllocationError(
             f"cannot admit session {spec.name!r} "
             f"({src_ni} -> {dst_ni}, "
@@ -141,5 +171,6 @@ class AdmissionController:
                 (self.allocation.link_tables[link.key], shift % self._size)
                 for link, shift in zip(path.links, path.link_shifts))
             out.append(_Candidate(path=path, n_slots=n, max_gap=gap,
-                                  tables=tables))
+                                  tables=tables,
+                                  link_keys=frozenset(path.link_keys())))
         return tuple(out)

@@ -51,6 +51,9 @@ class ChurnSpec:
         Truncation cap on a single session's duration.
     classes:
         The weighted QoS mix sessions are drawn from.
+
+    >>> ChurnSpec(n_sessions=100, arrival_rate_per_s=1000.0).label
+    'churn100r1000d0.02'
     """
 
     n_sessions: int = 1000

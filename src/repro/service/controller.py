@@ -32,17 +32,39 @@ from __future__ import annotations
 import time
 from collections.abc import Iterable
 
-from repro.core.allocation import Allocation, AllocatorOptions, SlotAllocator
+from repro.core.allocation import (Allocation, AllocatorOptions,
+                                   SlotAllocator, excluded_link_keys)
 from repro.core.analysis import channel_bounds
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.core.words import WordFormat
+from repro.faults.model import FaultEvent
 from repro.service.admission import AdmissionController
 from repro.service.churn import SessionEvent
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
 from repro.topology.graph import Topology
 
-__all__ = ["SessionService"]
+__all__ = ["SessionService", "merge_events"]
+
+
+def merge_events(session_events, fault_events):
+    """Merge session and fault streams into one deterministic timeline.
+
+    At equal instants the order is: session closes, repairs, failures,
+    session opens — so a close frees its slots before the fabric
+    degrades further, and a repaired resource is usable by an arrival at
+    the very same instant.
+    """
+    _PRIORITY = {"close": 0, "repair": 1, "fail": 2, "open": 3}
+
+    def sort_key(event):
+        if isinstance(event, FaultEvent):
+            return (event.time_s, _PRIORITY[event.action], event.kind,
+                    event.target_label)
+        return (event.time_s, _PRIORITY[event.kind], "",
+                event.session.session_id)
+
+    return tuple(sorted([*session_events, *fault_events], key=sort_key))
 
 
 class SessionService:
@@ -102,6 +124,9 @@ class SessionService:
         self.active: dict[str, object] = {}
         self.peak_active = 0
         self._last_time_s = 0.0
+        #: Currently failed fabric (fault-injection consumers only).
+        self.failed_links: frozenset[tuple[str, str]] = frozenset()
+        self.failed_routers: frozenset[str] = frozenset()
         self.recorder = None
         if record_timeline:
             from repro.core.timeline import TimelineRecorder
@@ -126,9 +151,12 @@ class SessionService:
 
     # -- event handling -------------------------------------------------------
 
-    def process(self, event: SessionEvent) -> None:
-        """Apply one open/close request to the live allocation."""
+    def process(self, event) -> None:
+        """Apply one session or fault event to the live allocation."""
         self._last_time_s = event.time_s
+        if isinstance(event, FaultEvent):
+            self.process_fault(event)
+            return
         if event.kind == "open":
             self._open(event)
         else:
@@ -139,6 +167,104 @@ class SessionService:
                 active_sessions=len(self.active),
                 mean_link_utilisation=self.allocation
                 .mean_link_utilisation())
+
+    def process_fault(self, event: FaultEvent) -> None:
+        """Apply one fabric failure or repair.
+
+        A failure force-releases every session whose route crosses the
+        dead resource and immediately tries to re-admit each one through
+        the *normal* admission path (now restricted to surviving links);
+        re-admissions are quoted fresh bounds and compared against the
+        pre-fault quote for the guarantee-retention verdict.  All
+        transitions flow through the timeline recorder, so a churn+fault
+        trace replays through the standard epoch-based simulators.  A
+        repair only restores the fabric — degraded sessions are not
+        migrated back (no disruption without cause).
+        """
+        if event.action == "fail":
+            if event.kind == "link":
+                self.failed_links = self.failed_links | {event.target}
+            else:
+                self.failed_routers = self.failed_routers | {event.target}
+        else:
+            if event.kind == "link":
+                self.failed_links = self.failed_links - {event.target}
+            else:
+                self.failed_routers = self.failed_routers - {event.target}
+        excluded = excluded_link_keys(self.topology, self.failed_links,
+                                      self.failed_routers)
+        self.admission.set_excluded_links(excluded)
+        evicted = reallocated = same_bounds = degraded = 0
+        outcomes: list[dict[str, object]] = []
+        start = time.perf_counter()
+        if event.action == "fail" and excluded:
+            affected = sorted(
+                sid for sid, ca in self.active.items()
+                if not excluded.isdisjoint(ca.path.link_keys()))
+            for sid in affected:
+                outcome = self._relocate(sid, event.time_s)
+                evicted += 1
+                if outcome["decision"] != "dropped":
+                    reallocated += 1
+                    if outcome["decision"] == "same_bounds":
+                        same_bounds += 1
+                    else:
+                        degraded += 1
+                outcomes.append(outcome)
+        wall = time.perf_counter() - start
+        record: dict[str, object] | None = None
+        if self.metrics.record_events:
+            record = {
+                "after_event": self.metrics.n_events,
+                "fault_index": self.metrics.n_fault_events + 1,
+                "t_ms": round(event.time_s * 1e3, 4),
+                "kind": "fault",
+                "action": event.action,
+                "fault_kind": event.kind,
+                "target": event.target_label,
+                "evicted": evicted,
+                "reallocated": reallocated,
+                "sessions": outcomes,
+            }
+        self.metrics.record_fault(
+            record, action=event.action, evicted=evicted,
+            reallocated=reallocated, same_bounds=same_bounds,
+            degraded=degraded, realloc_wall_s=wall)
+
+    def _relocate(self, session_id: str, time_s: float
+                  ) -> dict[str, object]:
+        """Force-release one fault-hit session and try to re-admit it."""
+        old_ca = self.active[session_id]
+        old_bounds = channel_bounds(old_ca, self.allocator.table_size,
+                                    self.allocator.frequency_hz,
+                                    self.allocator.fmt)
+        self.admission.release(session_id)
+        del self.active[session_id]
+        self.checker.check_transition(session_id)
+        if self.recorder is not None:
+            self.recorder.record_stop(time_s, session_id)
+        outcome: dict[str, object] = {"session": session_id}
+        try:
+            new_ca = self.admission.admit(old_ca.spec, old_ca.path.source,
+                                          old_ca.path.dest)
+        except AllocationError as exc:
+            outcome["decision"] = "dropped"
+            outcome["reason"] = exc.reason
+            return outcome
+        self.active[session_id] = new_ca
+        self.checker.check_transition(session_id)
+        if self.recorder is not None:
+            self.recorder.record_start(time_s, session_id, (new_ca,))
+        new_bounds = channel_bounds(new_ca, self.allocator.table_size,
+                                    self.allocator.frequency_hz,
+                                    self.allocator.fmt)
+        same = (new_bounds.throughput_bytes_per_s >=
+                old_bounds.throughput_bytes_per_s * (1 - 1e-9)
+                and new_bounds.latency_ns <=
+                old_bounds.latency_ns * (1 + 1e-9))
+        outcome["decision"] = "same_bounds" if same else "degraded"
+        outcome["latency_bound_ns"] = round(new_bounds.latency_ns, 3)
+        return outcome
 
     def _open(self, event: SessionEvent) -> None:
         session = event.session
@@ -215,8 +341,13 @@ class SessionService:
 
     # -- batch execution ------------------------------------------------------
 
-    def run(self, events: Iterable[SessionEvent]) -> ServiceReport:
-        """Process a whole stream and aggregate the report."""
+    def run(self, events: Iterable) -> ServiceReport:
+        """Process a whole stream and aggregate the report.
+
+        The stream may mix :class:`~repro.service.churn.SessionEvent`
+        and :class:`~repro.faults.model.FaultEvent` items (see
+        :func:`merge_events`); it must be time-ordered.
+        """
         start = time.perf_counter()
         for event in events:
             self.process(event)
@@ -253,6 +384,8 @@ class SessionService:
             series=list(metrics.series),
             invariant=self.checker.final_check(),
             events=list(metrics.events),
+            faults=(metrics.fault_totals()
+                    if metrics.n_fault_events else None),
         )
         report.timing = metrics.timing(wall_s)
         return report

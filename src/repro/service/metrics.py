@@ -43,10 +43,19 @@ class ServiceMetrics:
         self.n_closes = 0
         self.n_released = 0
         self.per_class: dict[str, dict[str, int]] = {}
+        self.n_fault_events = 0
+        self.n_failures = 0
+        self.n_repairs = 0
+        self.n_evicted = 0
+        self.n_reallocated = 0
+        self.n_realloc_same_bounds = 0
+        self.n_realloc_degraded = 0
+        self.n_fault_dropped = 0
         self._window_opens = 0
         self._window_accepts = 0
         self._window_start_s = 0.0
         self._admit_wall_s: list[float] = []
+        self._realloc_wall_s: list[float] = []
 
     # -- recording ------------------------------------------------------------
 
@@ -80,6 +89,54 @@ class ServiceMetrics:
             self.n_released += 1
         if self.record_events and record is not None:
             self.events.append(record)
+
+    def record_fault(self, record: dict[str, object] | None, *,
+                     action: str, evicted: int, reallocated: int,
+                     same_bounds: int, degraded: int,
+                     realloc_wall_s: float) -> None:
+        """Record one fabric fault/repair and its re-allocation outcome.
+
+        Fault events do not count into ``n_events`` (that stays the
+        session-event total the accept rate is quoted against); they
+        accumulate into the ``faults`` section of the report instead.
+        """
+        self.n_fault_events += 1
+        if action == "fail":
+            self.n_failures += 1
+        else:
+            self.n_repairs += 1
+        self.n_evicted += evicted
+        self.n_reallocated += reallocated
+        self.n_realloc_same_bounds += same_bounds
+        self.n_realloc_degraded += degraded
+        self.n_fault_dropped += evicted - reallocated
+        if evicted:
+            self._realloc_wall_s.append(realloc_wall_s / evicted)
+        if self.record_events and record is not None:
+            self.events.append(record)
+
+    def fault_totals(self) -> dict[str, object]:
+        """The deterministic ``faults`` section of the report.
+
+        ``guarantee_retention`` is the fraction of fault-evicted
+        sessions re-admitted with bounds no worse than their original
+        quote; ``session_survival`` the fraction re-admitted at all.
+        """
+        evicted = self.n_evicted
+        return {
+            "n_fault_events": self.n_fault_events,
+            "n_failures": self.n_failures,
+            "n_repairs": self.n_repairs,
+            "n_evicted": evicted,
+            "n_reallocated": self.n_reallocated,
+            "n_realloc_same_bounds": self.n_realloc_same_bounds,
+            "n_realloc_degraded": self.n_realloc_degraded,
+            "n_dropped": self.n_fault_dropped,
+            "guarantee_retention": _round(
+                self.n_realloc_same_bounds / evicted if evicted else 1.0),
+            "session_survival": _round(
+                self.n_reallocated / evicted if evicted else 1.0),
+        }
 
     def snapshot(self, *, time_s: float, active_sessions: int,
                  mean_link_utilisation: float) -> None:
@@ -119,6 +176,11 @@ class ServiceMetrics:
             out["admit_mean_us"] = 1e6 * sum(admits) / len(admits)
             out["admit_p99_us"] = 1e6 * admits[
                 min(len(admits) - 1, int(0.99 * len(admits)))]
+        if self._realloc_wall_s:
+            # Mean wall-clock to re-allocate one fault-evicted session
+            # (release + re-admission through the normal path).
+            out["realloc_mean_us"] = (1e6 * sum(self._realloc_wall_s) /
+                                      len(self._realloc_wall_s))
         return out
 
 
@@ -136,6 +198,10 @@ class ServiceReport:
     series: list[dict[str, object]]
     invariant: dict[str, object]
     events: list[dict[str, object]] = field(default_factory=list)
+    #: Fault/repair survivability section; ``None`` for runs without
+    #: fault injection (kept out of the JSON so fault-free reports are
+    #: byte-compatible with earlier releases).
+    faults: dict[str, object] | None = None
     #: Wall-clock figures; machine-dependent, never serialised.
     timing: dict[str, float] = field(default_factory=dict)
 
@@ -152,6 +218,8 @@ class ServiceReport:
             "series": self.series,
             "invariant": self.invariant,
         }
+        if self.faults is not None:
+            record["faults"] = self.faults
         if self.events:
             record["events"] = self.events
         return record

@@ -37,6 +37,11 @@ class QosClass:
     weight:
         Relative arrival weight in a churn mix (normalised by the
         workload generator).
+
+    >>> video = QosClass("video", throughput_mb_s=40.0,
+    ...                  max_latency_ns=400.0)
+    >>> video.channel_spec("s000001", "ni0_0_0", "ni1_0_0").application
+    's000001'
     """
 
     name: str

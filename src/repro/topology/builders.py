@@ -52,6 +52,12 @@ def mesh(cols: int, rows: int, *, nis_per_router: int = 1,
          pipeline_stages: int = 0, name: str | None = None) -> Topology:
     """Build a ``cols x rows`` 2D mesh.
 
+    >>> topo = mesh(2, 2, nis_per_router=1)
+    >>> len(topo.routers), len(topo.nis)
+    (4, 4)
+    >>> topo.has_link("r0_0", "r1_0") and topo.has_link("r1_0", "r0_0")
+    True
+
     Parameters
     ----------
     cols, rows:

@@ -64,7 +64,9 @@ def xy_path(topo: Topology, src_ni: str, dst_ni: str) -> Path:
 
 
 def k_shortest_paths(topo: Topology, src_ni: str, dst_ni: str,
-                     k: int = 4) -> list[Path]:
+                     k: int = 4, *,
+                     exclude_links: frozenset[tuple[str, str]] | set |
+                     None = None) -> list[Path]:
     """Up to ``k`` loop-free shortest router paths between two NIs.
 
     Paths are ordered by hop count with ties broken by the router name
@@ -73,12 +75,35 @@ def k_shortest_paths(topo: Topology, src_ni: str, dst_ni: str,
     collected in full (up to a generous cap) and sorted before truncation —
     this is what makes allocations, and everything derived from them
     (reports, admission decisions), reproducible across processes.
+
+    ``exclude_links`` names directed link keys that must not be traversed
+    (the fault-injection layer passes the failed set); a search whose NI
+    attachment link is excluded, or whose endpoints are disconnected on the
+    surviving graph, raises :class:`TopologyError` like any unroutable pair.
+
+    >>> from repro.topology.builders import mesh
+    >>> topo = mesh(2, 2, nis_per_router=1)
+    >>> [p.routers for p in k_shortest_paths(topo, "ni0_0_0",
+    ...                                      "ni1_1_0", 2)]
+    [('r0_0', 'r0_1', 'r1_1'), ('r0_0', 'r1_0', 'r1_1')]
+    >>> [p.routers for p in k_shortest_paths(
+    ...     topo, "ni0_0_0", "ni1_1_0", 2,
+    ...     exclude_links=frozenset({("r0_0", "r0_1")}))]
+    [('r0_0', 'r1_0', 'r1_1')]
     """
     if k < 1:
         raise TopologyError(f"k must be >= 1, got {k}")
     src_router = topo.attached_router(src_ni)
     dst_router = topo.attached_router(dst_ni)
     rg = topo.router_graph()
+    if exclude_links:
+        if (src_ni, src_router) in exclude_links or \
+                (dst_router, dst_ni) in exclude_links:
+            raise TopologyError(
+                f"NI attachment link of {src_ni!r} or {dst_ni!r} is "
+                "excluded; no surviving route exists")
+        rg.remove_edges_from(
+            [key for key in exclude_links if rg.has_edge(*key)])
     if src_router == dst_router:
         return [make_path(topo, src_ni, [src_router], dst_ni)]
     routes: list[list[str]] = []

@@ -176,10 +176,11 @@ class TestExecution:
 class TestPresets:
     def test_demo_campaign_shape(self):
         spec = demo_campaign()
-        assert len(spec.scenarios) == 10  # 8 simulate + 1 serve + 1 replay
-        assert len(spec.expand()) == 20
+        # 8 simulate + 1 serve + 1 replay + 1 faults
+        assert len(spec.scenarios) == 11
+        assert len(spec.expand()) == 22
         modes = {s.mode for s in spec.scenarios}
-        assert modes == {"simulate", "serve", "replay"}
+        assert modes == {"simulate", "serve", "replay", "faults"}
 
     def test_micro_campaign_runs_clean(self):
         result = CampaignRunner(micro_campaign(n_slots=200),
