@@ -1,20 +1,26 @@
-"""Tier-2 benchmark: incremental vs full schedule recompilation.
+"""Tier-2 benchmark: compiled vs incremental vs full recompilation.
 
 Opt in with ``--replay-epochs``.  Builds a synthetic reconfiguration
 timeline over the Section VII use case (all 200 connections live, then
 a long stop/restart churn sequence — two transitions every ten slots)
-and executes it twice through
+and executes it three ways through
 :meth:`~repro.simulation.flitsim.FlitLevelSimulator.run_timeline`:
 
-* ``incremental=True`` — only the injection-slot schedule rows of the
-  channel a transition touches are rebuilt (the production path);
-* ``incremental=False`` — the whole 200-channel schedule is recompiled
-  at every epoch boundary (the reference).
+* compiled — the vectorised epoch executor
+  (:mod:`repro.simulation.compiled`; the production path when numpy
+  is importable);
+* ``compiled=False, incremental=True`` — the per-flit loop rebuilding
+  only the schedule rows a transition touches;
+* ``compiled=False, incremental=False`` — the per-flit loop
+  recompiling the whole 200-channel schedule at every epoch boundary
+  (the reference).
 
-Both paths must produce bit-identical traces; the benchmark asserts the
-incremental path is at least ``TARGET_SPEEDUP`` times faster over the
-whole run and records the ratio in ``extra_info`` so the trajectory
-lands in ``--benchmark-json`` output.
+All paths must produce bit-identical traces and flit counts.  The
+benchmark asserts the incremental per-flit path beats the full rebuild
+by ``TARGET_SPEEDUP`` and the compiled executor beats the incremental
+per-flit path by ``TARGET_SPEEDUP_COMPILED``, and (with
+``--bench-record``) appends the measurement to
+``benchmarks/records/BENCH_replay_epochs.json``.
 """
 
 from __future__ import annotations
@@ -24,6 +30,7 @@ import time
 import pytest
 
 from repro.core.timeline import ReconfigurationTimeline, TimelineEvent
+from repro.simulation.compiled import numpy_available
 from repro.simulation.composability import replay_traffic
 from repro.simulation.flitsim import FlitLevelSimulator
 
@@ -31,7 +38,10 @@ from repro.simulation.flitsim import FlitLevelSimulator
 N_TOGGLES = 300
 #: Slots between consecutive transitions.
 TRANSITION_SPACING = 5
+#: Per-flit incremental over per-flit full rebuild.
 TARGET_SPEEDUP = 2.0
+#: Compiled executor over the per-flit incremental path.
+TARGET_SPEEDUP_COMPILED = 10.0
 
 
 @pytest.fixture
@@ -60,7 +70,7 @@ def _section7_timeline(config) -> ReconfigurationTimeline:
 
 def test_incremental_recompilation_speedup(benchmark,
                                            replay_epochs_enabled,
-                                           section7):
+                                           section7, bench_record):
     _, config = section7
     timeline = _section7_timeline(config)
     # Traffic on a handful of channels keeps the traces meaningful
@@ -70,34 +80,60 @@ def test_incremental_recompilation_speedup(benchmark,
     traffic = {name: pattern
                for name, pattern in replay_traffic(timeline).items()
                if name in names}
-    sim = FlitLevelSimulator(config)
+    scalar = FlitLevelSimulator(config, compiled=False)
+    production = FlitLevelSimulator(config)
 
-    def run(incremental: bool):
+    def run(sim, incremental=True):
         start = time.perf_counter()
         result = sim.run_timeline(timeline, traffic=traffic,
                                   incremental=incremental)
         return result, time.perf_counter() - start
 
     # Warm pass per mode (also the correctness gate: bit-identical
-    # traces and flit counts across recompilation strategies).
-    warm_inc, _ = run(True)
-    warm_full, _ = run(False)
-    assert warm_inc.n_epochs == warm_full.n_epochs == 2 * N_TOGGLES + 1
+    # traces and flit counts across all recompilation strategies).
+    warm_inc, _ = run(scalar)
+    warm_full, _ = run(scalar, incremental=False)
+    warm_prod, _ = run(production)
+    n_epochs = 2 * N_TOGGLES + 1
+    assert warm_inc.n_epochs == warm_full.n_epochs == n_epochs
+    assert warm_prod.n_epochs == n_epochs
     assert warm_inc.flits_by_channel == warm_full.flits_by_channel
+    assert warm_prod.flits_by_channel == warm_inc.flits_by_channel
     for name in names:
         assert warm_inc.trace.trace(name) == warm_full.trace.trace(name)
+        assert warm_prod.trace.trace(name) == warm_inc.trace.trace(name)
+    assert warm_prod.compiled == numpy_available()
 
-    incremental_s = min(run(True)[1] for _ in range(3))
-    full_s = min(run(False)[1] for _ in range(3))
+    incremental_s = min(run(scalar)[1] for _ in range(3))
+    full_s = min(run(scalar, incremental=False)[1] for _ in range(3))
+    production_s = min(run(production)[1] for _ in range(3))
     speedup = full_s / incremental_s
+    compiled_speedup = incremental_s / production_s
 
-    result, _ = benchmark.pedantic(lambda: run(True), rounds=3,
+    result, _ = benchmark.pedantic(lambda: run(production), rounds=3,
                                    iterations=1)
-    assert result.n_epochs == 2 * N_TOGGLES + 1
+    assert result.n_epochs == n_epochs
     benchmark.extra_info["epochs"] = result.n_epochs
     benchmark.extra_info["full_rebuild_s"] = round(full_s, 6)
     benchmark.extra_info["incremental_s"] = round(incremental_s, 6)
+    benchmark.extra_info["compiled_s"] = round(production_s, 6)
     benchmark.extra_info["speedup"] = round(speedup, 2)
+    benchmark.extra_info["compiled_speedup"] = round(compiled_speedup, 2)
     assert speedup >= TARGET_SPEEDUP, (
         f"incremental recompilation only {speedup:.2f}x faster than "
         f"full per-epoch rebuild (target >= {TARGET_SPEEDUP}x)")
+    if numpy_available():
+        assert compiled_speedup >= TARGET_SPEEDUP_COMPILED, (
+            f"compiled executor only {compiled_speedup:.2f}x faster "
+            f"than the per-flit incremental path "
+            f"(target >= {TARGET_SPEEDUP_COMPILED}x)")
+    bench_record(
+        "replay_epochs",
+        wall_s=production_s,
+        ops_per_s=timeline.horizon_slots / production_s,
+        speedup=compiled_speedup,
+        executor="compiled" if warm_prod.compiled else "per-flit",
+        n_epochs=n_epochs,
+        horizon_slots=timeline.horizon_slots,
+        incremental_s=incremental_s,
+        full_rebuild_s=full_s)

@@ -9,11 +9,28 @@ couple measurements.
 processes whose wall-clock lands in the benchmark JSON output
 (``--benchmark-json``), giving campaign-engine overhead its own
 trajectory.
+
+``--bench-record`` turns benchmark measurements into *tracked*
+perf-trajectory artifacts: every benchmark that uses the
+:func:`bench_record` fixture appends one entry — benchmark name, wall
+time, ops/s, speedup, git revision, timestamp — to
+``benchmarks/records/BENCH_<name>.json``.  Each file is a list ordered
+by recording time, so re-running with ``--bench-record`` across PRs
+grows a machine-readable speedup history instead of a chain of
+assertions that vanish with each CI run (see ``docs/performance.md``).
 """
 
 from __future__ import annotations
 
+import datetime
+import json
+import subprocess
+from pathlib import Path
+
 import pytest
+
+#: Default directory for ``BENCH_*.json`` perf-trajectory artifacts.
+RECORDS_DIR = Path(__file__).resolve().parent / "records"
 
 
 def pytest_addoption(parser: pytest.Parser) -> None:
@@ -21,6 +38,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         "--campaign-smoke", action="store_true", default=False,
         help="run the 4-scenario micro-campaign smoke benchmark "
              "(tier-2; exercises every backend plus the parallel pool)")
+    parser.addoption(
+        "--bench-record", action="store_true", default=False,
+        help="append every recorded measurement to "
+             "benchmarks/records/BENCH_<name>.json (benchmark name, "
+             "wall time, ops/s, speedup, git rev, timestamp) so the "
+             "perf trajectory is tracked across PRs")
     parser.addoption(
         "--service-churn", action="store_true", default=False,
         help="run the session-churn service benchmark on the Section "
@@ -36,6 +59,62 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the design-space screening benchmark (tier-2; "
              "asserts analytical lower-bound pruning beats exhaustive "
              "candidate evaluation by >= 2x on the same grid)")
+
+def _git_rev() -> str:
+    """Current revision (``describe --always --dirty``), or "unknown"."""
+    try:
+        out = subprocess.run(
+            ["git", "describe", "--always", "--dirty"],
+            cwd=Path(__file__).resolve().parent.parent,
+            capture_output=True, text=True, timeout=10)
+    except OSError:
+        return "unknown"
+    return out.stdout.strip() or "unknown"
+
+
+@pytest.fixture
+def bench_record(request: pytest.FixtureRequest):
+    """Appender for ``BENCH_<name>.json`` perf-trajectory entries.
+
+    Benchmarks call ``bench_record(name, wall_s=..., ops_per_s=...,
+    speedup=..., **extra)``; without ``--bench-record`` the call is a
+    no-op, so benchmarks measure identically either way.  Entries append
+    to a per-benchmark JSON list — the recorded trajectory — and the
+    file path is returned for log messages.
+    """
+    enabled = request.config.getoption("--bench-record")
+    rev = _git_rev() if enabled else "unrecorded"
+    stamp = (datetime.datetime.now(datetime.timezone.utc)
+             .strftime("%Y-%m-%dT%H:%M:%SZ"))
+
+    def record(name: str, *, wall_s: float, ops_per_s: float | None = None,
+               speedup: float | None = None, **extra) -> Path | None:
+        if not enabled:
+            return None
+        RECORDS_DIR.mkdir(parents=True, exist_ok=True)
+        path = RECORDS_DIR / f"BENCH_{name}.json"
+        entries = json.loads(path.read_text()) if path.exists() else []
+        entry: dict[str, object] = {
+            "benchmark": name,
+            "wall_s": round(wall_s, 6),
+            "ops_per_s": (None if ops_per_s is None
+                          else round(ops_per_s, 1)),
+            "speedup": None if speedup is None else round(speedup, 2),
+            "git_rev": rev,
+            "timestamp": stamp,
+        }
+        if extra:
+            entry["extra"] = {
+                key: (round(value, 6)
+                      if isinstance(value, float) else value)
+                for key, value in sorted(extra.items())}
+        entries.append(entry)
+        path.write_text(json.dumps(entries, indent=2, sort_keys=True) +
+                        "\n")
+        return path
+
+    return record
+
 
 from repro.core.application import Application, UseCase
 from repro.core.configuration import configure

@@ -37,6 +37,7 @@ from repro.baseline.arbitration import RoundRobinArbiter
 from repro.core.configuration import NocConfiguration
 from repro.core.exceptions import ConfigurationError, SimulationError
 from repro.core.words import WordFormat
+from repro.simulation import compiled as _compiled
 from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
                                        StatsCollector, latency_digest)
 from repro.simulation.traffic import MessageEvent, TrafficPattern
@@ -234,6 +235,15 @@ class BeNetworkSimulator:
             raise ConfigurationError(
                 f"traffic names channels outside the timeline: {unknown}")
         fmt = self.fmt
+        # With numpy present, each pattern's arrival stream is compiled
+        # once at the full horizon into the shared flat representation
+        # (:func:`repro.simulation.compiled.pattern_slice`) and each
+        # incarnation takes a prefix slice — the same tables the flit
+        # executor runs on, instead of re-expanding ``events()`` per
+        # interval.
+        use_tables = _compiled.numpy_available()
+        table_cache: dict = {}
+        full_horizon_cycles = n_ticks * fmt.flit_size
         arrivals: dict[str, deque[tuple[int, BePacket]]] = {}
         sources: dict[str, str] = {}
         for name, intervals in timeline.channel_intervals().items():
@@ -251,14 +261,31 @@ class BeNetworkSimulator:
                 if pattern is None or span <= 0:
                     continue
                 base_cycle = start * fmt.flit_size
+                if use_tables:
+                    table, count = _compiled.pattern_slice(
+                        table_cache, pattern, full_horizon_cycles,
+                        span * fmt.flit_size, fmt)
+                    ticks = start + table.ready[:count]
+                    # An arrival mid-way through the last active slot
+                    # only becomes injectable at the stop boundary
+                    # itself — by then the session is gone (the
+                    # flit-level simulator drops the same arrival with
+                    # the schedule row).
+                    keep = ticks < end
+                    for tick, cyc, words, mid in zip(
+                            ticks[keep].tolist(),
+                            table.cycles[:count][keep].tolist(),
+                            table.words[:count][keep].tolist(),
+                            table.mids[:count][keep].tolist()):
+                        shifted = MessageEvent(base_cycle + cyc, words,
+                                               mid)
+                        queue.extend(
+                            (tick, p) for p in self._packetise(
+                                name, ca.path.out_ports, shifted))
+                    continue
                 for event in pattern.events(span * fmt.flit_size):
                     tick = start + -(-event.cycle // fmt.flit_size)
                     if tick >= end:
-                        # An arrival mid-way through the last active
-                        # slot only becomes injectable at the stop
-                        # boundary itself — by then the session is
-                        # gone (the flit-level simulator drops the
-                        # same arrival with the schedule row).
                         continue
                     shifted = MessageEvent(base_cycle + event.cycle,
                                            event.words, event.message_id)

@@ -299,7 +299,7 @@ class SlotTable:
     owner map stays authoritative; the mask is pure acceleration.
     """
 
-    __slots__ = ("_size", "_owners", "_mask", "_full")
+    __slots__ = ("_size", "_owners", "_mask", "_full", "_row")
 
     def __init__(self, size: int,
                  reservations: Mapping[int, str] | None = None):
@@ -310,6 +310,7 @@ class SlotTable:
         self._owners: dict[int, str] = {}
         self._mask = 0
         self._full = (1 << size) - 1
+        self._row: tuple[str | None, ...] | None = None
         if reservations:
             for slot, owner in reservations.items():
                 self.reserve(slot, owner)
@@ -325,6 +326,24 @@ class SlotTable:
         """Channel owning ``slot``, or ``None`` when the slot is free."""
         self._check_slot(slot)
         return self._owners.get(slot)
+
+    def owner_row(self) -> tuple[str | None, ...]:
+        """The whole ownership map as a flat slot-indexed tuple.
+
+        This is the compiled form the simulation hot paths index
+        (``row[slot % size]`` replaces a bounds-checked dict lookup per
+        slot); the tuple is cached and rebuilt only after a mutation,
+        so a steady-state schedule pays for it once.
+
+        >>> table = SlotTable(4)
+        >>> table.reserve(1, "audio")
+        >>> table.owner_row()
+        (None, 'audio', None, None)
+        """
+        if self._row is None:
+            owners = self._owners
+            self._row = tuple(owners.get(s) for s in range(self._size))
+        return self._row
 
     def is_free(self, slot: int) -> bool:
         """True when no channel has reserved ``slot``."""
@@ -387,6 +406,7 @@ class SlotTable:
                 channel=owner, reason="slot conflict")
         self._owners[slot] = owner
         self._mask |= 1 << slot
+        self._row = None
 
     def reserve_all(self, slots: Iterable[int], owner: str) -> None:
         """Reserve several slots atomically (rolls back on conflict)."""
@@ -401,6 +421,7 @@ class SlotTable:
             for slot in taken:
                 del self._owners[slot]
                 self._mask &= ~(1 << slot)
+            self._row = None
             raise
 
     def release(self, slot: int) -> None:
@@ -408,12 +429,14 @@ class SlotTable:
         self._check_slot(slot)
         if self._owners.pop(slot, None) is not None:
             self._mask &= ~(1 << slot)
+            self._row = None
 
     def release_owner(self, owner: str) -> None:
         """Free every slot held by ``owner``."""
         for slot in [s for s, o in self._owners.items() if o == owner]:
             del self._owners[slot]
             self._mask &= ~(1 << slot)
+            self._row = None
 
     def copy(self) -> "SlotTable":
         """Independent copy (used for what-if allocation)."""

@@ -108,6 +108,10 @@ class ReconfigurationTimeline:
         self.events: tuple[TimelineEvent, ...] = tuple(sorted(
             events, key=lambda e: (e.slot, e.action != "stop",
                                    e.application)))
+        # Derived views are cached: a timeline is immutable once built,
+        # and the simulators re-query these on every replay run.
+        self._channel_names: tuple[str, ...] | None = None
+        self._change_plan: tuple | None = None
         self._validate()
 
     # -- validation ------------------------------------------------------------
@@ -170,10 +174,12 @@ class ReconfigurationTimeline:
     @property
     def channel_names(self) -> tuple[str, ...]:
         """All channel names ever started, sorted."""
-        names: set[str] = set()
-        for event in self.events:
-            names.update(ca.spec.name for ca in event.channels)
-        return tuple(sorted(names))
+        if self._channel_names is None:
+            names: set[str] = set()
+            for event in self.events:
+                names.update(ca.spec.name for ca in event.channels)
+            self._channel_names = tuple(sorted(names))
+        return self._channel_names
 
     def channel_allocations(self) -> dict[str, ChannelAllocation]:
         """First-start allocation of every channel, keyed by name."""
@@ -233,7 +239,7 @@ class ReconfigurationTimeline:
         """Number of maximal constant-configuration spans."""
         return len(self.epoch_boundaries())
 
-    def change_plan(self) -> tuple[
+    def change_plan(self, *, until: int | None = None) -> tuple[
             tuple[ChannelAllocation, ...],
             tuple[tuple[int, tuple[str, ...],
                         tuple[ChannelAllocation, ...]], ...]]:
@@ -241,27 +247,43 @@ class ReconfigurationTimeline:
 
         Returns the channels active from slot 0 and, per later boundary
         slot, the channel names to remove and the allocations to add —
-        stops first, mirroring the event normalisation.
+        stops first, mirroring the event normalisation.  ``until`` drops
+        boundaries at or beyond a simulated prefix of the horizon (the
+        start/stop pairing is resolved over the *full* event list first,
+        so truncation never unbalances an application).
         """
-        app_channels: dict[str, tuple[ChannelAllocation, ...]] = {}
-        initial: list[ChannelAllocation] = []
-        by_slot: dict[int, tuple[list[str], list[ChannelAllocation]]] = {}
-        for event in self.events:
-            if event.action == "start":
-                app_channels[event.application] = event.channels
-                if event.slot == 0:
-                    initial.extend(event.channels)
+        if self._change_plan is None:
+            app_channels: dict[str, tuple[ChannelAllocation, ...]] = {}
+            initial: list[ChannelAllocation] = []
+            by_slot: dict[int, tuple[list[str],
+                                     list[ChannelAllocation]]] = {}
+            for event in self.events:
+                if event.action == "start":
+                    app_channels[event.application] = event.channels
+                    if event.slot == 0:
+                        initial.extend(event.channels)
+                    else:
+                        by_slot.setdefault(event.slot, ([], []))[1].extend(
+                            event.channels)
                 else:
-                    by_slot.setdefault(event.slot, ([], []))[1].extend(
-                        event.channels)
-            else:
-                stopped = app_channels.pop(event.application)
-                by_slot.setdefault(event.slot, ([], []))[0].extend(
-                    ca.spec.name for ca in stopped)
-        changes = tuple(
-            (slot, tuple(stops), tuple(starts))
-            for slot, (stops, starts) in sorted(by_slot.items()))
-        return tuple(initial), changes
+                    stopped = app_channels.pop(event.application)
+                    by_slot.setdefault(event.slot, ([], []))[0].extend(
+                        ca.spec.name for ca in stopped)
+            changes = tuple(
+                (slot, tuple(stops), tuple(starts))
+                for slot, (stops, starts) in sorted(by_slot.items()))
+            self._change_plan = (tuple(initial), changes)
+        initial_t, changes = self._change_plan
+        if until is not None:
+            lo, hi = 0, len(changes)
+            while lo < hi:  # first boundary at or beyond the prefix end
+                mid = (lo + hi) // 2
+                if changes[mid][0] < until:
+                    lo = mid + 1
+                else:
+                    hi = mid
+            changes = changes[:lo]
+        return initial_t, changes
 
     def restricted_to(self, channel_names) -> "ReconfigurationTimeline":
         """The timeline containing only the named channels' transitions.

@@ -207,9 +207,10 @@ class NetworkInterface:
 
     def _begin_slot(self, cycle: int, time_ps: int) -> None:
         slot_index = cycle // self.fmt.flit_size
+        row = self.table.owner_row()
         slot = slot_index % self.table.size
         self.slots_seen += 1
-        owner = self.table.owner(slot)
+        owner = row[slot]
         self._emitting = None
         self._emit_pos = 0
         self._emit_channel = None
@@ -237,7 +238,7 @@ class NetworkInterface:
             next_slot = (slot + 1) % self.table.size
             flit = tx.packetizer.next_flit(
                 credits=credits_to_carry,
-                next_slot_is_ours=self.table.owner(next_slot) == owner)
+                next_slot_is_ours=row[next_slot] == owner)
             if tx.credits is not None:
                 tx.credits -= flit.meta.payload_bytes // \
                     self.fmt.bytes_per_word

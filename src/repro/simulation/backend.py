@@ -296,7 +296,11 @@ class FlitLevelBackend(SimulationBackend):
     timeline requests: ``"incremental"`` (default) rebuilds only the
     injection-slot rows a transition touches, ``"full"`` recompiles the
     whole schedule at every epoch boundary (the reference the tier-2
-    benchmark compares against).
+    benchmark compares against).  ``compiled`` forwards to
+    :class:`~repro.simulation.flitsim.FlitLevelSimulator`: ``None``
+    (default) auto-selects the compiled vectorised executor when numpy
+    is available, ``True``/``False`` force a path;
+    ``meta["executor"]`` reports which one actually ran.
     """
 
     name = "flit"
@@ -305,7 +309,8 @@ class FlitLevelBackend(SimulationBackend):
                  flow_control: bool = False,
                  rx_buffer_words: int | None = None,
                  check_contention: bool = False,
-                 recompile: str = "incremental"):
+                 recompile: str = "incremental",
+                 compiled: bool | None = None):
         super().__init__(config)
         if recompile not in ("incremental", "full"):
             raise ConfigurationError(
@@ -315,6 +320,7 @@ class FlitLevelBackend(SimulationBackend):
         self.rx_buffer_words = rx_buffer_words
         self.check_contention = check_contention
         self.recompile = recompile
+        self.compiled = compiled
 
     def run(self, request: SimRequest) -> SimResult:
         from repro.simulation.flitsim import FlitLevelSimulator
@@ -323,7 +329,8 @@ class FlitLevelBackend(SimulationBackend):
         sim = FlitLevelSimulator(
             self.config, flow_control=self.flow_control,
             rx_buffer_words=self.rx_buffer_words,
-            check_contention=self.check_contention)
+            check_contention=self.check_contention,
+            compiled=self.compiled)
         if request.timeline is not None:
             # Shared compatibility checks here; the frequency rule
             # (TDM schedules cannot be retimed) is enforced by the
@@ -345,7 +352,9 @@ class FlitLevelBackend(SimulationBackend):
                   result.stalled_slots_by_channel,
                   "flits_by_channel": result.flits_by_channel,
                   "n_epochs": result.n_epochs,
-                  "recompile": self.recompile},
+                  "recompile": self.recompile,
+                  "executor": ("compiled" if result.compiled
+                               else "per-flit")},
             raw=result)
 
 

@@ -1,0 +1,654 @@
+"""Compiled vectorised epoch executor: one numpy schedule for all backends.
+
+aelite's contention-free TDM schedule is completely regular: every flit's
+injection slot and per-hop link traversal is decidable at configuration
+time from the slot tables alone.  The per-flit interpreter in
+:mod:`repro.simulation.flitsim` re-derives that regularity slot by slot
+in Python; this module compiles it away.
+
+The compiled representation has three layers:
+
+* :class:`PatternTable` — one traffic pattern's arrival stream as flat
+  ``int64`` arrays (cycle, words, message id, ready slot, flits per
+  message, running flit count).  Tables are compiled once per pattern
+  object at the full run horizon and *prefix-sliced* per channel
+  incarnation, so a timeline that restarts a channel hundreds of times
+  pays for its arrival arithmetic once.
+* the **interval recurrence** (:func:`_run_interval`) — a channel's
+  behaviour over one active span ``[start, end)``.  Contention-freedom
+  makes each channel independent, so a whole incarnation (spanning any
+  number of epoch boundaries that do not touch it) is solved in a dozen
+  array operations: with sorted reserved slots ``s`` (``m`` of them in a
+  table of ``T``), the index function ``A(x) = (x // T) * m +
+  searchsorted(s, x mod T)`` counts reserved slots before absolute slot
+  ``x`` without materialising the schedule, and the FIFO service start
+  of message ``i`` follows the Lindley-style recurrence ``k = F +
+  cummax(pos - F)`` where ``F`` is the running flit count and ``pos``
+  the first reserved slot index at or after the message's ready slot.
+* **lazy materialisation** — :class:`CompiledStats` and
+  :class:`CompiledTraceRecorder` are drop-in
+  :class:`~repro.simulation.monitors.StatsCollector` /
+  :class:`~repro.simulation.monitors.TraceRecorder` subclasses that hold
+  the interval arrays and only expand them into per-flit
+  :class:`~repro.simulation.monitors.InjectionRecord` /
+  :class:`~repro.simulation.monitors.DeliveryRecord` objects (or trace
+  tuples) when a monitor, ``verify_timeline`` or a campaign serialiser
+  actually asks.  Aggregates that do not need records — message counts,
+  latency populations, the use-case service-latency check — are computed
+  directly from the arrays.
+
+Everything is exact integer arithmetic on the same quantities the
+per-flit path computes, so the materialised records are *equal* —
+field for field — to the reference implementation's, which is the
+correctness oracle the property tests and both tier-2 benchmarks
+enforce.
+
+The per-epoch link-contention check is hoisted here too: instead of the
+per-flit occupancy scan, the compiled path asserts reservation-level
+disjointness of every epoch's active set once per transition (strictly
+stronger: it flags overlapping reservations even when no flit happens
+to collide).
+
+The best-effort baseline shares :func:`pattern_slice` for its timeline
+arrival expansion, and the cycle-accurate model consumes the flat
+:meth:`~repro.core.slot_table.SlotTable.owner_row` view of the same
+slot tables — one schedule representation across all three backends.
+
+numpy is optional: :func:`numpy_available` gates every entry point and
+the flit simulator falls back to the per-flit reference path when it is
+missing.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Mapping
+
+try:  # pragma: no cover - exercised implicitly by every import
+    import numpy as _np
+except ImportError:  # pragma: no cover - CI images bundle numpy
+    _np = None
+
+from repro.core.exceptions import SimulationError
+from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
+                                       StatsCollector, TraceRecorder)
+from repro.simulation.traffic import (BernoulliMessages, ConstantBitRate,
+                                      PeriodicBurst, Replay, Saturating,
+                                      TrafficPattern)
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.core.allocation import ChannelAllocation
+    from repro.core.timeline import ReconfigurationTimeline
+    from repro.core.words import WordFormat
+    from repro.simulation.flitsim import FlitLevelSimulator, FlitSimResult
+
+__all__ = ["numpy_available", "PatternTable", "compile_pattern",
+           "pattern_slice", "CompiledStats", "CompiledTraceRecorder",
+           "execute_static", "execute_timeline"]
+
+#: Patterns whose ``events(h)`` is a prefix of ``events(H)`` for h <= H,
+#: so one full-horizon table serves every incarnation by slicing.
+_PREFIX_STABLE = (ConstantBitRate, PeriodicBurst, BernoulliMessages,
+                  Replay, Saturating)
+
+
+def numpy_available() -> bool:
+    """True when numpy imported, i.e. the compiled executor can run."""
+    return _np is not None
+
+
+class PatternTable:
+    """One traffic pattern's arrival stream as flat ``int64`` arrays.
+
+    All arrays are parallel and in event order.  ``ready`` is the
+    arrival slot *relative to the channel's start* (``ceil(cycle /
+    flit_size)``); ``ready_running`` its running maximum (the admission
+    order of the per-flit reference is FIFO in event order, so a later
+    event can never be served before an earlier one).  ``flits`` is the
+    flit count of each message (``max(1, ceil(words / payload))`` —
+    a zero-word message still costs one header-only flit, exactly like
+    the reference) and ``flits_before`` its exclusive running sum.
+    """
+
+    __slots__ = ("cycles", "words", "mids", "ready", "ready_running",
+                 "flits", "flits_before", "horizon_cycles")
+
+    def __init__(self, cycles, words, mids, horizon_cycles: int,
+                 flit_size: int, payload_per_flit: int):
+        self.cycles = cycles
+        self.words = words
+        self.mids = mids
+        self.horizon_cycles = horizon_cycles
+        self.ready = -(-cycles // flit_size)
+        if cycles.size:
+            self.ready_running = _np.maximum.accumulate(self.ready)
+        else:
+            self.ready_running = self.ready
+        self.flits = _np.maximum(-(-words // payload_per_flit), 1)
+        running = _np.cumsum(self.flits)
+        self.flits_before = running - self.flits
+
+    def count_until(self, horizon_cycles: int) -> int:
+        """Number of events with ``cycle < horizon_cycles``."""
+        return int(_np.searchsorted(self.cycles, horizon_cycles,
+                                    side="left"))
+
+
+def compile_pattern(pattern: TrafficPattern, horizon_cycles: int,
+                    fmt: "WordFormat") -> PatternTable:
+    """Compile one pattern's events before ``horizon_cycles`` to arrays.
+
+    :class:`~repro.simulation.traffic.ConstantBitRate`,
+    :class:`~repro.simulation.traffic.PeriodicBurst` and
+    :class:`~repro.simulation.traffic.Saturating` are expanded directly
+    in numpy (bit-identical to their scalar ``events()``: the CBR floor
+    is the same IEEE-754 multiply-and-floor); every other pattern goes
+    through its ``events()`` list once.
+    """
+    np = _np
+    flit_size = fmt.flit_size
+    if isinstance(pattern, ConstantBitRate) and \
+            horizon_cycles > pattern.offset_cycles:
+        interval = pattern.interval_cycles
+        offset = pattern.offset_cycles
+        n = int((horizon_cycles - offset) / interval) + 2
+        while True:
+            cycles = offset + np.floor(
+                np.arange(n, dtype=np.float64) * interval
+            ).astype(np.int64)
+            if cycles[-1] >= horizon_cycles:
+                break
+            n *= 2
+        keep = int(np.searchsorted(cycles, horizon_cycles, side="left"))
+        cycles = cycles[:keep]
+        words = np.full(keep, pattern.message_words, dtype=np.int64)
+        mids = np.arange(keep, dtype=np.int64)
+    elif isinstance(pattern, PeriodicBurst) and \
+            horizon_cycles > pattern.offset_cycles:
+        n_bursts = -(-(horizon_cycles - pattern.offset_cycles) //
+                     pattern.period_cycles)
+        starts = pattern.offset_cycles + \
+            np.arange(n_bursts, dtype=np.int64) * pattern.period_cycles
+        cycles = np.repeat(starts, pattern.burst_messages)
+        words = np.full(cycles.size, pattern.message_words,
+                        dtype=np.int64)
+        mids = np.arange(cycles.size, dtype=np.int64)
+    elif isinstance(pattern, Saturating) and horizon_cycles > 0:
+        cycles = np.arange(0, horizon_cycles, pattern.flit_size,
+                           dtype=np.int64)
+        words = np.full(cycles.size, pattern.message_words,
+                        dtype=np.int64)
+        mids = np.arange(cycles.size, dtype=np.int64)
+    else:
+        events = pattern.events(horizon_cycles) if horizon_cycles > 0 \
+            else []
+        n = len(events)
+        cycles = np.fromiter((e.cycle for e in events), np.int64, n)
+        words = np.fromiter((e.words for e in events), np.int64, n)
+        mids = np.fromiter((e.message_id for e in events), np.int64, n)
+    return PatternTable(cycles, words, mids, horizon_cycles, flit_size,
+                        fmt.payload_words_per_flit)
+
+
+def pattern_slice(cache: dict, pattern: TrafficPattern,
+                  full_horizon_cycles: int, wanted_horizon_cycles: int,
+                  fmt: "WordFormat") -> tuple[PatternTable, int]:
+    """A pattern's table plus its event count before a wanted horizon.
+
+    Prefix-stable patterns are compiled once at the full run horizon and
+    cached by object identity (the cache entry pins the pattern object
+    so ids cannot be recycled); other patterns are compiled exactly at
+    the wanted horizon, mirroring the reference's per-incarnation
+    ``events()`` call.
+    """
+    if isinstance(pattern, _PREFIX_STABLE):
+        key = id(pattern)
+        entry = cache.get(key)
+        if entry is None or entry[1].horizon_cycles < full_horizon_cycles:
+            entry = (pattern,
+                     compile_pattern(pattern, full_horizon_cycles, fmt))
+            cache[key] = entry
+        table = entry[1]
+        return table, table.count_until(wanted_horizon_cycles)
+    table = compile_pattern(pattern, wanted_horizon_cycles, fmt)
+    return table, table.cycles.size
+
+
+class _IntervalRun:
+    """Solved recurrence of one channel incarnation over ``[start, end)``.
+
+    Holds the per-message arrays (``k`` service-start indices, ``actual``
+    flits injected before the interval end, ``completed`` mask) plus the
+    slot geometry needed to expand them lazily into absolute slots,
+    records and trace tuples.
+    """
+
+    __slots__ = ("channel", "table", "count", "start", "s", "m",
+                 "table_size", "base", "k", "actual", "completed",
+                 "n_flits", "n_deliveries", "traversal_slots",
+                 "flit_size", "period_ps", "bytes_per_word",
+                 "_last_slots")
+
+    def __init__(self):
+        self._last_slots = None
+
+    # -- lazy expansions -------------------------------------------------------
+
+    def _slots_of(self, indices):
+        """Absolute slots of reserved-slot indices (vectorised)."""
+        q, j = _np.divmod(indices, self.m)
+        return q * self.table_size + self.s[j]
+
+    def last_slots(self):
+        """Absolute slot of the final flit of each completed message."""
+        if self._last_slots is None:
+            last = (self.k + self.table.flits[:self.count])[
+                self.completed] - 1
+            self._last_slots = self._slots_of(self.base + last)
+        return self._last_slots
+
+    def trace_events(self) -> list[tuple[int, int, int]]:
+        """``(message_id, injection_slot, delivery_cycle)`` tuples."""
+        last = self.last_slots()
+        delivered = (last + self.traversal_slots) * self.flit_size
+        mids = self.table.mids[:self.count][self.completed]
+        return list(zip(mids.tolist(), last.tolist(),
+                        delivered.tolist()))
+
+    def latencies_ns(self) -> list[float]:
+        """Delivery latencies, identical floats to the record path."""
+        last = self.last_slots()
+        delivered = (last + self.traversal_slots) * self.flit_size
+        created = self.start * self.flit_size + \
+            self.table.cycles[:self.count][self.completed]
+        return (((delivered - created) * self.period_ps) /
+                1000.0).tolist()
+
+    def append_records(self, sink) -> None:
+        """Expand into per-flit records on a ``ChannelStats`` sink."""
+        np = _np
+        flit_size = self.flit_size
+        period_ps = self.period_ps
+        channel = self.channel
+        counts = self.actual
+        message = np.repeat(np.arange(self.count), counts)
+        first = np.cumsum(counts) - counts
+        offsets = np.arange(self.n_flits) - np.repeat(first, counts)
+        slots = self._slots_of(self.base + self.k[message] + offsets)
+        cycles = slots * flit_size
+        mids = self.table.mids[:self.count][message]
+        injections = sink.injections
+        sequence = 0  # one run is one incarnation: sequences restart
+        for mid, slot, cycle in zip(mids.tolist(), slots.tolist(),
+                                    cycles.tolist()):
+            injections.append(InjectionRecord(
+                channel=channel, message_id=mid, sequence=sequence,
+                slot_index=slot, cycle=cycle,
+                time_ps=cycle * period_ps))
+            sequence += 1
+        last = self.last_slots()
+        delivered = (last + self.traversal_slots) * flit_size
+        mask = self.completed
+        dmids = self.table.mids[:self.count][mask]
+        created = self.start * flit_size + \
+            self.table.cycles[:self.count][mask]
+        words = self.table.words[:self.count][mask]
+        deliveries = sink.deliveries
+        bytes_per_word = self.bytes_per_word
+        for mid, created_cycle, delivered_cycle, message_words in zip(
+                dmids.tolist(), created.tolist(), delivered.tolist(),
+                words.tolist()):
+            deliveries.append(DeliveryRecord(
+                channel=channel, message_id=mid,
+                created_cycle=created_cycle,
+                created_time_ps=created_cycle * period_ps,
+                delivered_cycle=delivered_cycle,
+                delivered_time_ps=delivered_cycle * period_ps,
+                payload_bytes=message_words * bytes_per_word))
+
+    def service_latencies_ns(self) -> list[float] | None:
+        """Vectorised service latencies, or ``None`` when the reference
+        record walk is needed (non-monotone message ids)."""
+        np = _np
+        mids = self.table.mids[:self.count]
+        if mids.size > 1 and not bool((np.diff(mids) > 0).all()):
+            return None
+        if not self.n_deliveries:
+            return []
+        period_ps = self.period_ps
+        flit_size = self.flit_size
+        last = self.last_slots()
+        injected_ps = last * flit_size * period_ps
+        delivered_ps = (last + self.traversal_slots) * flit_size * \
+            period_ps
+        created_ps = (self.start * flit_size +
+                      self.table.cycles[:self.count][self.completed]) * \
+            period_ps
+        previous = np.empty_like(injected_ps)
+        previous[0] = -1
+        previous[1:] = injected_ps[:-1]
+        ready = np.maximum(created_ps, previous)
+        return ((delivered_ps - ready) / 1000.0).tolist()
+
+
+def _run_interval(channel: str, table: PatternTable, count: int,
+                  start: int, end: int, alloc: "ChannelAllocation",
+                  table_size: int, flit_size: int, period_ps: int,
+                  bytes_per_word: int) -> _IntervalRun | None:
+    """Solve one incarnation's recurrence; ``None`` when nothing flew."""
+    if count == 0:
+        return None
+    np = _np
+    s = np.asarray(alloc.slots, dtype=np.int64)
+    m = s.size
+    base = (start // table_size) * m + \
+        int(np.searchsorted(s, start % table_size))
+    total = (end // table_size) * m + \
+        int(np.searchsorted(s, end % table_size)) - base
+    if total <= 0:
+        return None
+    ready = table.ready_running[:count] + start
+    quotient, remainder = np.divmod(ready, table_size)
+    pos = quotient * m + np.searchsorted(s, remainder) - base
+    flits_before = table.flits_before[:count]
+    flits = table.flits[:count]
+    k = flits_before + np.maximum.accumulate(pos - flits_before)
+    actual = np.clip(total - k, 0, flits)
+    n_flits = int(actual.sum())
+    if n_flits == 0:
+        return None
+    run = _IntervalRun()
+    run.channel = channel
+    run.table = table
+    run.count = count
+    run.start = start
+    run.s = s
+    run.m = m
+    run.table_size = table_size
+    run.base = base
+    run.k = k
+    run.actual = actual
+    run.completed = actual == flits
+    run.n_flits = n_flits
+    run.n_deliveries = int(np.count_nonzero(run.completed))
+    run.traversal_slots = alloc.path.traversal_slots
+    run.flit_size = flit_size
+    run.period_ps = period_ps
+    run.bytes_per_word = bytes_per_word
+    return run
+
+
+class CompiledStats(StatsCollector):
+    """Record log backed by interval arrays, materialised on demand.
+
+    Drop-in :class:`~repro.simulation.monitors.StatsCollector`: any
+    record access (``channel``, ``sink``, ``all_deliveries``) expands
+    the touched channel's arrays into the usual record objects, equal
+    field-for-field to the per-flit reference's.  Aggregate queries
+    (:meth:`delivery_count`, :meth:`all_latencies_ns`,
+    :meth:`service_latencies_ns`) stay on the arrays.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._runs: dict[str, list[_IntervalRun]] = {}
+        self._materialised: set[str] = set()
+
+    def _add_run(self, run: _IntervalRun) -> None:
+        self._runs.setdefault(run.channel, []).append(run)
+
+    def _ensure(self, name: str) -> None:
+        runs = self._runs.get(name)
+        if runs is None or name in self._materialised:
+            return
+        self._materialised.add(name)
+        sink = super().sink(name)
+        for run in runs:
+            run.append_records(sink)
+
+    def channel(self, name: str):
+        """Stats of one channel, materialising its records first."""
+        self._ensure(name)
+        return super().channel(name)
+
+    def sink(self, name: str):
+        """Registered stats of one channel (see the base class)."""
+        self._ensure(name)
+        return super().sink(name)
+
+    @property
+    def channels(self) -> tuple[str, ...]:
+        """All channels with at least one record, sorted."""
+        names = set(self._runs)
+        names.update(n for n, stats in self._by_channel.items()
+                     if stats.injections or stats.deliveries)
+        return tuple(sorted(names))
+
+    def all_deliveries(self):
+        """Every delivery record across channels (stable order)."""
+        for name in tuple(self._runs):
+            self._ensure(name)
+        return super().all_deliveries()
+
+    def delivery_count(self) -> int:
+        """Total messages delivered, without materialising records."""
+        total = sum(run.n_deliveries
+                    for runs in self._runs.values() for run in runs)
+        total += sum(len(stats.deliveries)
+                     for name, stats in self._by_channel.items()
+                     if name not in self._runs)
+        return total
+
+    def all_latencies_ns(self) -> list[float]:
+        """Every delivery latency, in :meth:`all_deliveries` order."""
+        out: list[float] = []
+        for name in self.channels:
+            runs = self._runs.get(name)
+            if runs is not None:
+                for run in runs:
+                    out.extend(run.latencies_ns())
+            else:
+                out.extend(d.latency_ns
+                           for d in self._by_channel[name].deliveries)
+        return out
+
+    def service_latencies_ns(self, channel: str) -> list[float] | None:
+        """Array fast path for :func:`repro.usecase.runner.
+        service_latencies_ns`; ``None`` defers to the record walk."""
+        runs = self._runs.get(channel)
+        if runs is None:
+            return None if channel in self._by_channel else []
+        if len(runs) != 1:
+            return None
+        return runs[0].service_latencies_ns()
+
+
+class CompiledTraceRecorder(TraceRecorder):
+    """Composability trace backed by interval arrays.
+
+    Traces materialise per channel on first access and are byte-equal
+    to the reference recorder's tuples, so
+    :meth:`~repro.simulation.monitors.TraceRecorder.equal_on` and the
+    dynamic composability check work unchanged.
+    """
+
+    def __init__(self):
+        super().__init__()
+        self._runs: dict[str, list[_IntervalRun]] = {}
+        self._materialised: set[str] = set()
+
+    def _add_run(self, run: _IntervalRun) -> None:
+        self._runs.setdefault(run.channel, []).append(run)
+
+    def _ensure(self, name: str) -> None:
+        runs = self._runs.get(name)
+        if runs is None or name in self._materialised:
+            return
+        self._materialised.add(name)
+        sink = self._events[name]
+        for run in runs:
+            sink.extend(run.trace_events())
+
+    def trace(self, channel: str) -> tuple[tuple[int, int, int], ...]:
+        """The immutable trace of one channel."""
+        self._ensure(channel)
+        return super().trace(channel)
+
+    def channel_sink(self, channel: str) -> list[tuple[int, int, int]]:
+        """The mutable event list of one channel (see the base class)."""
+        self._ensure(channel)
+        return super().channel_sink(channel)
+
+    def channels(self) -> tuple[str, ...]:
+        """Channels with at least one event, sorted."""
+        names = set(self._runs)
+        names.update(n for n, events in self._events.items() if events)
+        return tuple(sorted(names))
+
+
+# -- epoch-level contention check ------------------------------------------------
+
+
+def _occupy(occupied: dict, name: str, alloc: "ChannelAllocation",
+            table_size: int, epoch_slot: int) -> None:
+    """Claim a channel's link slots; raise on reservation overlap."""
+    for key, slots in alloc.link_slots(table_size).items():
+        for slot in slots:
+            holder = occupied.get((key, slot))
+            if holder is not None and holder != name:
+                raise SimulationError(
+                    f"link {key} carries two flits in slot {slot} of "
+                    f"the epoch starting at slot {epoch_slot}: "
+                    f"{holder!r} and {name!r}")
+            occupied[(key, slot)] = name
+
+
+def _release(occupied: dict, alloc: "ChannelAllocation",
+             table_size: int) -> None:
+    for key, slots in alloc.link_slots(table_size).items():
+        for slot in slots:
+            occupied.pop((key, slot), None)
+
+
+# -- executors ------------------------------------------------------------------
+
+
+def execute_static(sim: "FlitLevelSimulator",
+                   n_slots: int) -> "FlitSimResult":
+    """Run a static configuration through the compiled executor."""
+    from repro.simulation.flitsim import FlitSimResult
+
+    fmt = sim.fmt
+    flit_size = fmt.flit_size
+    table_size = sim.table_size
+    period_ps = round(1e12 / sim.frequency_hz)
+    channels = sorted(sim.config.allocation.channels.items())
+    if sim.check_contention:
+        occupied: dict = {}
+        for name, alloc in channels:
+            _occupy(occupied, name, alloc, table_size, 0)
+    stats = CompiledStats()
+    trace = CompiledTraceRecorder()
+    flits = {name: 0 for name, _ in channels}
+    horizon_cycles = n_slots * flit_size
+    cache: dict = {}
+    for name, alloc in channels:
+        pattern = sim._patterns.get(name)
+        if pattern is None:
+            continue
+        table, count = pattern_slice(cache, pattern, horizon_cycles,
+                                     horizon_cycles, fmt)
+        run = _run_interval(name, table, count, 0, n_slots, alloc,
+                            table_size, flit_size, period_ps,
+                            fmt.bytes_per_word)
+        if run is None:
+            continue
+        stats._add_run(run)
+        if run.n_deliveries:
+            trace._add_run(run)
+        flits[name] += run.n_flits
+    return FlitSimResult(
+        stats=stats, trace=trace, simulated_slots=n_slots,
+        frequency_hz=sim.frequency_hz, fmt=fmt,
+        stalled_slots_by_channel={name: 0 for name in flits},
+        flits_by_channel=flits, n_epochs=1, compiled=True)
+
+
+def execute_timeline(sim: "FlitLevelSimulator",
+                     timeline: "ReconfigurationTimeline", n_slots: int,
+                     patterns: Mapping[str, TrafficPattern]
+                     ) -> "FlitSimResult":
+    """Execute a reconfiguration timeline through the compiled executor.
+
+    Contention-freedom makes channels independent, so each incarnation
+    (one ``(start, stop)`` span from the change plan) is solved as one
+    interval recurrence regardless of how many epoch boundaries other
+    applications' churn creates inside it — the logical extreme of the
+    per-flit path's incremental recompilation, where a surviving
+    channel's schedule rows cross boundaries untouched.
+    """
+    from repro.simulation.flitsim import FlitSimResult
+
+    fmt = sim.fmt
+    flit_size = fmt.flit_size
+    table_size = sim.table_size
+    period_ps = round(1e12 / sim.frequency_hz)
+    bytes_per_word = fmt.bytes_per_word
+    check = sim.check_contention
+    occupied: dict = {}
+    initial, changes = timeline.change_plan(until=n_slots)
+    stats = CompiledStats()
+    trace = CompiledTraceRecorder()
+    flits: dict[str, int] = {}
+    cache: dict = {}
+    active: dict[str, tuple[int, "ChannelAllocation"]] = {}
+    full_horizon_cycles = n_slots * flit_size
+
+    def open_channel(alloc: "ChannelAllocation", slot: int) -> None:
+        name = alloc.spec.name
+        if name in active:
+            raise SimulationError(
+                f"timeline starts channel {name!r} twice at slot {slot}")
+        active[name] = (slot, alloc)
+        flits.setdefault(name, 0)
+        if check:
+            _occupy(occupied, name, alloc, table_size, slot)
+
+    def close_channel(name: str, end: int) -> None:
+        start, alloc = active.pop(name)
+        if check:
+            _release(occupied, alloc, table_size)
+        pattern = patterns.get(name)
+        if pattern is None:
+            return
+        table, count = pattern_slice(
+            cache, pattern, full_horizon_cycles,
+            (n_slots - start) * flit_size, fmt)
+        run = _run_interval(name, table, count, start, end, alloc,
+                            table_size, flit_size, period_ps,
+                            bytes_per_word)
+        if run is None:
+            return
+        stats._add_run(run)
+        if run.n_deliveries:
+            trace._add_run(run)
+        flits[name] += run.n_flits
+
+    for alloc in sorted(initial, key=lambda ca: ca.spec.name):
+        open_channel(alloc, 0)
+    for slot, stops, starts in changes:
+        for name in stops:
+            if name not in active:
+                raise SimulationError(
+                    f"timeline stops unknown channel {name!r} at slot "
+                    f"{slot}")
+            close_channel(name, slot)
+        for alloc in starts:
+            open_channel(alloc, slot)
+    for name in list(active):
+        close_channel(name, n_slots)
+    return FlitSimResult(
+        stats=stats, trace=trace, simulated_slots=n_slots,
+        frequency_hz=sim.frequency_hz, fmt=fmt,
+        stalled_slots_by_channel={name: 0 for name in flits},
+        flits_by_channel=flits, n_epochs=len(changes) + 1,
+        compiled=True)

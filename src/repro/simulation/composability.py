@@ -25,6 +25,13 @@ solo reference), then requires the survivors' flit traces to be
 bit-identical across every reconfiguration epoch.  On the TDM flit
 backend that holds by construction; on the best-effort baseline the same
 timeline measurably diverges.
+
+Both checks consume traces through the
+:class:`~repro.simulation.monitors.TraceRecorder` interface only, so
+they work unchanged over the compiled vectorised executor
+(:mod:`repro.simulation.compiled`): its recorder materialises each
+channel's trace from the interval arrays on first access, and only for
+the channels a comparison actually touches.
 """
 
 from __future__ import annotations

@@ -109,6 +109,26 @@ class Engine:
         if not self._groups:
             self.now_ps = t_end_ps
             return
+        if len(self._groups) == 1:
+            # Synchronous designs share one clock domain (see
+            # ``cyclesim``): every edge fires the whole design, so the
+            # heap degenerates to a fixed-stride walk.  Edges are
+            # strictly uniform (``phase + n * period``), which makes the
+            # incremental ``t += period`` exact.
+            (group,) = self._groups.values()
+            period = group.clock.period_ps
+            t = group.clock.edge_time(group.next_edge_index)
+            while t < self.now_ps:
+                group.next_edge_index += 1
+                t += period
+            only = [group]
+            while t < t_end_ps:
+                self.now_ps = t
+                self._tick(only, t)
+                group.next_edge_index += 1
+                t += period
+            self.now_ps = t_end_ps
+            return
         # Min-heap of (edge_time, group_name); group names are unique.
         heap: list[tuple[int, str]] = []
         for name, group in sorted(self._groups.items()):

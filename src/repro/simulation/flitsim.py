@@ -41,6 +41,15 @@ recompilation*); every surviving channel's runtime — pending messages,
 arrival cursor, credit state, trace sinks — crosses the boundary
 untouched, which is exactly the paper's undisrupted-reconfiguration
 property at cycle level.
+
+When numpy is importable (and flow control is off), both entry points
+dispatch to the *compiled* executor (:mod:`repro.simulation.compiled`),
+which solves each channel incarnation's whole schedule as a handful of
+array operations and materialises records lazily.  Its output is
+record-for-record equal to this module's per-flit loop, which stays as
+the reference implementation (and the only path that models credit
+back-pressure); the ``compiled`` constructor knob forces either path
+explicitly.
 """
 
 from __future__ import annotations
@@ -114,6 +123,7 @@ class FlitSimResult:
     stalled_slots_by_channel: dict[str, int]
     flits_by_channel: dict[str, int]
     n_epochs: int = 1
+    compiled: bool = False
 
     @property
     def simulated_ns(self) -> float:
@@ -146,7 +156,8 @@ class FlitLevelSimulator:
     def __init__(self, config: NocConfiguration, *,
                  flow_control: bool = False,
                  rx_buffer_words: int | None = None,
-                 check_contention: bool = False):
+                 check_contention: bool = False,
+                 compiled: bool | None = None):
         self.config = config
         self.fmt = config.fmt
         self.table_size = config.table_size
@@ -154,6 +165,17 @@ class FlitLevelSimulator:
         self.flow_control = flow_control
         self.rx_buffer_words = rx_buffer_words
         self.check_contention = check_contention
+        if compiled:
+            from repro.simulation.compiled import numpy_available
+            if not numpy_available():
+                raise ConfigurationError(
+                    "compiled=True requires numpy, which is not "
+                    "importable")
+            if flow_control:
+                raise ConfigurationError(
+                    "compiled=True cannot model credit flow control; "
+                    "use the per-flit path (compiled=False)")
+        self.compiled = compiled
         self._patterns: dict[str, TrafficPattern] = {}
 
     def set_traffic(self, channel: str, pattern: TrafficPattern) -> None:
@@ -169,8 +191,27 @@ class FlitLevelSimulator:
         """Simulate ``n_slots`` flit cycles and return all measurements."""
         if n_slots <= 0:
             raise ConfigurationError(f"n_slots must be positive, got {n_slots}")
+        if self._use_compiled(True):
+            from repro.simulation import compiled as compiled_exec
+            return compiled_exec.execute_static(self, n_slots)
         states = self._build_channel_states(n_slots)
         return self._execute(n_slots, states, (), {}, True)
+
+    def _use_compiled(self, incremental: bool) -> bool:
+        """Whether this run goes through the compiled executor.
+
+        ``incremental=False`` always takes the per-flit path: the full
+        per-epoch rebuild is the reference the benchmarks measure both
+        faster paths against.
+        """
+        if not incremental:
+            return False
+        if self.compiled is not None:
+            return self.compiled
+        if self.flow_control:
+            return False
+        from repro.simulation.compiled import numpy_available
+        return numpy_available()
 
     def run_timeline(self, timeline: "ReconfigurationTimeline",
                      n_slots: int | None = None, *,
@@ -181,11 +222,12 @@ class FlitLevelSimulator:
         The channel set comes from the timeline's events, not from the
         configuration's allocation; each channel's traffic pattern is
         interpreted relative to its start slot.  ``incremental=True``
-        (the default) rebuilds only the injection-slot schedule entries
-        of channels a transition touches; ``incremental=False``
+        (the default) dispatches to the compiled executor when
+        available, else rebuilds only the injection-slot schedule
+        entries of channels a transition touches; ``incremental=False``
         recompiles the whole schedule at every boundary — behaviourally
         identical, and kept as the reference the tier-2 benchmark
-        measures the incremental path against.
+        measures both faster paths against.
         """
         if timeline.table_size != self.table_size:
             raise ConfigurationError(
@@ -209,12 +251,15 @@ class FlitLevelSimulator:
         if unknown:
             raise ConfigurationError(
                 f"traffic names channels outside the timeline: {unknown}")
-        initial, changes = timeline.change_plan()
+        if self._use_compiled(incremental):
+            from repro.simulation import compiled as compiled_exec
+            return compiled_exec.execute_timeline(self, timeline, n_slots,
+                                                  patterns)
+        initial, changes = timeline.change_plan(until=n_slots)
         states = {
             ca.spec.name: self._make_runtime(
                 ca.spec.name, ca, patterns.get(ca.spec.name), 0, n_slots)
             for ca in sorted(initial, key=lambda ca: ca.spec.name)}
-        changes = tuple(c for c in changes if c[0] < n_slots)
         return self._execute(n_slots, states, changes, patterns,
                              incremental)
 

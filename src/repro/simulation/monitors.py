@@ -36,13 +36,13 @@ def latency_digest(label: str, stats: "StatsCollector",
     ``label`` names the producer (backend name); ``slots_unit`` is the
     producer's time-unit noun ("slots", "ticks").
     """
-    deliveries = stats.all_deliveries()
+    count = stats.delivery_count()
     head = (f"{label}: {len(stats.channels)} channels, "
-            f"{len(deliveries)} messages over {simulated_slots} "
+            f"{count} messages over {simulated_slots} "
             f"{slots_unit} @ {frequency_hz / 1e6:.0f} MHz")
-    if not deliveries:
+    if not count:
         return head + ", no deliveries"
-    s = LatencySummary.of(d.latency_ns for d in deliveries)
+    s = LatencySummary.of(stats.all_latencies_ns())
     return (f"{head}; latency ns min={s.minimum:.1f} mean={s.mean:.1f} "
             f"p50={s.p50:.1f} p99={s.p99:.1f} max={s.maximum:.1f}")
 
@@ -211,6 +211,20 @@ class StatsCollector:
         for name in self.channels:
             out.extend(self._by_channel[name].deliveries)
         return out
+
+    def delivery_count(self) -> int:
+        """Total messages delivered across channels.
+
+        Subclasses backed by compiled schedule arrays answer this (and
+        :meth:`all_latencies_ns`) without materialising records, so the
+        one-line digests stay cheap on lazy collectors.
+        """
+        return sum(len(stats.deliveries)
+                   for stats in self._by_channel.values())
+
+    def all_latencies_ns(self) -> list[float]:
+        """Every delivery latency, in :meth:`all_deliveries` order."""
+        return [d.latency_ns for d in self.all_deliveries()]
 
 
 class TraceRecorder:

@@ -182,7 +182,17 @@ def service_latencies_ns(stats, channel: str) -> list[float]:
     exactly this quantity, for any arrival process; end-to-end latency
     additionally contains self-queueing, which is the IP's contract
     violation, not the network's.
+
+    Stats collectors that can answer from compiled schedule arrays
+    (:class:`~repro.simulation.compiled.CompiledStats`) expose a
+    ``service_latencies_ns`` method; it returns ``None`` for channels
+    it cannot vectorise, in which case the record walk below runs.
     """
+    fast = getattr(stats, "service_latencies_ns", None)
+    if fast is not None:
+        latencies = fast(channel)
+        if latencies is not None:
+            return latencies
     channel_stats = stats.channel(channel)
     injections = {r.message_id: r.time_ps
                   for r in channel_stats.injections}
