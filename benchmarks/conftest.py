@@ -59,6 +59,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the design-space screening benchmark (tier-2; "
              "asserts analytical lower-bound pruning beats exhaustive "
              "candidate evaluation by >= 2x on the same grid)")
+    parser.addoption(
+        "--telemetry-overhead", action="store_true", default=False,
+        help="run the telemetry-overhead gate on the admission churn "
+             "workload (tier-2; asserts enabled-mode overhead < 5% "
+             "and telemetry-on/off report byte-identity)")
 
 def _git_rev() -> str:
     """Current revision (``describe --always --dirty``), or "unknown"."""

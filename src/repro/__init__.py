@@ -83,6 +83,9 @@ _EXPORTS: dict[str, str] = {
     "FaultSchedule": "repro.faults.model",
     "SessionService": "repro.service.controller",
     "ChurnSpec": "repro.service.churn",
+    "Telemetry": "repro.telemetry.hub",
+    "NullTelemetry": "repro.telemetry.hub",
+    "run_profiled": "repro.telemetry.profiling",
     "MB": "repro.core.connection",
     "GB": "repro.core.connection",
 }

@@ -107,6 +107,22 @@ retention and session survival; the churn+fault timeline replays on the
 flit-level backend and every fault-survivor's trace must be
 bit-identical to its solo reference.  The flow runs twice and the two
 canonical JSON reports must match byte for byte.
+
+Observability
+-------------
+
+Every demo subcommand accepts ``--telemetry PATH`` (deterministic
+metric/span JSONL from :mod:`repro.telemetry`) and ``--trace PATH``
+(Chrome trace-event JSON, loadable in Perfetto / ``chrome://tracing``),
+and prints a wall-clock per-phase timing table; the canonical reports
+stay byte-identical with and without instrumentation::
+
+    python -m repro serve --demo --telemetry out.jsonl --trace out.trace.json
+    python -m repro --profile campaign --demo    # cProfile the whole run
+
+``--profile`` (before the subcommand) wraps the invocation in
+:func:`repro.telemetry.run_profiled` and prints the cProfile hot spots
+to stderr.
 """
 
 from __future__ import annotations
@@ -115,6 +131,56 @@ import argparse
 import sys
 
 from repro.experiments.report import format_table
+
+
+def _demo_telemetry(name: str):
+    """One real telemetry hub per CLI invocation (cold path)."""
+    from repro.telemetry.hub import Telemetry
+    return Telemetry(name=name)
+
+
+def _finish_telemetry(tel, args: argparse.Namespace) -> None:
+    """Print the phase table; write JSONL/trace files when asked to."""
+    phases = tel.meta.get("phases", [])
+    if phases:
+        print()
+        print(format_table(
+            [{"phase": p["phase"], "wall_s": p["wall_s"]}
+             for p in phases],
+            title="phase timing [wall-clock; excluded from the "
+                  "canonical report]"))
+    if getattr(args, "telemetry", None):
+        tel.write_jsonl(args.telemetry)
+        print(f"telemetry JSONL written to {args.telemetry}")
+    if getattr(args, "trace", None):
+        tel.write_chrome_trace(args.trace)
+        print(f"Chrome trace (load in Perfetto or chrome://tracing) "
+              f"written to {args.trace}")
+
+
+def _print_campaign_meta(meta: dict) -> None:
+    """The runner's wall-clock execution report (never serialised)."""
+    stages = meta.get("stages")
+    if stages:
+        print()
+        print(format_table(
+            [{"stage": stage, "wall_s": wall}
+             for stage, wall in stages.items()],
+            title="campaign stages [wall-clock; excluded from the "
+                  "canonical report]"))
+    workers = meta.get("worker_table") or {}
+    if len(workers) > 1:
+        print(format_table(
+            [{"pid": pid, "runs": entry["runs"],
+              "wall_s": entry["wall_s"]}
+             for pid, entry in workers.items()],
+            title="per-worker runs"))
+    stragglers = meta.get("stragglers") or []
+    if stragglers:
+        worst = max(stragglers, key=lambda s: s["wall_s"])
+        print(f"stragglers: {len(stragglers)} run(s) took >= 3x the "
+              f"median ({meta.get('median_run_wall_s', 0.0):.3f}s); "
+              f"worst: {worst['run_id']} at {worst['wall_s']:.3f}s")
 
 
 def _fig5() -> None:
@@ -245,25 +311,31 @@ def _campaign(args: argparse.Namespace) -> int:
             title=f"campaign {spec.name!r} — {len(runs)} runs"))
         return 0
     workers = max(1, args.workers)
-    result = CampaignRunner(spec, workers=workers).run()
+    tel = _demo_telemetry("campaign")
+    with tel.phase("campaign"):
+        result = CampaignRunner(spec, workers=workers,
+                                telemetry=tel).run()
     print(format_table(result.summary_rows(),
                        title=f"campaign {spec.name!r} — {result.n_runs} "
                              f"runs on {workers} workers "
                              f"({result.n_failed} failed)"))
     agree = True
     if workers > 1 and args.demo:
-        serial = CampaignRunner(spec, workers=1).run()
+        with tel.phase("serial-verify"):
+            serial = CampaignRunner(spec, workers=1).run()
         agree = serial.to_json() == result.to_json()
         print(f"\nserial/parallel reports byte-identical: "
               f"{'yes' if agree else 'NO — DETERMINISM BUG'}")
     elif workers == 1:
         print("\nworkers=1: in-process run, serial/parallel "
               "determinism check skipped")
+    _print_campaign_meta(result.meta)
     if args.output:
         result.write(args.output)
         print(f"aggregated JSON report written to {args.output}")
     else:
         print("\n" + result.to_json())
+    _finish_telemetry(tel, args)
     return 0 if agree else 1
 
 
@@ -276,9 +348,10 @@ def _design(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     workers = max(1, args.workers)
+    tel = _demo_telemetry("design")
     report, identical, matches = run_design_demo(
         workers=workers, seed=args.seed,
-        spare_capacity=args.spare_capacity)
+        spare_capacity=args.spare_capacity, telemetry=tel)
     n_crashed = report.count("configuration_failed")
     title = (f"design demo — {report.n_candidates} candidates "
              f"({report.count('ok')} feasible, "
@@ -307,9 +380,11 @@ def _design(args: argparse.Namespace) -> int:
     if n_crashed:
         print(f"{n_crashed} candidate evaluation(s) crashed "
               "(configuration_failed) — see the JSON report")
+    _print_campaign_meta(report.meta)
     if args.output:
         report.write(args.output)
         print(f"canonical JSON report written to {args.output}")
+    _finish_telemetry(tel, args)
     return 0 if (identical and matches is not False
                  and not n_crashed) else 1
 
@@ -322,9 +397,10 @@ def _faults(args: argparse.Namespace) -> int:
               "Python (FaultSpec, FaultSchedule, "
               "Allocation.rebuild_excluding)", file=sys.stderr)
         return 2
+    tel = _demo_telemetry("faults")
     record, report_json, identical = run_faults_demo(
         n_events=args.events, n_slots=args.slots,
-        n_faults=args.faults, seed=args.seed)
+        n_faults=args.faults, seed=args.seed, telemetry=tel)
     schedule = record["fault_schedule"]
     rows = [{
         "t_ms": e["t_ms"],
@@ -366,6 +442,7 @@ def _faults(args: argparse.Namespace) -> int:
             handle.write(report_json)
             handle.write("\n")
         print(f"canonical JSON report written to {args.output}")
+    _finish_telemetry(tel, args)
     return 0 if (identical and composable and invariant_ok
                  and rebuild_ok) else 1
 
@@ -377,7 +454,9 @@ def _serve(args: argparse.Namespace) -> int:
               "the CLI; drive custom workloads with repro.service in "
               "Python", file=sys.stderr)
         return 2
-    report, identical = run_demo(n_events=args.events, seed=args.seed)
+    tel = _demo_telemetry("serve")
+    report, identical = run_demo(n_events=args.events, seed=args.seed,
+                                 telemetry=tel)
     print(format_table(
         report.summary_rows(),
         title=f"serve demo — {report.totals['n_events']} events on "
@@ -397,6 +476,7 @@ def _serve(args: argparse.Namespace) -> int:
     if args.output:
         report.write(args.output)
         print(f"canonical JSON report written to {args.output}")
+    _finish_telemetry(tel, args)
     return 0 if (identical and invariant_ok) else 1
 
 
@@ -410,8 +490,10 @@ def _replay(args: argparse.Namespace) -> int:
               "repro.simulation.verify_timeline in Python",
               file=sys.stderr)
         return 2
+    tel = _demo_telemetry("replay")
     record, report_json, identical = run_replay_demo(
-        n_events=args.events, n_slots=args.slots, seed=args.seed)
+        n_events=args.events, n_slots=args.slots, seed=args.seed,
+        telemetry=tel)
     verdicts = record["verdicts"]
     rows = [{
         "backend": name,
@@ -446,6 +528,7 @@ def _replay(args: argparse.Namespace) -> int:
             {"verdicts": verdicts,
              "n_transitions": len(timeline["events"])},
             indent=2, sort_keys=True))
+    _finish_telemetry(tel, args)
     return 0 if (flit_ok and be_diverged and identical) else 1
 
 
@@ -460,12 +543,26 @@ _COMMANDS = {
 }
 
 
+def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
+    """``--telemetry`` / ``--trace`` outputs, shared by every demo."""
+    subparser.add_argument("--telemetry", default=None, metavar="PATH",
+                           help="write the deterministic metric/span "
+                                "JSONL stream here")
+    subparser.add_argument("--trace", default=None, metavar="PATH",
+                           help="write a Chrome trace-event JSON here "
+                                "(load in Perfetto or chrome://tracing)")
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI dispatcher; returns a process exit code."""
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate the aelite paper's figures and tables, "
                     "or run scenario campaigns.")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the command in cProfile and print "
+                             "the hot spots to stderr (place before "
+                             "the subcommand)")
     sub = parser.add_subparsers(dest="experiment", required=True,
                                 metavar="command")
     for name in sorted(_COMMANDS) + ["all"]:
@@ -490,6 +587,7 @@ def main(argv: list[str] | None = None) -> int:
                                "instead of stdout")
     campaign.add_argument("--list", action="store_true",
                           help="print the expanded run grid and exit")
+    _add_observability_flags(campaign)
     serve = sub.add_parser(
         "serve", help="run the online admission service over a churn "
                       "trace")
@@ -504,6 +602,7 @@ def main(argv: list[str] | None = None) -> int:
                        help="workload seed (default 2009)")
     serve.add_argument("--output", default=None,
                        help="write the canonical JSON report here")
+    _add_observability_flags(serve)
     replay = sub.add_parser(
         "replay", help="record a churn trace and replay it as a "
                        "reconfiguration timeline at cycle level")
@@ -523,6 +622,7 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload seed (default 2009)")
     replay.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
+    _add_observability_flags(replay)
     design = sub.add_parser(
         "design", help="dimension a network from a workload: explore "
                        "the design space and emit the Pareto front")
@@ -546,6 +646,7 @@ def main(argv: list[str] | None = None) -> int:
                              "degraded-mode re-allocation (default 0)")
     design.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
+    _add_observability_flags(design)
     faults = sub.add_parser(
         "faults", help="inject link/router failures into a churn trace "
                        "and measure what survives")
@@ -566,7 +667,16 @@ def main(argv: list[str] | None = None) -> int:
                         help="workload/schedule seed (default 2009)")
     faults.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
+    _add_observability_flags(faults)
     args = parser.parse_args(argv)
+    if args.profile:
+        from repro.telemetry.profiling import run_profiled
+        return run_profiled(lambda: _dispatch(args))
+    return _dispatch(args)
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Route a parsed invocation to its handler."""
     if args.experiment == "campaign":
         return _campaign(args)
     if args.experiment == "serve":

@@ -17,14 +17,24 @@ from __future__ import annotations
 
 import json
 import multiprocessing
+import os
+import time
 from dataclasses import dataclass, field
 
 from repro.campaign.spec import CampaignSpec, RunSpec, derive_seed
 from repro.core.configuration import configure
 from repro.core.exceptions import AllocationError, ConfigurationError
 from repro.simulation.backend import SimRequest, create_backend
+from repro.telemetry.hub import coalesce
 
 __all__ = ["CampaignRunner", "CampaignResult", "execute_run"]
+
+#: A run is flagged a straggler when it took at least this many times
+#: the campaign's median per-run wall time (and a non-trivial absolute
+#: amount), the signal the ROADMAP's resumable campaign fabric needs
+#: for re-dispatch decisions.
+_STRAGGLER_RATIO = 3.0
+_STRAGGLER_FLOOR_S = 0.05
 
 
 def execute_run(run: RunSpec) -> dict[str, object]:
@@ -86,6 +96,20 @@ def execute_run(run: RunSpec) -> dict[str, object]:
     record["status"] = "ok"
     record["result"] = result.to_record()
     return record
+
+
+def _timed_execute_run(run: RunSpec) -> dict[str, object]:
+    """:func:`execute_run` wrapped with worker wall time and pid.
+
+    Top-level (picklable) like :func:`execute_run`; the envelope feeds
+    the runner's heartbeat/straggler accounting and is stripped before
+    aggregation, so records stay byte-identical to unwrapped execution.
+    """
+    start = time.perf_counter()
+    record = execute_run(run)
+    return {"record": record,
+            "wall_s": time.perf_counter() - start,
+            "pid": os.getpid()}
 
 
 def _execute_serve_run(run: RunSpec) -> dict[str, object]:
@@ -239,11 +263,20 @@ def _execute_faults_run(run: RunSpec) -> dict[str, object]:
 
 @dataclass
 class CampaignResult:
-    """The aggregated outcome of one campaign execution."""
+    """The aggregated outcome of one campaign execution.
+
+    ``meta`` carries the execution's wall-clock observability — the
+    per-stage timing table, per-worker run counts, completion
+    heartbeats and straggler flags — and is deliberately **excluded**
+    from :meth:`to_json`, so the determinism contract (serial ==
+    parallel, run-to-run byte-identity) is untouched by how long
+    anything took.
+    """
 
     campaign: str
     base_seed: int
     records: list[dict[str, object]] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
 
     @property
     def n_runs(self) -> int:
@@ -337,23 +370,115 @@ class CampaignRunner:
     changes wall-clock time.
     """
 
-    def __init__(self, spec: CampaignSpec, *, workers: int = 1):
+    def __init__(self, spec: CampaignSpec, *, workers: int = 1,
+                 telemetry=None):
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {workers}")
         self.spec = spec
         self.workers = workers
+        self.telemetry = coalesce(telemetry)
 
     def run(self) -> CampaignResult:
-        """Execute every run and aggregate the ordered record set."""
+        """Execute every run and aggregate the ordered record set.
+
+        Alongside the deterministic records the result's ``meta``
+        section reports how the execution went: per-stage wall timings,
+        completion heartbeats (at most ~100, strided), a per-worker
+        run/wall table and straggler flags.  None of it enters
+        :meth:`CampaignResult.to_json`.
+        """
+        tel = self.telemetry
+        t0 = time.perf_counter()
         runs = self.spec.expand()
+        expand_s = time.perf_counter() - t0
+
         workers = min(self.workers, len(runs))
+        n_runs = len(runs)
+        stride = max(1, n_runs // 100)
+        queue_gauge = tel.gauge("campaign.queue_depth", wall=True)
+        queue_gauge.set(n_runs)
+        heartbeats: list[dict[str, object]] = []
+        envelopes: list[dict[str, object]] = []
+
+        def collect(envelope: dict[str, object]) -> None:
+            envelope["t_s"] = time.perf_counter() - t0
+            envelopes.append(envelope)
+            done = len(envelopes)
+            queue_gauge.set(n_runs - done)
+            if done % stride == 0 or done == n_runs:
+                heartbeats.append({
+                    "done": done, "total": n_runs,
+                    "t_s": round(envelope["t_s"], 6),
+                    "run_id": envelope["record"]["run_id"],
+                    "pid": envelope["pid"]})
+
+        execute_start = time.perf_counter()
         if workers > 1:
             with multiprocessing.Pool(processes=workers) as pool:
-                records = pool.map(execute_run, runs, chunksize=1)
+                for envelope in pool.imap_unordered(
+                        _timed_execute_run, runs, chunksize=1):
+                    collect(envelope)
         else:
-            records = [execute_run(run) for run in runs]
+            for run_spec in runs:
+                collect(_timed_execute_run(run_spec))
+        execute_s = time.perf_counter() - execute_start
+
+        aggregate_start = time.perf_counter()
+        records = [env["record"] for env in envelopes]
+        meta = self._build_meta(envelopes, workers)
         records.sort(key=lambda r: r["run_id"])
+        # Status counters are fed from the *sorted* records, so the
+        # telemetry stream stays byte-identical across serial/parallel.
+        status_counts: dict[str, int] = {}
+        for record in records:
+            status = str(record["status"])
+            status_counts[status] = status_counts.get(status, 0) + 1
+        for status in sorted(status_counts):
+            tel.counter("campaign.runs",
+                        status=status).inc(status_counts[status])
+        meta["stages"] = {
+            "expand_s": round(expand_s, 6),
+            "execute_s": round(execute_s, 6),
+            "aggregate_s": round(time.perf_counter() - aggregate_start, 6),
+            "total_s": round(time.perf_counter() - t0, 6)}
+        meta["heartbeats"] = heartbeats
         return CampaignResult(campaign=self.spec.name,
                               base_seed=self.spec.base_seed,
-                              records=records)
+                              records=records, meta=meta)
+
+    def _build_meta(self, envelopes: list[dict[str, object]],
+                    workers: int) -> dict[str, object]:
+        """Per-worker table, straggler flags and wall spans."""
+        tel = self.telemetry
+        worker_table: dict[int, dict[str, object]] = {}
+        walls = sorted(env["wall_s"] for env in envelopes)
+        median = walls[len(walls) // 2] if walls else 0.0
+        threshold = max(_STRAGGLER_RATIO * median, _STRAGGLER_FLOOR_S)
+        stragglers = []
+        for env in envelopes:
+            pid = env["pid"]
+            entry = worker_table.setdefault(
+                pid, {"runs": 0, "wall_s": 0.0})
+            entry["runs"] += 1
+            entry["wall_s"] += env["wall_s"]
+            if env["wall_s"] >= threshold:
+                stragglers.append({
+                    "run_id": env["record"]["run_id"],
+                    "wall_s": round(env["wall_s"], 6),
+                    "median_s": round(median, 6), "pid": pid})
+            if tel.enabled:
+                end_ms = env["t_s"] * 1e3
+                tel.span(str(env["record"]["run_id"]),
+                         end_ms - env["wall_s"] * 1e3, end_ms,
+                         track=f"worker {pid}", unit="ms", wall=True,
+                         status=str(env["record"]["status"]))
+        stragglers.sort(key=lambda s: s["run_id"])
+        return {
+            "workers": workers,
+            "worker_table": {
+                str(pid): {"runs": entry["runs"],
+                           "wall_s": round(entry["wall_s"], 6)}
+                for pid, entry in sorted(worker_table.items())},
+            "median_run_wall_s": round(median, 6),
+            "stragglers": stragglers}

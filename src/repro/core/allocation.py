@@ -399,7 +399,8 @@ class Allocation:
 
     def rebuild_excluding(self, failed_links=(), failed_routers=(), *,
                           options: "AllocatorOptions | None" = None,
-                          on_infeasible: str = "drop") -> RebuildReport:
+                          on_infeasible: str = "drop",
+                          telemetry=None) -> RebuildReport:
         """Guarantee-preserving re-allocation around failed resources.
 
         Builds a *new* allocation in which every channel whose path avoids
@@ -477,11 +478,20 @@ class Allocation:
                     break
             if not untouched_intact:
                 break
-        return RebuildReport(
+        report = RebuildReport(
             allocation=rebuilt, verdicts=verdicts,
             excluded_links=excluded,
             failed_routers=tuple(sorted(set(failed_routers))),
             untouched_intact=untouched_intact)
+        if telemetry is not None and telemetry.enabled:
+            telemetry.counter("faults.rebuilds").inc()
+            for verdict in ("unaffected", "rerouted_same_bounds",
+                            "rerouted_degraded", "dropped"):
+                n = report.count(verdict)
+                if n:
+                    telemetry.counter("faults.rebuild_verdicts",
+                                      verdict=verdict).inc(n)
+        return report
 
     def _latency_bound(self, ca: ChannelAllocation) -> float:
         """Worst-case latency bound of one channel at this operating
@@ -600,7 +610,8 @@ class SlotAllocator:
 
     def __init__(self, topology: Topology, *, table_size: int,
                  frequency_hz: float, fmt: WordFormat | None = None,
-                 options: AllocatorOptions | None = None):
+                 options: AllocatorOptions | None = None,
+                 telemetry=None):
         if table_size <= 0:
             raise ConfigurationError(
                 f"slot table size must be positive, got {table_size}")
@@ -630,6 +641,28 @@ class SlotAllocator:
         #: invalidation.  Empty on the healthy path, which pays one
         #: emptiness check.
         self.excluded_links: frozenset[tuple[str, str]] = frozenset()
+        self.set_telemetry(telemetry)
+
+    def set_telemetry(self, telemetry) -> None:
+        """(Re)bind the allocator's instrumentation hub.
+
+        Cache hit/miss counters are resolved once per bind, so cache
+        consultations on the admission hot path pay one cached
+        attribute call; the default Null hub makes those calls no-ops.
+        """
+        from repro.telemetry.hub import coalesce
+        tel = coalesce(telemetry)
+        self.telemetry = tel
+        self._tel_kpath_hit = tel.counter("allocator.kpath_cache",
+                                          outcome="hit")
+        self._tel_kpath_miss = tel.counter("allocator.kpath_cache",
+                                           outcome="miss")
+        self._tel_quote_hit = tel.counter("allocator.quote_cache",
+                                          outcome="hit")
+        self._tel_quote_miss = tel.counter("allocator.quote_cache",
+                                           outcome="miss")
+        self._tel_kshortest = tel.counter(
+            "allocator.kshortest_expansions")
 
     def set_excluded_links(
             self, excluded: frozenset[tuple[str, str]]) -> None:
@@ -720,6 +753,10 @@ class SlotAllocator:
             cached = tuple(p for p in paths
                            if len(p.out_ports) <= self.fmt.max_hops)
             self._kpath_cache[key] = cached
+            self._tel_kpath_miss.inc()
+            self._tel_kshortest.inc()
+        else:
+            self._tel_kpath_hit.inc()
         return cached
 
     def route_quotes(self, src_ni: str, dst_ni: str, spec: ChannelSpec
@@ -746,6 +783,9 @@ class SlotAllocator:
                 quotes.append((path, n, gap))
             cached = tuple(quotes)
             self._quote_cache[key] = cached
+            self._tel_quote_miss.inc()
+        else:
+            self._tel_quote_hit.inc()
         return cached
 
     def _candidates(self, spec: ChannelSpec, mapping: Mapping,

@@ -298,11 +298,18 @@ def pareto_front(records: list[dict[str, object]]
 
 @dataclass
 class DesignReport:
-    """Aggregated, byte-deterministic outcome of one exploration."""
+    """Aggregated, byte-deterministic outcome of one exploration.
+
+    ``meta`` relays the campaign runner's wall-clock execution report
+    (stage timings, per-worker table, stragglers) and — like
+    :class:`~repro.campaign.runner.CampaignResult` — is excluded from
+    :meth:`to_json` so the determinism contract ignores it.
+    """
 
     problem: str
     base_seed: int
     records: list[dict[str, object]] = field(default_factory=list)
+    meta: dict[str, object] = field(default_factory=dict)
 
     @property
     def front(self) -> list[dict[str, object]]:
@@ -370,7 +377,7 @@ class DesignExplorer:
     def __init__(self, design: DesignSpec | None = None, *,
                  use_case=None, space: DesignSpace, workers: int = 1,
                  name: str = "design", seed: int = 1,
-                 base_seed: int = 2009):
+                 base_seed: int = 2009, telemetry=None):
         if design is None:
             if use_case is None:
                 raise ConfigurationError(
@@ -388,6 +395,7 @@ class DesignExplorer:
         self.name = name
         self.seed = seed
         self.base_seed = base_seed
+        self.telemetry = telemetry
 
     def campaign_spec(self) -> CampaignSpec:
         """One ``mode="design"`` scenario per candidate of the space.
@@ -422,14 +430,15 @@ class DesignExplorer:
     def explore(self) -> DesignReport:
         """Evaluate every candidate and aggregate the Pareto report."""
         result = CampaignRunner(self.campaign_spec(),
-                                workers=self.workers).run()
+                                workers=self.workers,
+                                telemetry=self.telemetry).run()
         return DesignReport(problem=self.design.use_case.name,
                             base_seed=self.base_seed,
-                            records=result.records)
+                            records=result.records, meta=result.meta)
 
 
 def run_design_demo(*, workers: int = 2, seed: int = 2009,
-                    spare_capacity: float = 0.0
+                    spare_capacity: float = 0.0, telemetry=None
                     ) -> tuple[DesignReport, bool, bool | None]:
     """Dimension the demo-scale Section VII workload, twice.
 
@@ -446,17 +455,23 @@ def run_design_demo(*, workers: int = 2, seed: int = 2009,
     import dataclasses
 
     from repro.design.space import demo_space, section7_demo_use_case
+    from repro.telemetry.hub import coalesce
 
-    use_case = section7_demo_use_case(seed)
-    space = dataclasses.replace(demo_space(),
-                                spare_capacity=spare_capacity)
+    tel = coalesce(telemetry)
+    with tel.phase("space"):
+        use_case = section7_demo_use_case(seed)
+        space = dataclasses.replace(demo_space(),
+                                    spare_capacity=spare_capacity)
 
-    def once() -> DesignReport:
+    def once(run_telemetry=None) -> DesignReport:
         return DesignExplorer(use_case=use_case, space=space,
-                              workers=workers, name="design-demo").explore()
+                              workers=workers, name="design-demo",
+                              telemetry=run_telemetry).explore()
 
-    report = once()
-    identical = once().to_json() == report.to_json()
+    with tel.phase("explore"):
+        report = once(telemetry)
+    with tel.phase("verify"):
+        identical = once().to_json() == report.to_json()
     if spare_capacity > 0:
         return report, identical, None
     chosen = report.min_area_point()

@@ -76,11 +76,16 @@ class ProbeCache:
     (which is why the campaign workers do not share one).
     """
 
-    def __init__(self):
+    def __init__(self, *, telemetry=None):
+        from repro.telemetry.hub import coalesce
         self._failures: dict[tuple[str, int], AllocationError] = {}
         self._bounds: dict[tuple[str, int], tuple[float, float]] = {}
         self.hits = 0
         self.misses = 0
+        tel = coalesce(telemetry)
+        self._tel_hit = tel.counter("design.probe_cache", outcome="hit")
+        self._tel_miss = tel.counter("design.probe_cache",
+                                     outcome="miss")
 
     def lookup(self, fingerprint: str, table_size: int,
                frequency_hz: float) -> tuple[bool, AllocationError | None]:
@@ -90,14 +95,17 @@ class ProbeCache:
             key, (0.0, float("inf")))
         if frequency_hz <= lo_infeasible:
             self.hits += 1
+            self._tel_hit.inc()
             return True, self._failures.get(key, AllocationError(
                 f"known infeasible at or below "
                 f"{lo_infeasible / 1e6:.1f} MHz (monotone bound)",
                 reason="cached infeasible"))
         if frequency_hz >= hi_feasible:
             self.hits += 1
+            self._tel_hit.inc()
             return True, None
         self.misses += 1
+        self._tel_miss.inc()
         return False, None
 
     def record(self, fingerprint: str, table_size: int,

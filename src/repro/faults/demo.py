@@ -98,7 +98,7 @@ def run_churn_with_faults(topology, events, schedule, *,
                           table_size: int, frequency_hz: float,
                           horizon_slots: int, name: str = "faults",
                           seed: int = 0, backend_factory=None,
-                          scenario: str | None = None
+                          scenario: str | None = None, telemetry=None
                           ) -> FaultRunOutcome:
     """Run identical churn healthy and degraded, then replay and verify.
 
@@ -107,30 +107,40 @@ def run_churn_with_faults(topology, events, schedule, *,
     fault schedule (timeline recorded only for the degraded run — the
     baseline's would be discarded), timeline fit, and the
     fault-survivor composability check on ``backend_factory`` (default:
-    the flit-level TDM backend).
+    the flit-level TDM backend).  ``telemetry`` instruments the
+    *degraded* run — that is the one whose admission/fault behaviour is
+    under study.
     """
     from repro.service.controller import SessionService, merge_events
+    from repro.telemetry.hub import coalesce
 
-    def service(record_timeline: bool) -> SessionService:
+    tel = coalesce(telemetry)
+
+    def service(record_timeline: bool,
+                run_telemetry=None) -> SessionService:
         return SessionService(
             topology, table_size=table_size, frequency_hz=frequency_hz,
             name=name, seed=seed, record_events=False,
-            record_timeline=record_timeline)
+            record_timeline=record_timeline, telemetry=run_telemetry)
 
-    baseline_report = service(False).run(events)
-    faulty = service(True)
-    faulty_report = faulty.run(merge_events(events, schedule.events()))
-    timeline = faulty.timeline(horizon_slots=horizon_slots)
-    verdict = verify_timeline(timeline, replay_traffic(timeline),
-                              backend_factory=backend_factory,
-                              scenario=scenario or name)
+    with tel.phase("baseline"):
+        baseline_report = service(False).run(events)
+    with tel.phase("degraded"):
+        faulty = service(True, telemetry)
+        faulty_report = faulty.run(
+            merge_events(events, schedule.events()))
+    with tel.phase("verify"):
+        timeline = faulty.timeline(horizon_slots=horizon_slots)
+        verdict = verify_timeline(timeline, replay_traffic(timeline),
+                                  backend_factory=backend_factory,
+                                  scenario=scenario or name)
     return FaultRunOutcome(baseline=baseline_report,
                            faulty=faulty_report, timeline=timeline,
                            verdict=verdict, service=faulty)
 
 
 def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
-                    n_faults: int = 6, seed: int = 2009
+                    n_faults: int = 6, seed: int = 2009, telemetry=None
                     ) -> tuple[dict[str, object], str, bool]:
     """Run the fault demo twice; return (record, json, byte-identical?).
 
@@ -138,25 +148,32 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
     ``faults`` section), the survivability fold, the flit-level dynamic
     composability verdict for the churn+fault timeline, and the static
     ``rebuild_excluding`` study around the schedule's first failure.
+    ``telemetry`` instruments the *first* run only, so byte-identity
+    doubles as the telemetry-leak check.
     """
     # Local imports: campaign.spec imports service.churn which would
     # cycle through the package __init__s at module scope.
     from repro.campaign.spec import derive_seed
     from repro.service.churn import ChurnSpec, ChurnWorkload
+    from repro.telemetry.hub import coalesce
 
-    topology = mesh(3, 3, nis_per_router=2)
-    churn = ChurnSpec(n_sessions=max(1, (n_events + 1) // 2 + 8))
-    workload = ChurnWorkload(churn, topology,
-                             derive_seed(seed, "faults-demo"))
-    events = workload.events(limit=n_events)
-    schedule = FaultSchedule(demo_fault_spec(n_faults), topology,
-                             derive_seed(seed, "faults-demo", "schedule"))
+    tel = coalesce(telemetry)
+    with tel.phase("workload"):
+        topology = mesh(3, 3, nis_per_router=2)
+        churn = ChurnSpec(n_sessions=max(1, (n_events + 1) // 2 + 8))
+        workload = ChurnWorkload(churn, topology,
+                                 derive_seed(seed, "faults-demo"))
+        events = workload.events(limit=n_events)
+        schedule = FaultSchedule(
+            demo_fault_spec(n_faults), topology,
+            derive_seed(seed, "faults-demo", "schedule"))
 
-    def one_run() -> dict[str, object]:
+    def one_run(run_telemetry=None) -> dict[str, object]:
         outcome = run_churn_with_faults(
             topology, events, schedule, table_size=DEMO_TABLE_SIZE,
             frequency_hz=DEMO_FREQUENCY_HZ, horizon_slots=n_slots,
-            name="faults-demo", seed=seed, scenario="faults-demo")
+            name="faults-demo", seed=seed, scenario="faults-demo",
+            telemetry=run_telemetry)
         baseline_report = outcome.baseline
         faulty_report = outcome.faulty
         timeline = outcome.timeline
@@ -167,7 +184,8 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
             failed_links=([first_fail.target]
                           if first_fail.kind == "link" else ()),
             failed_routers=([first_fail.target]
-                            if first_fail.kind == "router" else ()))
+                            if first_fail.kind == "router" else ()),
+            telemetry=run_telemetry)
         return {
             "demo": "faults",
             "seed": seed,
@@ -187,7 +205,8 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
             "rebuild_first_failure": rebuild.to_record(),
         }
 
-    first = one_run()
-    first_json = json.dumps(first, indent=2, sort_keys=True)
-    second_json = json.dumps(one_run(), indent=2, sort_keys=True)
+    first = one_run(telemetry)
+    with tel.phase("re-run"):
+        first_json = json.dumps(first, indent=2, sort_keys=True)
+        second_json = json.dumps(one_run(), indent=2, sort_keys=True)
     return first, first_json, first_json == second_json

@@ -39,8 +39,13 @@ from repro.core.exceptions import AllocationError
 from repro.core.path import Path
 from repro.core.slot_table import (SlotTable, choose_slots_fast,
                                    mask_to_slots, rotate_mask)
+from repro.telemetry.hub import coalesce
 
 __all__ = ["AdmissionController"]
+
+#: Bucket edges for the free-slot intersection width histogram (slots
+#: surviving the per-link AND on the winning candidate).
+_WIDTH_BUCKETS = (0, 1, 2, 4, 8, 16, 24, 32)
 
 
 @dataclass(frozen=True)
@@ -61,7 +66,8 @@ class AdmissionController:
     """Incremental contention-free admission over one live allocation."""
 
     def __init__(self, allocator: SlotAllocator,
-                 allocation: Allocation | None = None):
+                 allocation: Allocation | None = None, *,
+                 telemetry=None):
         self.allocator = allocator
         self.allocation = allocation or Allocation(
             allocator.topology, allocator.table_size,
@@ -76,6 +82,34 @@ class AdmissionController:
         self.admits = 0
         self.rejects = 0
         self.releases = 0
+        self.path_hits = 0
+        self.path_misses = 0
+        # Instruments are resolved once here (the cold path), which
+        # also fixes their registry order.  The hot path itself never
+        # calls them: decisions/releases/cache outcomes ride the plain
+        # integer tallies above and the pending width list below, and
+        # :meth:`flush_telemetry` folds the deltas into the registry.
+        # An integer increment is several times cheaper than even a
+        # no-op instrument call, which keeps the enabled-mode overhead
+        # inside the tier-2 gate (bench_telemetry_overhead.py).
+        tel = coalesce(telemetry)
+        self.telemetry = tel
+        self._tel_collect = tel.enabled
+        self._tel_accept = tel.counter("admission.decisions",
+                                       outcome="accept")
+        self._tel_reject = tel.counter("admission.decisions",
+                                       outcome="reject")
+        self._tel_release = tel.counter("admission.releases")
+        self._tel_path_hit = tel.counter("admission.path_cache",
+                                         outcome="hit")
+        self._tel_path_miss = tel.counter("admission.path_cache",
+                                          outcome="miss")
+        self._tel_width = tel.histogram("admission.free_slot_width",
+                                        bounds=_WIDTH_BUCKETS)
+        self._pending_widths: list[int] = []
+        self._flushed = {"admits": 0, "rejects": 0, "releases": 0,
+                         "path_hits": 0, "path_misses": 0}
+        tel.register_flush(self.flush_telemetry)
 
     def set_excluded_links(
             self, excluded: frozenset[tuple[str, str]]) -> None:
@@ -115,7 +149,8 @@ class AdmissionController:
                 mask &= rotate_mask(table.free_mask, shift, size)
                 if not mask:
                     break
-            if mask.bit_count() < cand.n_slots:
+            width = mask.bit_count()
+            if width < cand.n_slots:
                 continue
             slots = choose_slots_fast(mask_to_slots(mask), cand.n_slots,
                                       size, max_gap=cand.max_gap)
@@ -124,6 +159,8 @@ class AdmissionController:
             ca = ChannelAllocation(spec=spec, path=cand.path, slots=slots)
             self.allocation.commit(ca)
             self.admits += 1
+            if self._tel_collect:
+                self._pending_widths.append(width)
             return ca
         self.rejects += 1
         # Distinguish transient capacity exhaustion (retry later may
@@ -147,6 +184,31 @@ class AdmissionController:
         self.releases += 1
         return ca
 
+    def flush_telemetry(self) -> None:
+        """Fold the hot-path tallies into the telemetry registry.
+
+        Registered with :meth:`Telemetry.register_flush`, so it runs
+        whenever the hub is read or exported.  Delta-based and
+        therefore idempotent: calling it twice (or after more events)
+        only accounts for what happened since the previous flush.
+        """
+        if not self._tel_collect:
+            return
+        flushed = self._flushed
+        for attr, counter in (("admits", self._tel_accept),
+                              ("rejects", self._tel_reject),
+                              ("releases", self._tel_release),
+                              ("path_hits", self._tel_path_hit),
+                              ("path_misses", self._tel_path_miss)):
+            delta = getattr(self, attr) - flushed[attr]
+            if delta:
+                counter.inc(delta)
+                flushed[attr] = getattr(self, attr)
+        observe = self._tel_width.observe
+        for width in self._pending_widths:
+            observe(width)
+        self._pending_widths.clear()
+
     # -- cold path ------------------------------------------------------------
 
     def _lookup(self, spec: ChannelSpec, src_ni: str,
@@ -157,6 +219,9 @@ class AdmissionController:
         if cached is None:
             cached = self._build_candidates(spec, src_ni, dst_ni)
             self._candidates[key] = cached
+            self.path_misses += 1
+        else:
+            self.path_hits += 1
         return cached
 
     def _build_candidates(self, spec: ChannelSpec, src_ni: str,

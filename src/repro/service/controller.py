@@ -42,9 +42,18 @@ from repro.service.admission import AdmissionController
 from repro.service.churn import SessionEvent
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
+from repro.telemetry.hub import coalesce
+from repro.telemetry.spans import Span
 from repro.topology.graph import Topology
 
 __all__ = ["SessionService", "merge_events"]
+
+#: Wall-clock admission service latency buckets, microseconds.
+_ADMIT_US_BUCKETS = (1, 2, 5, 10, 20, 50, 100, 200, 500, 1000)
+#: Simulated session hold-time buckets, milliseconds.
+_HOLD_MS_BUCKETS = (0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000)
+#: Quoted worst-case latency bound buckets, nanoseconds.
+_QUOTE_NS_BUCKETS = (100, 200, 500, 1000, 2000, 5000, 10000)
 
 
 def merge_events(session_events, fault_events):
@@ -80,7 +89,8 @@ class SessionService:
                  window: int = 100, record_events: bool = True,
                  validate_every: int = 512,
                  record_timeline: bool = False,
-                 timeline_slot_rate: float | None = None):
+                 timeline_slot_rate: float | None = None,
+                 telemetry=None):
         if allocator is None:
             allocator = SlotAllocator(
                 topology,
@@ -115,7 +125,37 @@ class SessionService:
         self.seed = seed
         self.topology = topology
         self.allocator = allocator
-        self.admission = AdmissionController(allocator)
+        # All instruments resolve here, once; session spans use
+        # *simulated* event time, the admit-latency histogram is
+        # wall-clock and therefore flagged into the meta section.
+        tel = coalesce(telemetry)
+        self.telemetry = tel
+        self._tel_enabled = tel.enabled
+        if tel.enabled:
+            # Only an enabled hub rebinds a (possibly shared) allocator;
+            # a disabled service leaves whatever binding it carries.
+            allocator.set_telemetry(tel)
+        self._tel_admit_wall = tel.histogram(
+            "service.admit_latency_us", bounds=_ADMIT_US_BUCKETS,
+            wall=True)
+        self._tel_hold = tel.histogram("service.session_hold_ms",
+                                       bounds=_HOLD_MS_BUCKETS)
+        self._tel_quote = tel.histogram(
+            "service.quoted_latency_bound_ns", bounds=_QUOTE_NS_BUCKETS)
+        #: Open-session bookkeeping for span tracing: session id ->
+        #: (simulated open time, QoS class).  Populated only when the
+        #: hub is enabled, so the disabled hot path never touches it.
+        self._session_open: dict[str, tuple[float, str]] = {}
+        # Observations are deferred: the hot path appends raw values to
+        # these lists (an append is several times cheaper than an
+        # instrument call or a Span construction) and the flush hook
+        # registered below folds them into the registry whenever the
+        # hub is read or exported.
+        self._pending_admit_us: list[float] = []
+        self._pending_spans: list[tuple[str, float, float, str, str]] = []
+        if tel.enabled:
+            tel.register_flush(self._flush_telemetry)
+        self.admission = AdmissionController(allocator, telemetry=tel)
         self.allocation: Allocation = self.admission.allocation
         self.checker = CompositionInvariantChecker(
             self.allocation, validate_every=validate_every)
@@ -148,6 +188,47 @@ class SessionService:
                 "timeline recording is off; construct the service with "
                 "record_timeline=True")
         return self.recorder.build(horizon_slots=horizon_slots, fit=fit)
+
+    # -- telemetry helpers ----------------------------------------------------
+
+    def _tel_session_end(self, session_id: str, time_s: float,
+                         outcome: str) -> None:
+        """Close one session's trace span at a simulated instant.
+
+        Only called behind ``self._tel_enabled``; unmatched ids (the
+        session opened before tracing, or was already closed) are
+        ignored.
+        """
+        entry = self._session_open.pop(session_id, None)
+        if entry is None:
+            return
+        opened_s, qos_name = entry
+        # One tuple append on the hot path; the hold-time histogram and
+        # the Span object itself materialise at flush time.
+        self._pending_spans.append(
+            (session_id, opened_s, time_s, qos_name, outcome))
+
+    def _flush_telemetry(self) -> None:
+        """Fold deferred hot-path observations into the registry.
+
+        Registered with :meth:`Telemetry.register_flush`, so it runs
+        whenever the hub is read or exported.  Pending lists are
+        drained, which keeps repeated flushes from double-counting.
+        """
+        observe = self._tel_hold.observe
+        spans = self.telemetry.spans
+        for session_id, opened_s, time_s, qos_name, outcome in (
+                self._pending_spans):
+            observe((time_s - opened_s) * 1e3)
+            spans.append(Span(
+                session_id, "sessions", "ms", opened_s * 1e3,
+                time_s * 1e3, False,
+                {"qos": qos_name, "outcome": outcome}))
+        self._pending_spans.clear()
+        observe = self._tel_admit_wall.observe
+        for admit_us in self._pending_admit_us:
+            observe(admit_us)
+        self._pending_admit_us.clear()
 
     # -- event handling -------------------------------------------------------
 
@@ -212,6 +293,12 @@ class SessionService:
                         degraded += 1
                 outcomes.append(outcome)
         wall = time.perf_counter() - start
+        if self._tel_enabled:
+            self.telemetry.span(
+                f"{event.action} {event.kind} {event.target_label}",
+                event.time_s * 1e3, event.time_s * 1e3, track="faults",
+                unit="ms", action=event.action, evicted=evicted,
+                reallocated=reallocated)
         record: dict[str, object] | None = None
         if self.metrics.record_events:
             record = {
@@ -238,6 +325,10 @@ class SessionService:
         old_bounds = channel_bounds(old_ca, self.allocator.table_size,
                                     self.allocator.frequency_hz,
                                     self.allocator.fmt)
+        if self._tel_enabled:
+            entry = self._session_open.get(session_id)
+            qos_name = entry[1] if entry is not None else ""
+            self._tel_session_end(session_id, time_s, "evicted")
         self.admission.release(session_id)
         del self.active[session_id]
         self.checker.check_transition(session_id)
@@ -252,6 +343,8 @@ class SessionService:
             outcome["reason"] = exc.reason
             return outcome
         self.active[session_id] = new_ca
+        if self._tel_enabled:
+            self._session_open[session_id] = (time_s, qos_name)
         self.checker.check_transition(session_id)
         if self.recorder is not None:
             self.recorder.record_start(time_s, session_id, (new_ca,))
@@ -308,6 +401,12 @@ class SessionService:
                     "n_slots": bounds.n_slots,
                     "hops": len(ca.path.routers),
                 }
+                # Quote-bound capture piggybacks on the record-mode
+                # bound computation; record_events=False runs skip both.
+                self._tel_quote.observe(bounds.latency_ns)
+            if self._tel_enabled:
+                self._session_open[session.session_id] = (
+                    event.time_s, session.qos.name)
             self.active[session.session_id] = ca
             self.peak_active = max(self.peak_active, len(self.active))
             accepted = True
@@ -315,6 +414,8 @@ class SessionService:
                 self.recorder.record_start(event.time_s,
                                            session.session_id, (ca,))
         self.checker.check_transition(session.session_id)
+        if self._tel_enabled:
+            self._pending_admit_us.append(wall * 1e6)
         self.metrics.record_open(record, qos_name=session.qos.name,
                                  accepted=accepted, wall_s=wall)
 
@@ -322,6 +423,9 @@ class SessionService:
         session = event.session
         released = session.session_id in self.active
         if released:
+            if self._tel_enabled:
+                self._tel_session_end(session.session_id, event.time_s,
+                                      "closed")
             self.admission.release(session.session_id)
             del self.active[session.session_id]
             self.checker.check_transition(session.session_id)
@@ -356,6 +460,13 @@ class SessionService:
 
     def report(self, *, wall_s: float = 0.0) -> ServiceReport:
         """Aggregate the current state into a :class:`ServiceReport`."""
+        if self._tel_enabled:
+            # Sessions still open when the stream ends get spans closed
+            # at the last simulated instant; popping them keeps repeated
+            # report() calls from duplicating spans.
+            for session_id in sorted(self._session_open):
+                self._tel_session_end(session_id, self._last_time_s,
+                                      "open-at-end")
         metrics = self.metrics
         totals: dict[str, object] = {
             "n_events": metrics.n_events,

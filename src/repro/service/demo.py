@@ -30,26 +30,37 @@ def demo_churn_spec(n_events: int) -> ChurnSpec:
 
 
 def run_demo(*, n_events: int = 2000, seed: int = 2009,
-             record_events: bool = True
+             record_events: bool = True, telemetry=None
              ) -> tuple[ServiceReport, bool]:
-    """Run the demo trace twice; return (report, byte-identical?)."""
+    """Run the demo trace twice; return (report, byte-identical?).
+
+    ``telemetry`` instruments the *first* run only; the second run is
+    always bare, so the byte-identity verdict doubles as proof that
+    instrumentation never leaks into the report.
+    """
     # Local import: campaign.spec imports service.churn, so importing it
     # at module scope would cycle through the package __init__s.
     from repro.campaign.spec import derive_seed
+    from repro.telemetry.hub import coalesce
 
-    topology = concentrated_mesh(4, 3, nis_per_router=4)
-    spec = demo_churn_spec(n_events)
-    workload = ChurnWorkload(spec, topology,
-                             derive_seed(seed, "serve-demo"))
-    events = workload.events(limit=n_events)
+    tel = coalesce(telemetry)
+    with tel.phase("workload"):
+        topology = concentrated_mesh(4, 3, nis_per_router=4)
+        spec = demo_churn_spec(n_events)
+        workload = ChurnWorkload(spec, topology,
+                                 derive_seed(seed, "serve-demo"))
+        events = workload.events(limit=n_events)
 
-    def one_run() -> ServiceReport:
+    def one_run(run_telemetry=None) -> ServiceReport:
         service = SessionService(
             topology, table_size=DEMO_TABLE_SIZE,
             frequency_hz=DEMO_FREQUENCY_HZ, name="serve-demo",
-            seed=seed, record_events=record_events)
+            seed=seed, record_events=record_events,
+            telemetry=run_telemetry)
         return service.run(events)
 
-    first = one_run()
-    second = one_run()
+    with tel.phase("serve"):
+        first = one_run(telemetry)
+    with tel.phase("verify"):
+        second = one_run()
     return first, first.to_json() == second.to_json()

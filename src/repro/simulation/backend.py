@@ -39,6 +39,7 @@ from repro.core.words import WordFormat
 from repro.simulation.monitors import (LatencySummary, StatsCollector,
                                        TraceRecorder, latency_digest)
 from repro.simulation.traffic import TrafficPattern
+from repro.telemetry.hub import coalesce
 
 __all__ = ["SimRequest", "SimResult", "SimulationBackend",
            "FlitLevelBackend", "CycleAccurateBackend", "BestEffortBackend",
@@ -184,8 +185,18 @@ class SimResult:
     # -- presentation ----------------------------------------------------------
 
     def summary(self) -> str:
-        """One-line latency digest for campaign logs and the REPL."""
-        return latency_digest(self.backend, self.stats,
+        """One-line latency digest for campaign logs and the REPL.
+
+        Every backend names its execution path in ``meta["executor"]``
+        (``"compiled"``/``"per-flit"`` for the flit backend,
+        ``"cycle-accurate"``, ``"wormhole"``); the digest label carries
+        it so logs show *which* engine produced the numbers.
+        """
+        label = self.backend
+        executor = self.meta.get("executor")
+        if executor:
+            label = f"{label}[{executor}]"
+        return latency_digest(label, self.stats,
                               self.simulated_slots, "slots",
                               self.frequency_hz)
 
@@ -242,8 +253,10 @@ class SimulationBackend(ABC):
     #: Registry key; subclasses override.
     name: str = "abstract"
 
-    def __init__(self, config: NocConfiguration):
+    def __init__(self, config: NocConfiguration, *, telemetry=None):
         self.config = config
+        #: Instrumentation hub; the shared no-op singleton by default.
+        self.telemetry = coalesce(telemetry)
 
     @abstractmethod
     def run(self, request: SimRequest) -> SimResult:
@@ -310,8 +323,9 @@ class FlitLevelBackend(SimulationBackend):
                  rx_buffer_words: int | None = None,
                  check_contention: bool = False,
                  recompile: str = "incremental",
-                 compiled: bool | None = None):
-        super().__init__(config)
+                 compiled: bool | None = None,
+                 telemetry=None):
+        super().__init__(config, telemetry=telemetry)
         if recompile not in ("incremental", "full"):
             raise ConfigurationError(
                 f"unknown recompile strategy {recompile!r}; expected "
@@ -330,7 +344,7 @@ class FlitLevelBackend(SimulationBackend):
             self.config, flow_control=self.flow_control,
             rx_buffer_words=self.rx_buffer_words,
             check_contention=self.check_contention,
-            compiled=self.compiled)
+            compiled=self.compiled, telemetry=self.telemetry)
         if request.timeline is not None:
             # Shared compatibility checks here; the frequency rule
             # (TDM schedules cannot be retimed) is enforced by the
@@ -354,7 +368,8 @@ class FlitLevelBackend(SimulationBackend):
                   "n_epochs": result.n_epochs,
                   "recompile": self.recompile,
                   "executor": ("compiled" if result.compiled
-                               else "per-flit")},
+                               else "per-flit"),
+                  "executor_stats": dict(result.executor_stats)},
             raw=result)
 
 
@@ -366,8 +381,9 @@ class CycleAccurateBackend(SimulationBackend):
     def __init__(self, config: NocConfiguration, *,
                  clocking: str = "synchronous",
                  plesiochronous_ppm: float = 200.0,
-                 rx_capacity_words: int = 256):
-        super().__init__(config)
+                 rx_capacity_words: int = 256,
+                 telemetry=None):
+        super().__init__(config, telemetry=telemetry)
         self.clocking = clocking
         self.plesiochronous_ppm = plesiochronous_ppm
         self.rx_capacity_words = rx_capacity_words
@@ -388,11 +404,14 @@ class CycleAccurateBackend(SimulationBackend):
             horizon_slots=request.n_slots,
             rx_capacity_words=self.rx_capacity_words)
         result = network.run(request.n_slots)
+        self.telemetry.counter("executor.dispatch",
+                               path="cycle-accurate").inc()
         return SimResult(
             backend=self.name, stats=result.stats,
             simulated_slots=request.n_slots,
             frequency_hz=result.frequency_hz, fmt=self.config.fmt,
             meta={"clocking": self.clocking,
+                  "executor": "cycle-accurate",
                   "fifo_max_occupancy": result.fifo_max_occupancy,
                   "wrapper_firings": result.wrapper_firings,
                   "ni_counters": result.ni_counters},
@@ -407,8 +426,9 @@ class BestEffortBackend(SimulationBackend):
     def __init__(self, config: NocConfiguration, *,
                  frequency_hz: float | None = None,
                  buffer_flits: int = 4,
-                 max_packet_flits: int = 4):
-        super().__init__(config)
+                 max_packet_flits: int = 4,
+                 telemetry=None):
+        super().__init__(config, telemetry=telemetry)
         self.frequency_hz = frequency_hz
         self.buffer_flits = buffer_flits
         self.max_packet_flits = max_packet_flits
@@ -430,12 +450,15 @@ class BestEffortBackend(SimulationBackend):
             for channel, pattern in sorted(request.traffic.items()):
                 sim.set_traffic(channel, pattern)
             result = sim.run(request.n_slots)
+        self.telemetry.counter("executor.dispatch",
+                               path="wormhole").inc()
         return SimResult(
             backend=self.name, stats=result.stats,
             simulated_slots=result.simulated_ticks,
             frequency_hz=result.frequency_hz, fmt=result.fmt,
             meta={"buffer_flits": self.buffer_flits,
-                  "max_packet_flits": self.max_packet_flits},
+                  "max_packet_flits": self.max_packet_flits,
+                  "executor": "wormhole"},
             raw=result)
 
 

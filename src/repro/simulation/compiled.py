@@ -191,7 +191,8 @@ def compile_pattern(pattern: TrafficPattern, horizon_cycles: int,
 
 def pattern_slice(cache: dict, pattern: TrafficPattern,
                   full_horizon_cycles: int, wanted_horizon_cycles: int,
-                  fmt: "WordFormat") -> tuple[PatternTable, int]:
+                  fmt: "WordFormat",
+                  stats: dict | None = None) -> tuple[PatternTable, int]:
     """A pattern's table plus its event count before a wanted horizon.
 
     Prefix-stable patterns are compiled once at the full run horizon and
@@ -199,6 +200,10 @@ def pattern_slice(cache: dict, pattern: TrafficPattern,
     so ids cannot be recycled); other patterns are compiled exactly at
     the wanted horizon, mirroring the reference's per-incarnation
     ``events()`` call.
+
+    ``stats``, when given, tallies ``pattern_compiles`` (full
+    :func:`compile_pattern` runs) vs. ``pattern_slices`` (cache hits
+    answered by a binary-search prefix slice).
     """
     if isinstance(pattern, _PREFIX_STABLE):
         key = id(pattern)
@@ -207,8 +212,15 @@ def pattern_slice(cache: dict, pattern: TrafficPattern,
             entry = (pattern,
                      compile_pattern(pattern, full_horizon_cycles, fmt))
             cache[key] = entry
+            if stats is not None:
+                stats["pattern_compiles"] = \
+                    stats.get("pattern_compiles", 0) + 1
+        elif stats is not None:
+            stats["pattern_slices"] = stats.get("pattern_slices", 0) + 1
         table = entry[1]
         return table, table.count_until(wanted_horizon_cycles)
+    if stats is not None:
+        stats["pattern_compiles"] = stats.get("pattern_compiles", 0) + 1
     table = compile_pattern(pattern, wanted_horizon_cycles, fmt)
     return table, table.cycles.size
 
@@ -532,6 +544,28 @@ def _release(occupied: dict, alloc: "ChannelAllocation",
 # -- executors ------------------------------------------------------------------
 
 
+#: Bucket edges for the interval-run batch-size histogram (messages
+#: solved per interval recurrence).
+_BATCH_BUCKETS = (1, 4, 16, 64, 256, 1024, 4096)
+
+
+def _finish_executor_stats(tel, exec_stats: dict, n_slots: int,
+                           changes: tuple) -> None:
+    """Fold one compiled run's work counters into the telemetry hub."""
+    if not tel.enabled:
+        return
+    tel.counter("executor.dispatch", path="compiled").inc()
+    tel.counter("executor.epochs").inc(exec_stats.get("epochs", 1))
+    tel.counter("executor.pattern_table", outcome="compile").inc(
+        exec_stats.get("pattern_compiles", 0))
+    tel.counter("executor.pattern_table", outcome="slice").inc(
+        exec_stats.get("pattern_slices", 0))
+    tel.counter("executor.interval_runs").inc(
+        exec_stats.get("interval_runs", 0))
+    from repro.simulation.flitsim import record_epoch_spans
+    record_epoch_spans(tel, n_slots, changes)
+
+
 def execute_static(sim: "FlitLevelSimulator",
                    n_slots: int) -> "FlitSimResult":
     """Run a static configuration through the compiled executor."""
@@ -551,26 +585,35 @@ def execute_static(sim: "FlitLevelSimulator",
     flits = {name: 0 for name, _ in channels}
     horizon_cycles = n_slots * flit_size
     cache: dict = {}
+    tel = sim.telemetry
+    batch_hist = tel.histogram("executor.interval_batch_messages",
+                               bounds=_BATCH_BUCKETS)
+    exec_stats: dict = {"epochs": 1}
     for name, alloc in channels:
         pattern = sim._patterns.get(name)
         if pattern is None:
             continue
         table, count = pattern_slice(cache, pattern, horizon_cycles,
-                                     horizon_cycles, fmt)
+                                     horizon_cycles, fmt, exec_stats)
         run = _run_interval(name, table, count, 0, n_slots, alloc,
                             table_size, flit_size, period_ps,
                             fmt.bytes_per_word)
         if run is None:
             continue
+        exec_stats["interval_runs"] = \
+            exec_stats.get("interval_runs", 0) + 1
+        batch_hist.observe(run.count)
         stats._add_run(run)
         if run.n_deliveries:
             trace._add_run(run)
         flits[name] += run.n_flits
+    _finish_executor_stats(tel, exec_stats, n_slots, ())
     return FlitSimResult(
         stats=stats, trace=trace, simulated_slots=n_slots,
         frequency_hz=sim.frequency_hz, fmt=fmt,
         stalled_slots_by_channel={name: 0 for name in flits},
-        flits_by_channel=flits, n_epochs=1, compiled=True)
+        flits_by_channel=flits, n_epochs=1, compiled=True,
+        executor_stats=exec_stats)
 
 
 def execute_timeline(sim: "FlitLevelSimulator",
@@ -602,6 +645,10 @@ def execute_timeline(sim: "FlitLevelSimulator",
     cache: dict = {}
     active: dict[str, tuple[int, "ChannelAllocation"]] = {}
     full_horizon_cycles = n_slots * flit_size
+    tel = sim.telemetry
+    batch_hist = tel.histogram("executor.interval_batch_messages",
+                               bounds=_BATCH_BUCKETS)
+    exec_stats: dict = {"epochs": len(changes) + 1}
 
     def open_channel(alloc: "ChannelAllocation", slot: int) -> None:
         name = alloc.spec.name
@@ -622,12 +669,15 @@ def execute_timeline(sim: "FlitLevelSimulator",
             return
         table, count = pattern_slice(
             cache, pattern, full_horizon_cycles,
-            (n_slots - start) * flit_size, fmt)
+            (n_slots - start) * flit_size, fmt, exec_stats)
         run = _run_interval(name, table, count, start, end, alloc,
                             table_size, flit_size, period_ps,
                             bytes_per_word)
         if run is None:
             return
+        exec_stats["interval_runs"] = \
+            exec_stats.get("interval_runs", 0) + 1
+        batch_hist.observe(run.count)
         stats._add_run(run)
         if run.n_deliveries:
             trace._add_run(run)
@@ -646,9 +696,10 @@ def execute_timeline(sim: "FlitLevelSimulator",
             open_channel(alloc, slot)
     for name in list(active):
         close_channel(name, n_slots)
+    _finish_executor_stats(tel, exec_stats, n_slots, changes)
     return FlitSimResult(
         stats=stats, trace=trace, simulated_slots=n_slots,
         frequency_hz=sim.frequency_hz, fmt=fmt,
         stalled_slots_by_channel={name: 0 for name in flits},
         flits_by_channel=flits, n_epochs=len(changes) + 1,
-        compiled=True)
+        compiled=True, executor_stats=exec_stats)

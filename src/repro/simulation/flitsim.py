@@ -55,7 +55,7 @@ explicitly.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from heapq import heappop, heappush
 from typing import TYPE_CHECKING
 
@@ -67,11 +67,32 @@ from repro.simulation.monitors import (DeliveryRecord, InjectionRecord,
                                        StatsCollector, TraceRecorder,
                                        latency_digest)
 from repro.simulation.traffic import TrafficPattern
+from repro.telemetry.hub import coalesce
 
 if TYPE_CHECKING:  # pragma: no cover - typing-only import
     from repro.core.timeline import ReconfigurationTimeline
 
 __all__ = ["FlitLevelSimulator", "FlitSimResult"]
+
+
+def record_epoch_spans(tel, n_slots: int, changes: tuple) -> None:
+    """Trace one epoch span per constant-channel interval of a run.
+
+    Shared by the per-flit loop and the compiled executor so both paths
+    emit identical ``epochs`` tracks (unit: slots) for the same
+    timeline.  ``changes`` is the boundary plan from
+    :meth:`~repro.core.timeline.ReconfigurationTimeline.change_plan`.
+    """
+    start = 0
+    for index, (boundary, _, _) in enumerate((*changes,
+                                              (n_slots, (), ()))):
+        end = min(boundary, n_slots)
+        if end > start or index == 0:
+            tel.span(f"epoch {index}", start, end, track="epochs",
+                     unit="slot", slots=end - start)
+        if boundary >= n_slots:
+            break
+        start = boundary
 
 
 class _ChannelRuntime:
@@ -124,6 +145,10 @@ class FlitSimResult:
     flits_by_channel: dict[str, int]
     n_epochs: int = 1
     compiled: bool = False
+    #: Executor-internal work counters (pattern-table compiles vs.
+    #: binary-search slices, interval-run batches, …); surfaced through
+    #: ``SimResult.meta["executor_stats"]`` by the flit backend.
+    executor_stats: dict = field(default_factory=dict)
 
     @property
     def simulated_ns(self) -> float:
@@ -157,8 +182,10 @@ class FlitLevelSimulator:
                  flow_control: bool = False,
                  rx_buffer_words: int | None = None,
                  check_contention: bool = False,
-                 compiled: bool | None = None):
+                 compiled: bool | None = None,
+                 telemetry=None):
         self.config = config
+        self.telemetry = coalesce(telemetry)
         self.fmt = config.fmt
         self.table_size = config.table_size
         self.frequency_hz = config.frequency_hz
@@ -379,12 +406,19 @@ class FlitLevelSimulator:
                 state.stalled_slots
             flits[state.name] = flits.get(state.name, 0) + \
                 state.flits_sent
+        n_epochs = len(changes) + 1
+        tel = self.telemetry
+        if tel.enabled:
+            tel.counter("executor.dispatch", path="per-flit").inc()
+            tel.counter("executor.epochs").inc(n_epochs)
+            record_epoch_spans(tel, n_slots, changes)
         return FlitSimResult(
             stats=stats, trace=trace, simulated_slots=n_slots,
             frequency_hz=self.frequency_hz, fmt=fmt,
             stalled_slots_by_channel=stalled,
             flits_by_channel=flits,
-            n_epochs=len(changes) + 1)
+            n_epochs=n_epochs,
+            executor_stats={"epochs": n_epochs})
 
     # -- helpers ---------------------------------------------------------------
 

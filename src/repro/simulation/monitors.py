@@ -100,12 +100,31 @@ class LatencySummary:
     p99: float
     maximum: float
 
+    @classmethod
+    def empty(cls) -> "LatencySummary":
+        """The all-zero summary of a sample with no deliveries.
+
+        >>> LatencySummary.empty().count
+        0
+        """
+        return cls(count=0, minimum=0.0, mean=0.0, p50=0.0, p99=0.0,
+                   maximum=0.0)
+
     @staticmethod
     def of(latencies_ns: Iterable[float]) -> "LatencySummary":
-        """Summarise a latency sample; raises on an empty sample."""
+        """Summarise a latency sample.
+
+        An empty sample degrades to :meth:`empty` (count 0, all-zero
+        statistics) instead of raising — zero-delivery runs are a
+        legitimate outcome of short horizons and fault scenarios, and
+        digests must not blow up on them.
+
+        >>> LatencySummary.of([]) == LatencySummary.empty()
+        True
+        """
         data = sorted(latencies_ns)
         if not data:
-            raise SimulationError("cannot summarise an empty latency sample")
+            return LatencySummary.empty()
 
         def pct(p: float) -> float:
             index = min(len(data) - 1, max(0, math.ceil(p * len(data)) - 1))

@@ -39,42 +39,53 @@ DEMO_FREQUENCY_HZ = 500e6
 
 
 def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
-                    seed: int = 2009
+                    seed: int = 2009, telemetry=None
                     ) -> tuple[dict[str, object], str, bool]:
     """Run the replay demo twice; return (record, json, byte-identical?).
 
     The returned record carries the full timeline (every transition with
     its route and slots) plus the churn-vs-solo verdict per backend; the
-    JSON string is its canonical serialisation.
+    JSON string is its canonical serialisation.  ``telemetry``
+    instruments the *first* run only (control plane and flit backend),
+    so byte-identity doubles as the telemetry-leak check.
     """
     # Local imports: campaign.spec imports service.churn which would
     # cycle through the package __init__s at module scope.
     from repro.campaign.spec import derive_seed
     from repro.service.churn import ChurnSpec, ChurnWorkload
     from repro.service.controller import SessionService
+    from repro.simulation.backend import FlitLevelBackend
+    from repro.telemetry.hub import coalesce
 
-    topology = mesh(3, 3, nis_per_router=2)
-    # Every session contributes at most two events; generate a small
-    # surplus so truncation decides the stream length and some sessions
-    # are still open at the cut — the replay's survivors.
-    spec = ChurnSpec(n_sessions=max(1, (n_events + 1) // 2 + 8))
-    workload = ChurnWorkload(spec, topology,
-                             derive_seed(seed, "replay-demo"))
-    events = workload.events(limit=n_events)
+    tel = coalesce(telemetry)
+    with tel.phase("workload"):
+        topology = mesh(3, 3, nis_per_router=2)
+        # Every session contributes at most two events; generate a small
+        # surplus so truncation decides the stream length and some
+        # sessions are still open at the cut — the replay's survivors.
+        spec = ChurnSpec(n_sessions=max(1, (n_events + 1) // 2 + 8))
+        workload = ChurnWorkload(spec, topology,
+                                 derive_seed(seed, "replay-demo"))
+        events = workload.events(limit=n_events)
 
-    def one_run() -> dict[str, object]:
+    def one_run(run_telemetry=None) -> dict[str, object]:
+        run_tel = coalesce(run_telemetry)
         service = SessionService(
             topology, table_size=DEMO_TABLE_SIZE,
             frequency_hz=DEMO_FREQUENCY_HZ, name="replay-demo",
-            seed=seed, record_events=False, record_timeline=True)
+            seed=seed, record_events=False, record_timeline=True,
+            telemetry=run_telemetry)
         service.run(events)
         timeline = service.timeline(horizon_slots=n_slots)
         traffic = replay_traffic(timeline)
-        flit = verify_timeline(timeline, traffic,
-                               scenario="replay-demo")
-        be = verify_timeline(timeline, traffic,
-                             backend_factory=BestEffortBackend,
-                             scenario="replay-demo")
+        flit = verify_timeline(
+            timeline, traffic, scenario="replay-demo",
+            backend_factory=lambda config: FlitLevelBackend(
+                config, telemetry=run_telemetry))
+        with run_tel.phase("best-effort"):
+            be = verify_timeline(timeline, traffic,
+                                 backend_factory=BestEffortBackend,
+                                 scenario="replay-demo")
         return {
             "demo": "replay",
             "seed": seed,
@@ -85,7 +96,9 @@ def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
                          "be": be.to_record()},
         }
 
-    first = one_run()
-    first_json = json.dumps(first, indent=2, sort_keys=True)
-    second_json = json.dumps(one_run(), indent=2, sort_keys=True)
+    with tel.phase("replay"):
+        first = one_run(telemetry)
+    with tel.phase("verify"):
+        first_json = json.dumps(first, indent=2, sort_keys=True)
+        second_json = json.dumps(one_run(), indent=2, sort_keys=True)
     return first, first_json, first_json == second_json

@@ -1,0 +1,159 @@
+"""Render a telemetry capture: JSONL, Prometheus text, Chrome trace.
+
+Three targets, one source of truth (the hub's registry + span list):
+
+* :func:`to_jsonl` — one canonical JSON object per line: all metrics in
+  registry-sorted order, then all sim-time spans in emission order, then
+  a single trailing ``{"kind": "meta", ...}`` line holding everything
+  wall-clock (phase timers, wall metrics/spans).  Strip that one line
+  and the stream is byte-deterministic across repeated runs.
+* :func:`prometheus_text` — Prometheus text exposition (``# TYPE``
+  headers, ``_total``/``_bucket``/``_sum``/``_count`` conventions) for
+  scraping or eyeballing.
+* :func:`chrome_trace` — Chrome trace-event JSON, loadable in Perfetto
+  (https://ui.perfetto.dev) for epoch/session/campaign timelines.  Each
+  span track becomes a named thread; wall-clock tracks live in their own
+  process so simulated and measured time never share an axis.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+
+from repro.telemetry.spans import SPAN_UNITS, Span
+
+__all__ = ["to_jsonl", "prometheus_text", "chrome_trace"]
+
+_CANONICAL = {"sort_keys": True, "separators": (",", ":")}
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _dumps(obj: dict) -> str:
+    return json.dumps(obj, **_CANONICAL)
+
+
+def to_jsonl(tel) -> str:
+    """The JSONL rendering of a :class:`~repro.telemetry.Telemetry`.
+
+    Deterministic lines first, the wall-clock ``meta`` line last.
+    """
+    lines = [_dumps({"kind": "header", "name": tel.name, "version": 1})]
+    wall_metrics = []
+    for metric in tel.registry.metrics():
+        if metric.wall:
+            wall_metrics.append(metric.to_record())
+        else:
+            lines.append(_dumps(metric.to_record()))
+    wall_spans = []
+    for span in tel.spans:
+        if span.wall:
+            wall_spans.append(span.to_record())
+        else:
+            lines.append(_dumps(span.to_record()))
+    meta = {"kind": "meta", **tel.meta}
+    if wall_metrics:
+        meta["wall_metrics"] = wall_metrics
+    if wall_spans:
+        meta["wall_spans"] = wall_spans
+    lines.append(_dumps(meta))
+    return "\n".join(lines) + "\n"
+
+
+def _prom_name(name: str) -> str:
+    return _PROM_BAD.sub("_", name)
+
+
+def _prom_labels(labels, extra: str = "") -> str:
+    parts = [f'{_prom_name(k)}="{v}"' for k, v in labels]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(tel) -> str:
+    """Prometheus text exposition of every metric (wall ones included)."""
+    out: list[str] = []
+    typed: set[str] = set()
+    for metric in tel.registry.metrics():
+        name = _prom_name(metric.name)
+        if metric.kind == "counter":
+            name += "_total"
+        if name not in typed:
+            typed.add(name)
+            out.append(f"# TYPE {name} {metric.kind}")
+        if metric.kind == "histogram":
+            cumulative = 0
+            for bound, count in zip(metric.bounds, metric.counts):
+                cumulative += count
+                le = 'le="%s"' % bound
+                out.append(f"{name}_bucket"
+                           f"{_prom_labels(metric.labels, le)}"
+                           f" {cumulative}")
+            inf = 'le="+Inf"'
+            out.append(f"{name}_bucket"
+                       f"{_prom_labels(metric.labels, inf)}"
+                       f" {metric.count}")
+            out.append(f"{name}_sum{_prom_labels(metric.labels)}"
+                       f" {round(metric.sum, 6)}")
+            out.append(f"{name}_count{_prom_labels(metric.labels)}"
+                       f" {metric.count}")
+        else:
+            out.append(f"{name}{_prom_labels(metric.labels)} "
+                       f"{metric.value}")
+    return "\n".join(out) + "\n" if out else ""
+
+
+def chrome_trace(tel) -> dict:
+    """Chrome trace-event JSON for the capture, as a plain dict.
+
+    Simulated tracks share pid 1 (process ``tel.name``); wall-clock
+    tracks get pid 2 (process ``<name> [wall]``).  Track-to-thread ids
+    are assigned in first-appearance order, so the layout is as
+    deterministic as the span stream itself.
+    """
+    events: list[dict] = []
+    tids: dict[tuple[int, str], int] = {}
+    for pid, label in ((1, tel.name), (2, f"{tel.name} [wall]")):
+        events.append({"ph": "M", "name": "process_name", "pid": pid,
+                       "tid": 0, "args": {"name": label}})
+    for span in tel.spans:
+        pid = 2 if span.wall else 1
+        key = (pid, span.track)
+        tid = tids.get(key)
+        if tid is None:
+            tid = len([k for k in tids if k[0] == pid]) + 1
+            tids[key] = tid
+            events.append({"ph": "M", "name": "thread_name", "pid": pid,
+                           "tid": tid,
+                           "args": {"name": f"{span.track} "
+                                            f"[{span.unit}]"}})
+        scale = SPAN_UNITS[span.unit]
+        ts = round(span.start * scale, 3)
+        dur = round(span.duration * scale, 3)
+        event = {"name": span.name, "cat": span.track, "pid": pid,
+                 "tid": tid, "ts": ts, "args": dict(span.args)}
+        if dur > 0:
+            event.update(ph="X", dur=dur)
+        else:
+            event.update(ph="i", s="t")
+        events.append(event)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def _doctest_roundtrip() -> bool:
+    """Smoke-check the three exporters agree on one tiny capture.
+
+    >>> _doctest_roundtrip()
+    True
+    """
+    from repro.telemetry.hub import Telemetry
+    tel = Telemetry("t")
+    tel.counter("hits", outcome="fast").inc(3)
+    tel.span("e0", 0, 4, track="epochs", unit="slot")
+    jsonl = to_jsonl(tel)
+    prom = prometheus_text(tel)
+    trace = chrome_trace(tel)
+    return ('"kind":"span"' in jsonl
+            and 'hits_total{outcome="fast"} 3' in prom
+            and any(e.get("ph") == "X" for e in trace["traceEvents"]))

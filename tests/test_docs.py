@@ -24,8 +24,8 @@ DOC_PAGES = sorted(DOCS_DIR.glob("*.md"))
 #: Subpackages whose exports are part of the public API surface.
 SUBPACKAGES = (
     "core", "topology", "simulation", "campaign", "service", "design",
-    "faults", "router", "link", "ni", "wrapper", "clocking", "baseline",
-    "synthesis", "usecase", "experiments",
+    "faults", "telemetry", "router", "link", "ni", "wrapper", "clocking",
+    "baseline", "synthesis", "usecase", "experiments",
 )
 
 
@@ -47,21 +47,27 @@ class TestDocPages:
     def test_docs_directory_is_populated(self):
         names = {p.name for p in DOC_PAGES}
         assert {"architecture.md", "cli.md", "guarantees.md",
-                "campaigns.md"} <= names
+                "campaigns.md", "observability.md"} <= names
 
     def test_docs_linked_from_readme(self):
         readme = (DOCS_DIR.parent / "README.md").read_text(
             encoding="utf-8")
         for page in ("docs/architecture.md", "docs/cli.md",
-                     "docs/guarantees.md", "docs/campaigns.md"):
+                     "docs/guarantees.md", "docs/campaigns.md",
+                     "docs/observability.md"):
             assert page in readme, f"README does not link {page}"
+
+    def test_observability_linked_from_architecture(self):
+        arch = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "observability.md" in arch
 
     @pytest.mark.parametrize("path", DOC_PAGES, ids=lambda p: p.name)
     def test_doc_examples_run(self, path):
         result = doctest.testfile(str(path), module_relative=False,
                                   optionflags=doctest.ELLIPSIS)
         assert result.attempted > 0 or path.name not in (
-            "architecture.md", "cli.md", "guarantees.md", "campaigns.md")
+            "architecture.md", "cli.md", "guarantees.md", "campaigns.md",
+            "observability.md")
         assert result.failed == 0
 
 

@@ -1,0 +1,297 @@
+"""Tests for :mod:`repro.telemetry` — the observability layer.
+
+The load-bearing contract is *determinism*: canonical reports must be
+byte-identical with telemetry on and off, the non-wall portion of the
+telemetry stream itself must be byte-identical across repeated runs,
+and every wall-clock quantity must be quarantined into the trailing
+``meta`` line.  The rest covers the instrument semantics (histogram
+bucket edges, Null no-ops), the exporters (JSONL, Prometheus, Chrome
+trace) and the satellite regressions (empty latency stats, executor
+names in ``SimResult``).
+"""
+
+import json
+
+import pytest
+
+from repro.telemetry import (NULL_TELEMETRY, NullTelemetry, Telemetry,
+                             chrome_trace, coalesce, prometheus_text)
+from repro.telemetry.metrics import (NULL_COUNTER, NULL_GAUGE,
+                                     NULL_HISTOGRAM, Histogram,
+                                     MetricRegistry)
+from repro.telemetry.spans import SPAN_UNITS, Span
+
+
+def _strip_meta(jsonl: str) -> list[str]:
+    """Drop the wall-clock meta line — everything else is deterministic."""
+    return [line for line in jsonl.splitlines()
+            if json.loads(line).get("kind") != "meta"]
+
+
+class TestMetrics:
+    def test_counter_accumulates(self):
+        tel = Telemetry()
+        c = tel.counter("events", outcome="ok")
+        c.inc()
+        c.inc(4)
+        assert tel.value("events", outcome="ok") == 5
+
+    def test_counter_identity_by_name_and_labels(self):
+        tel = Telemetry()
+        assert tel.counter("x", a="1") is tel.counter("x", a="1")
+        assert tel.counter("x", a="1") is not tel.counter("x", a="2")
+
+    def test_gauge_set_inc_dec(self):
+        tel = Telemetry()
+        g = tel.gauge("depth")
+        g.set(10)
+        g.dec(3)
+        g.inc(1)
+        assert tel.value("depth") == 8
+
+    def test_histogram_bucket_edges_inclusive_upper(self):
+        h = Histogram("lat", bounds=(1, 2, 5))
+        for v in (0.5, 1, 1.5, 2, 5, 7):
+            h.observe(v)
+        record = h.to_record()
+        # bounds are inclusive uppers; the last bucket is overflow.
+        assert record["le"] == [1, 2, 5]
+        assert record["counts"] == [2, 2, 1, 1]
+        assert record["count"] == 6
+        assert record["sum"] == pytest.approx(17.0)
+
+    def test_histogram_rejects_bad_bounds(self):
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=(2, 1))
+        with pytest.raises(ValueError):
+            Histogram("bad", bounds=())
+
+    def test_histogram_rebind_with_other_bounds_rejected(self):
+        registry = MetricRegistry()
+        registry.histogram("h", bounds=(1, 2))
+        with pytest.raises(ValueError):
+            registry.histogram("h", bounds=(1, 2, 3))
+
+    def test_registry_orders_metrics_deterministically(self):
+        tel = Telemetry()
+        tel.counter("z").inc()
+        tel.counter("a", k="2").inc()
+        tel.counter("a", k="1").inc()
+        names = [(m.name, m.labels) for m in tel.registry.metrics()]
+        assert names == sorted(names)
+
+
+class TestNullTelemetry:
+    def test_null_instruments_are_shared_no_ops(self):
+        tel = NullTelemetry()
+        assert tel.counter("anything", a="b") is NULL_COUNTER
+        assert tel.gauge("g") is NULL_GAUGE
+        assert tel.histogram("h", bounds=(1, 2)) is NULL_HISTOGRAM
+        tel.counter("x").inc(100)
+        tel.gauge("y").set(5)
+        tel.histogram("z", bounds=(1,)).observe(3)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0
+        assert NULL_HISTOGRAM.count == 0
+
+    def test_null_span_and_phase_record_nothing(self):
+        tel = NullTelemetry()
+        tel.span("s", 0, 1)
+        with tel.phase("p"):
+            pass
+        assert tel.spans == []
+        assert "phases" not in tel.meta
+        assert not tel.enabled
+
+    def test_null_jsonl_is_header_and_meta_only(self):
+        lines = NullTelemetry().to_jsonl().splitlines()
+        assert len(lines) == 2
+        assert json.loads(lines[0])["kind"] == "header"
+        assert json.loads(lines[1])["kind"] == "meta"
+
+    def test_coalesce(self):
+        tel = Telemetry()
+        assert coalesce(tel) is tel
+        assert coalesce(None) is NULL_TELEMETRY
+        assert not NULL_TELEMETRY.enabled
+
+
+class TestSpans:
+    def test_span_validation(self):
+        with pytest.raises(ValueError):
+            Span(name="s", track="t", unit="fortnight", start=0, end=1)
+        with pytest.raises(ValueError):
+            Span(name="s", track="t", unit="ms", start=2, end=1)
+
+    def test_units_cover_sim_and_wall_domains(self):
+        assert {"us", "ms", "s", "slot", "cycle"} <= set(SPAN_UNITS)
+
+    def test_span_duration(self):
+        span = Span(name="s", track="t", unit="slot", start=3, end=7)
+        assert span.duration == 4
+
+
+class TestExporters:
+    def _populated(self) -> Telemetry:
+        tel = Telemetry(name="t")
+        tel.counter("hits", outcome="ok").inc(3)
+        tel.histogram("width", bounds=(1, 4)).observe(2)
+        tel.gauge("wall_depth", wall=True).set(9)
+        tel.span("epoch 0", 0, 64, track="epochs", unit="slot")
+        tel.span("load", 0.0, 1.5, track="phases", unit="s", wall=True)
+        return tel
+
+    def test_jsonl_repeated_build_is_identical_modulo_meta(self):
+        def build() -> str:
+            return self._populated().to_jsonl()
+        assert _strip_meta(build()) == _strip_meta(build())
+
+    def test_jsonl_quarantines_wall_clock_into_meta(self):
+        lines = self._populated().to_jsonl().splitlines()
+        records = [json.loads(line) for line in lines]
+        assert records[0]["kind"] == "header"
+        assert records[-1]["kind"] == "meta"
+        body = records[1:-1]
+        # Nothing wall-clock-derived may appear before the meta line.
+        assert all("wall" not in r.get("name", "") for r in body)
+        names = {r["name"] for r in body}
+        assert {"hits", "width"} <= names
+        meta = records[-1]
+        assert [m["name"] for m in meta["wall_metrics"]] == ["wall_depth"]
+        assert [s["name"] for s in meta["wall_spans"]] == ["load"]
+
+    def test_prometheus_exposition_shape(self):
+        text = prometheus_text(self._populated())
+        assert "hits_total" in text
+        assert 'outcome="ok"' in text
+        assert 'le="+Inf"' in text
+        assert "width_sum" in text and "width_count" in text
+
+    def test_chrome_trace_schema(self):
+        trace = chrome_trace(self._populated())
+        events = trace["traceEvents"]
+        assert events, "trace must not be empty"
+        for event in events:
+            assert {"ph", "pid", "name"} <= set(event)
+            if event["ph"] == "X":
+                assert event["dur"] > 0
+        # Simulated tracks on pid 1, wall-clock tracks on pid 2.
+        pids = {e["pid"] for e in events if e["ph"] == "X"}
+        assert pids == {1, 2}
+        # The whole thing must serialise (Perfetto loads JSON text).
+        json.dumps(trace)
+
+    def test_chrome_trace_thread_names_are_metadata(self):
+        trace = chrome_trace(self._populated())
+        names = {e["args"]["name"] for e in trace["traceEvents"]
+                 if e["ph"] == "M" and e["name"] == "thread_name"}
+        assert "epochs [slot]" in names
+
+
+class TestReportByteIdentity:
+    """Telemetry-on and telemetry-off reports must match byte for byte."""
+
+    def test_serve_demo_identical_with_telemetry(self):
+        from repro.service.demo import run_demo
+        tel = Telemetry()
+        report_on, identical = run_demo(n_events=60, telemetry=tel)
+        assert identical, "telemetry leaked into the canonical report"
+        report_off, _ = run_demo(n_events=60)
+        assert report_on.to_json() == report_off.to_json()
+        # ... and the instrumented run actually recorded something.
+        assert tel.value("admission.decisions", outcome="accept") > 0
+        assert tel.value("executor.dispatch") is None  # no sim here
+
+    def test_serve_demo_telemetry_stream_is_deterministic(self):
+        from repro.service.demo import run_demo
+
+        def stream() -> list[str]:
+            tel = Telemetry()
+            run_demo(n_events=60, telemetry=tel)
+            return _strip_meta(tel.to_jsonl())
+
+        first = stream()
+        assert first == stream()
+        assert len(first) > 2
+
+    def test_campaign_meta_excluded_from_canonical_report(self):
+        from repro.campaign import CampaignRunner, micro_campaign
+        spec = micro_campaign()
+        tel = Telemetry()
+        on = CampaignRunner(spec, telemetry=tel).run()
+        off = CampaignRunner(spec).run()
+        assert on.to_json() == off.to_json()
+        assert on.meta["stages"]["total_s"] > 0
+        assert on.meta["heartbeats"][-1]["done"] == on.n_runs
+        assert sum(entry["runs"] for entry
+                   in on.meta["worker_table"].values()) == on.n_runs
+        assert tel.value("campaign.runs", status="ok") is not None
+
+    def test_campaign_serial_parallel_meta_both_populated(self):
+        from repro.campaign import CampaignRunner, micro_campaign
+        spec = micro_campaign()
+        serial = CampaignRunner(spec, workers=1).run()
+        parallel = CampaignRunner(spec, workers=2).run()
+        assert serial.to_json() == parallel.to_json()
+        assert len(parallel.meta["worker_table"]) >= 1
+        assert "meta" not in json.loads(serial.to_json())
+
+
+def _cbr_traffic(config):
+    from repro.simulation.traffic import ConstantBitRate
+    return {name: ConstantBitRate.from_rate(
+        ca.spec.throughput_bytes_per_s, config.frequency_hz, config.fmt)
+        for name, ca in config.allocation.channels.items()}
+
+
+class TestExecutorTelemetry:
+    def test_flit_backend_counts_epochs_and_patterns(self, tiny_config):
+        from repro.simulation.backend import SimRequest, create_backend
+        tel = Telemetry()
+        backend = create_backend("flit", tiny_config, telemetry=tel)
+        result = backend.run(SimRequest(
+            n_slots=400, traffic=_cbr_traffic(tiny_config)))
+        assert result.meta["executor"] in ("compiled", "per-flit")
+        assert tel.value("executor.dispatch",
+                         path=result.meta["executor"]) == 1
+        assert tel.value("executor.epochs") >= 1
+        assert result.meta["executor_stats"]["epochs"] >= 1
+        assert any(s.track == "epochs" for s in tel.spans)
+
+    def test_all_backends_name_their_executor(self, tiny_config):
+        from repro.simulation.backend import SimRequest, create_backend
+        for kind in ("flit", "cycle", "be"):
+            backend = create_backend(kind, tiny_config)
+            result = backend.run(SimRequest(
+                n_slots=300, traffic=_cbr_traffic(tiny_config)))
+            executor = result.meta.get("executor")
+            assert executor, f"{kind} backend did not name its executor"
+            assert f"[{executor}]" in result.summary()
+
+
+class TestEmptyLatencySummary:
+    def test_of_empty_equals_empty(self):
+        from repro.simulation.monitors import LatencySummary
+        summary = LatencySummary.of([])
+        assert summary == LatencySummary.empty()
+        assert summary.count == 0
+        assert summary.p99 == 0.0
+
+    def test_latency_digest_degrades_gracefully(self):
+        from repro.simulation.monitors import (StatsCollector,
+                                               latency_digest)
+        digest = latency_digest("idle", StatsCollector(), 100, "slots",
+                                500e6)
+        assert "no deliveries" in digest
+
+
+class TestProfiling:
+    def test_run_profiled_returns_result_and_prints_stats(self, capsys):
+        import io
+
+        from repro.telemetry import run_profiled
+        stream = io.StringIO()
+        result = run_profiled(lambda: sum(range(100)), stream=stream)
+        assert result == 4950
+        out = stream.getvalue()
+        assert "profile" in out and "cumulative" in out
