@@ -1,26 +1,51 @@
-"""Tier-2 smoke benchmark for the scenario-campaign engine.
+"""Tier-2 benchmarks for the scenario-campaign engine.
 
-Opt in with ``--campaign-smoke``.  Runs the 4-scenario micro-campaign
-(flit, cycle-synchronous, cycle-mesochronous, best-effort on one small
-mesh) across 2 worker processes, checks the result set is clean and
-deterministic, and records the campaign wall-clock both as the
-benchmark measurement and under ``extra_info`` so it lands in the
+``--campaign-smoke`` runs the 4-scenario micro-campaign (flit,
+cycle-synchronous, cycle-mesochronous, best-effort on one small mesh)
+across 2 worker processes, checks the result set is clean and
+deterministic, and records the campaign wall-clock in the
 ``--benchmark-json`` trajectory.
+
+``--campaign-bench`` measures the sharded fabric against the seed
+runner's dispatch strategy — one ``multiprocessing.Pool`` with
+``imap_unordered(..., chunksize=1)`` shipping a fully pickled
+:class:`~repro.campaign.spec.RunSpec` per task — on a ~10k-run
+synthetic grid at 8 workers.  The grid's runs cost microseconds each,
+so the measurement isolates exactly what the fabric changed: per-task
+pickling, per-task IPC round-trips, and all-at-end aggregation.  The
+fabric run uses streaming aggregation into a checkpoint workdir, and
+the benchmark asserts the ≥ 2x speedup, report byte-identity against
+the seed dispatch, and that no full record list was ever resident.
+Record the measurement into ``benchmarks/records/BENCH_campaign.json``
+with ``--bench-record``.
 """
 
 from __future__ import annotations
 
+import json
+import multiprocessing
+import os
+import resource
 import time
 
 import pytest
 
-from repro.campaign import CampaignRunner, micro_campaign
+from repro.campaign import (CampaignResult, CampaignRunner, micro_campaign,
+                            synthetic_campaign)
+from repro.campaign.runner import _timed_execute_run
 
 
 @pytest.fixture
 def campaign_smoke_enabled(request):
     if not request.config.getoption("--campaign-smoke"):
         pytest.skip("pass --campaign-smoke to run the campaign smoke check")
+
+
+@pytest.fixture
+def campaign_bench_enabled(request):
+    if not request.config.getoption("--campaign-bench"):
+        pytest.skip("pass --campaign-bench to run the campaign fabric "
+                    "benchmark")
 
 
 def test_micro_campaign_smoke(benchmark, campaign_smoke_enabled):
@@ -43,3 +68,72 @@ def test_micro_campaign_smoke(benchmark, campaign_smoke_enabled):
     # the aggregated report byte for byte.
     serial = CampaignRunner(spec, workers=1).run()
     assert serial.to_json() == result.to_json()
+
+
+def _seed_dispatch(spec, workers: int) -> CampaignResult:
+    """The seed runner's execution strategy, preserved for comparison.
+
+    One pool, ``chunksize=1``, a fully pickled ``RunSpec`` per task
+    message, every record held in memory until the end — exactly what
+    ``CampaignRunner.run`` did before the sharded fabric replaced it.
+    """
+    runs = sorted(spec.expand(), key=lambda r: r.run_id)
+    records = []
+    with multiprocessing.Pool(processes=workers) as pool:
+        for envelope in pool.imap_unordered(_timed_execute_run, runs,
+                                            chunksize=1):
+            records.append(envelope["record"])
+    records.sort(key=lambda r: r["run_id"])
+    return CampaignResult(campaign=spec.name, base_seed=spec.base_seed,
+                          records=records)
+
+
+def test_campaign_fabric_speedup(campaign_bench_enabled, bench_record,
+                                 tmp_path):
+    """Sharded batching dispatch ≥ 2x over seed chunksize=1 dispatch."""
+    n = int(os.environ.get("CAMPAIGN_BENCH_RUNS", "10000"))
+    n_scenarios = max(1, min(100, n // 100))
+    n_seeds = max(1, n // n_scenarios)
+    spec = synthetic_campaign(n_scenarios=n_scenarios,
+                              seeds=tuple(range(1, n_seeds + 1)), work=2)
+    workers = int(os.environ.get("CAMPAIGN_BENCH_WORKERS", "8"))
+    n_runs = len(spec.expand())
+
+    start = time.perf_counter()
+    seed_result = _seed_dispatch(spec, workers)
+    seed_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    fabric_result = CampaignRunner(
+        spec, workers=workers, workdir=tmp_path / "wd",
+        keep_records=False).run()
+    fabric_s = time.perf_counter() - start
+
+    speedup = seed_s / fabric_s
+    # Streaming aggregation held no record list: the canonical report
+    # comes back out of the shard journals, byte-identical to the
+    # all-in-memory seed dispatch.
+    assert fabric_result.records == []
+    aggregate = fabric_result.meta["aggregate"]
+    assert aggregate["streaming"] is True
+    assert aggregate["peak_resident_records"] <= 1
+    assert fabric_result.to_json() == seed_result.to_json()
+    assert fabric_result.n_runs == n_runs
+    assert speedup >= 2.0, (
+        f"sharded fabric only {speedup:.2f}x over seed dispatch "
+        f"({fabric_s:.2f}s vs {seed_s:.2f}s on {n_runs} runs)")
+
+    peak_rss_mb = (resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+                   / 1024.0)
+    path = bench_record(
+        "campaign", wall_s=fabric_s, ops_per_s=n_runs / fabric_s,
+        speedup=speedup, n_runs=n_runs, workers=workers,
+        seed_wall_s=seed_s,
+        batches=fabric_result.meta["dispatch"]["batches"],
+        peak_resident_records=aggregate["peak_resident_records"],
+        parent_peak_rss_mb=round(peak_rss_mb, 1))
+    if path is not None:
+        print(f"\nrecorded campaign trajectory entry -> {path}")
+    print(f"\ncampaign fabric: {n_runs} runs, {workers} workers: "
+          f"seed {seed_s:.2f}s -> fabric {fabric_s:.2f}s "
+          f"({speedup:.2f}x)")

@@ -64,6 +64,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
         help="run the telemetry-overhead gate on the admission churn "
              "workload (tier-2; asserts enabled-mode overhead < 5% "
              "and telemetry-on/off report byte-identity)")
+    parser.addoption(
+        "--campaign-bench", action="store_true", default=False,
+        help="run the campaign-fabric benchmark on a ~10k-run "
+             "synthetic grid (tier-2; asserts the sharded batching "
+             "runner beats the seed chunksize=1 pool dispatch by "
+             ">= 2x with streaming aggregation keeping memory flat)")
 
 def _git_rev() -> str:
     """Current revision (``describe --always --dirty``), or "unknown"."""

@@ -24,18 +24,24 @@ declarative grid of scenarios (topology × traffic mix × backend/clocking
 scheme × seed grid, including service-churn scenarios) fanned out over
 worker processes, aggregated into one deterministic JSON report::
 
-    python -m repro campaign --demo               # built-in 18-run grid
+    python -m repro campaign --demo               # built-in demo grid
     python -m repro campaign --demo --workers 4   # wider pool
     python -m repro campaign --demo --output report.json
     python -m repro campaign --demo --list        # show the grid, don't run
     python -m repro campaign --preset churn_campaign   # any preset
     python -m repro campaign --preset design_campaign --workers 4
+    python -m repro campaign --demo --workdir wd       # checkpointed
+    python -m repro campaign --demo --resume wd        # after a kill
+    python -m repro campaign --preset synthetic_campaign --workdir wd --stream
 
 Serial and parallel executions produce byte-identical reports; ``--demo``
 verifies that on every invocation by running both and comparing.
 ``--preset`` runs any registered preset grid (churn, replay, design,
-micro, demo); a bad name lists what is available.  Use
+faults, synthetic, micro, demo); a bad name lists what is available.  Use
 ``repro.campaign.scenario_grid`` from Python to build custom grids.
+With ``--workdir`` completed runs checkpoint into per-shard journals;
+``--resume`` skips them after a kill and still produces the
+byte-identical report.  ``--stream`` keeps memory flat on huge grids.
 
 Dimensioning a network
 ----------------------
@@ -181,6 +187,20 @@ def _print_campaign_meta(meta: dict) -> None:
         print(f"stragglers: {len(stragglers)} run(s) took >= 3x the "
               f"median ({meta.get('median_run_wall_s', 0.0):.3f}s); "
               f"worst: {worst['run_id']} at {worst['wall_s']:.3f}s")
+    shards = meta.get("shards") or {}
+    if shards:
+        print(f"shards: {shards.get('completed', 0)}/"
+              f"{shards.get('n_shards', 0)} completed")
+    resume = meta.get("resume") or {}
+    if resume.get("enabled"):
+        print(f"resume: {resume.get('n_resumed', 0)} run(s) restored "
+              "from the workdir journals")
+    dispatch = meta.get("dispatch") or {}
+    if dispatch:
+        print(f"dispatch: {dispatch.get('batches', 0)} batches, "
+              f"{dispatch.get('steals', 0)} steals, "
+              f"{dispatch.get('duplicates', 0)} duplicate runs, "
+              f"{dispatch.get('worker_deaths', 0)} worker deaths")
 
 
 def _fig5() -> None:
@@ -294,6 +314,12 @@ def _campaign(args: argparse.Namespace) -> int:
         print("campaign: pick --demo or --preset <name>; build custom "
               "grids with repro.campaign in Python", file=sys.stderr)
         return 2
+    workdir = args.resume or args.workdir
+    if args.stream and workdir is None:
+        print("campaign: --stream needs --workdir (the shard journals "
+              "are the record store the report streams from)",
+              file=sys.stderr)
+        return 2
     runs = spec.expand()
     if args.list:
         print(format_table(
@@ -312,15 +338,22 @@ def _campaign(args: argparse.Namespace) -> int:
         return 0
     workers = max(1, args.workers)
     tel = _demo_telemetry("campaign")
-    with tel.phase("campaign"):
-        result = CampaignRunner(spec, workers=workers,
-                                telemetry=tel).run()
+    try:
+        with tel.phase("campaign"):
+            result = CampaignRunner(
+                spec, workers=workers, telemetry=tel, workdir=workdir,
+                resume=args.resume is not None,
+                keep_records=not args.stream,
+                shard_size=args.shard_size).run()
+    except ConfigurationError as exc:
+        print(f"campaign: {exc}", file=sys.stderr)
+        return 2
     print(format_table(result.summary_rows(),
                        title=f"campaign {spec.name!r} — {result.n_runs} "
                              f"runs on {workers} workers "
                              f"({result.n_failed} failed)"))
     agree = True
-    if workers > 1 and args.demo:
+    if workers > 1 and args.demo and workdir is None:
         with tel.phase("serial-verify"):
             serial = CampaignRunner(spec, workers=1).run()
         agree = serial.to_json() == result.to_json()
@@ -578,10 +611,32 @@ def main(argv: list[str] | None = None) -> int:
                           help="run a registered preset grid "
                                "(demo_campaign, micro_campaign, "
                                "churn_campaign, replay_campaign, "
-                               "design_campaign; short names work too)")
+                               "design_campaign, fault_campaign, "
+                               "synthetic_campaign; short names work "
+                               "too)")
     campaign.add_argument("--workers", type=int, default=2,
                           help="worker processes (default 2; 1 runs "
                                "in-process for profiling/debugging)")
+    campaign.add_argument("--workdir", default=None, metavar="DIR",
+                          help="checkpoint directory: completed runs "
+                               "journal into per-shard JSONL files so a "
+                               "killed campaign can --resume")
+    campaign.add_argument("--resume", default=None, metavar="DIR",
+                          help="resume a killed campaign from its "
+                               "workdir DIR, skipping journaled runs; "
+                               "the final report stays byte-identical "
+                               "to an uninterrupted run (still needs "
+                               "--demo/--preset to rebuild the spec)")
+    campaign.add_argument("--stream", action="store_true",
+                          help="streaming aggregation: never hold the "
+                               "full record list in memory (requires "
+                               "--workdir; the report streams from the "
+                               "shard journals)")
+    campaign.add_argument("--shard-size", type=int, default=None,
+                          metavar="N",
+                          help="runs per checkpoint shard (default: "
+                               "derived from grid size, independent of "
+                               "worker count)")
     campaign.add_argument("--output", default=None,
                           help="write the aggregated JSON report here "
                                "instead of stdout")

@@ -9,15 +9,16 @@ from __future__ import annotations
 
 from typing import Callable
 
-from repro.campaign.spec import (CampaignSpec, ScenarioSpec, TopologySpec,
-                                 TrafficSpec, WorkloadSpec, scenario_grid)
+from repro.campaign.spec import (CampaignSpec, ScenarioSpec, SyntheticSpec,
+                                 TopologySpec, TrafficSpec, WorkloadSpec,
+                                 scenario_grid)
 from repro.faults.model import FaultSpec
 from repro.service.churn import ChurnSpec
 from repro.service.qos import QosClass
 
 __all__ = ["demo_campaign", "micro_campaign", "churn_campaign",
            "replay_campaign", "design_campaign", "fault_campaign",
-           "PRESETS", "preset_by_name"]
+           "synthetic_campaign", "PRESETS", "preset_by_name"]
 
 
 def demo_campaign(*, n_slots: int = 600,
@@ -249,6 +250,32 @@ def fault_campaign(*, n_sessions: int = 80, n_slots: int = 1600,
                         seeds=seeds)
 
 
+def synthetic_campaign(*, n_scenarios: int = 8,
+                       seeds: tuple[int, ...] = (1, 2),
+                       work: int = 200,
+                       fail_seeds: tuple[int, ...] = ()) -> CampaignSpec:
+    """A fabric-scale grid of ``mode="synthetic"`` runs.
+
+    Each run hashes a seeded chain for ``work`` rounds and records the
+    final digest — deterministic, allocation-free, microseconds-cheap —
+    so 10k+-run grids exercise sharding, checkpointing, dispatch and
+    streaming aggregation without simulation cost drowning the
+    measurement.  Seeds listed in ``fail_seeds`` raise inside the run
+    body, driving the crashed-envelope degradation path.
+
+    >>> spec = synthetic_campaign(n_scenarios=3, seeds=(1, 2))
+    >>> len(list(spec.expand()))
+    6
+    """
+    synthetic = SyntheticSpec(work=work, fail_seeds=fail_seeds)
+    scenarios = tuple(
+        ScenarioSpec(name=f"synth-{i:04d}", mode="synthetic",
+                     synthetic=synthetic)
+        for i in range(n_scenarios))
+    return CampaignSpec(name="synthetic", scenarios=scenarios,
+                        seeds=seeds)
+
+
 #: Registry of the ready-made campaigns, keyed by their function names
 #: (what ``python -m repro campaign --preset <name>`` accepts).
 PRESETS: dict[str, Callable[[], CampaignSpec]] = {
@@ -258,6 +285,7 @@ PRESETS: dict[str, Callable[[], CampaignSpec]] = {
     "replay_campaign": replay_campaign,
     "design_campaign": design_campaign,
     "fault_campaign": fault_campaign,
+    "synthetic_campaign": synthetic_campaign,
 }
 
 

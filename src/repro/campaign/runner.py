@@ -1,29 +1,58 @@
-"""Parallel campaign execution over the unified backend protocol.
+"""Sharded, checkpointed, work-stealing campaign execution.
 
 :class:`CampaignRunner` expands a :class:`~repro.campaign.spec.
-CampaignSpec` into its run grid and executes every run — serially or
-fanned out across a :mod:`multiprocessing` pool — producing one
-aggregated, JSON-serialisable record set.
+CampaignSpec` into its run grid, partitions it into deterministic
+shards (:mod:`repro.campaign.fabric`) and executes every run — in
+process, or fanned out over worker processes that pull adaptive
+batches from a shared dispatch loop.  Completed runs stream into an
+incremental aggregate (and, when a workdir is given, into per-shard
+JSONL journals), so huge campaigns neither hold all results in memory
+nor lose progress to a kill.
 
 Determinism is the contract: every run derives all of its randomness
 from :func:`~repro.campaign.spec.derive_seed` over the run id, each
-worker rebuilds its configuration from the spec alone, and records are
-ordered by run id before aggregation.  Serial and parallel executions of
-the same spec therefore produce *byte-identical* reports, which is what
-lets campaign trajectories be diffed across commits.
+worker rebuilds its configuration from the spec alone, and the
+canonical report orders records by run id.  Serial, parallel and
+killed-then-resumed executions of the same spec therefore produce
+*byte-identical* reports, which is what lets campaign trajectories be
+diffed across commits.
+
+Dispatch design, for the curious:
+
+* the parent owns one duplex pipe per worker — a worker killed
+  mid-message corrupts only its own channel, which the parent treats
+  as a death and re-queues the worker's incomplete runs;
+* batches are sized adaptively (``pending / (workers * 4)``, capped)
+  so dispatch overhead amortises early and the tail self-shrinks;
+* when the queue drains, idle workers *steal* the uncompleted tail of
+  the slowest outstanding batch (first finished copy wins — runs are
+  deterministic, so duplicates are byte-identical);
+* workers intern the scenario library once at spawn; batches carry
+  only ``(run_id, scenario_name, seed)`` triples, never re-pickled
+  scenario objects.
 """
 
 from __future__ import annotations
 
+import hashlib
+import heapq
 import json
 import multiprocessing
+import multiprocessing.connection
 import os
 import time
+import traceback
 from dataclasses import dataclass, field
+from typing import Iterator
 
-from repro.campaign.spec import CampaignSpec, RunSpec, derive_seed
+from repro.campaign.fabric import (CampaignWorkdir, Shard,
+                                   default_shard_size, iter_report_chunks,
+                                   shard_campaign)
+from repro.campaign.spec import (CampaignSpec, RunSpec, SyntheticSpec,
+                                 derive_seed)
 from repro.core.configuration import configure
-from repro.core.exceptions import AllocationError, ConfigurationError
+from repro.core.exceptions import (AllocationError, ConfigurationError,
+                                   TopologyError)
 from repro.simulation.backend import SimRequest, create_backend
 from repro.telemetry.hub import coalesce
 
@@ -31,10 +60,21 @@ __all__ = ["CampaignRunner", "CampaignResult", "execute_run"]
 
 #: A run is flagged a straggler when it took at least this many times
 #: the campaign's median per-run wall time (and a non-trivial absolute
-#: amount), the signal the ROADMAP's resumable campaign fabric needs
-#: for re-dispatch decisions.
+#: amount); stragglers also gate the dispatcher's steal decisions.
 _STRAGGLER_RATIO = 3.0
 _STRAGGLER_FLOOR_S = 0.05
+
+#: Upper bound on adaptive batch size; small enough that a stolen tail
+#: is never catastrophic, large enough to amortise dispatch overhead.
+_MAX_BATCH = 128
+
+#: Batches kept in flight per worker so pipes never go idle between
+#: dispatches.
+_PIPELINE_DEPTH = 2
+
+#: Slowest runs retained for the straggler report (memory cap on
+#: million-run campaigns; median comes from the full wall list).
+_TOP_WALLS = 128
 
 
 def execute_run(run: RunSpec) -> dict[str, object]:
@@ -55,6 +95,8 @@ def execute_run(run: RunSpec) -> dict[str, object]:
         return _execute_replay_run(run)
     if scenario.mode == "faults":
         return _execute_faults_run(run)
+    if scenario.mode == "synthetic":
+        return _execute_synthetic_run(run)
     if scenario.mode == "design":
         from repro.design.explorer import execute_design_run
         return execute_design_run(run)
@@ -98,18 +140,79 @@ def execute_run(run: RunSpec) -> dict[str, object]:
     return record
 
 
-def _timed_execute_run(run: RunSpec) -> dict[str, object]:
-    """:func:`execute_run` wrapped with worker wall time and pid.
+def _safe_execute_run(run: RunSpec) -> dict[str, object]:
+    """:func:`execute_run` that degrades a crash into a failed envelope.
 
-    Top-level (picklable) like :func:`execute_run`; the envelope feeds
-    the runner's heartbeat/straggler accounting and is stripped before
-    aggregation, so records stay byte-identical to unwrapped execution.
+    A run that raises an *unexpected* exception inside a worker must
+    not poison its batch or the pool: the exception becomes a record
+    with ``status="crashed"``, the error text and a digest of the
+    traceback (stable across serial and parallel execution — the stack
+    below this frame is identical either way), and the campaign's
+    remaining runs proceed untouched.  Expected domain failures
+    (``allocation_failed`` etc.) are classified inside
+    :func:`execute_run` as before.
+    """
+    try:
+        return execute_run(run)
+    except (KeyboardInterrupt, SystemExit):
+        raise
+    except BaseException as exc:  # noqa: BLE001 — the envelope IS the handler
+        digest = hashlib.sha256(
+            traceback.format_exc().encode()).hexdigest()[:16]
+        return {
+            "run_id": run.run_id,
+            "scenario": run.scenario.name,
+            "seed": run.seed,
+            "mode": run.scenario.mode,
+            "topology": run.scenario.topology.label,
+            "status": "crashed",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback_digest": digest,
+        }
+
+
+def _timed_execute_run(run: RunSpec) -> dict[str, object]:
+    """:func:`_safe_execute_run` wrapped with worker wall time and pid.
+
+    The envelope feeds the runner's heartbeat/straggler accounting and
+    is stripped before journaling and aggregation, so records stay
+    byte-identical to unwrapped execution.
     """
     start = time.perf_counter()
-    record = execute_run(run)
+    record = _safe_execute_run(run)
     return {"record": record,
             "wall_s": time.perf_counter() - start,
             "pid": os.getpid()}
+
+
+def _execute_synthetic_run(run: RunSpec) -> dict[str, object]:
+    """Execute one ``mode="synthetic"`` run: a seeded hash chain.
+
+    Deterministic, allocation-free and microseconds-cheap — the run
+    body for fabric-scale grids.  Seeds listed in the spec's
+    ``fail_seeds`` raise, exercising the crashed-envelope path through
+    real worker processes.
+    """
+    scenario = run.scenario
+    spec = scenario.synthetic or SyntheticSpec()
+    if run.seed in spec.fail_seeds:
+        raise RuntimeError(
+            f"synthetic failure injected for seed {run.seed}")
+    digest = run.run_seed
+    for _ in range(spec.work):
+        digest = int.from_bytes(
+            hashlib.sha256(digest.to_bytes(8, "big")).digest()[:8],
+            "big") >> 1
+    return {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "synthetic",
+        "topology": scenario.topology.label,
+        "work": spec.work,
+        "status": "ok",
+        "result": {"digest": digest},
+    }
 
 
 def _execute_serve_run(run: RunSpec) -> dict[str, object]:
@@ -261,27 +364,89 @@ def _execute_faults_run(run: RunSpec) -> dict[str, object]:
     return record
 
 
+def _summary_row(record: dict[str, object]) -> dict[str, object]:
+    """One per-run table row for :func:`~repro.experiments.report.
+    format_table`; shared by streaming and keep-records aggregation."""
+    row: dict[str, object] = {
+        "run": record["run_id"],
+        "backend": record.get("backend", record.get("mode", "serve")),
+        "topology": record.get("topology", "-"),
+        "traffic": record.get("traffic", record.get("churn", "-")),
+        "status": record["status"],
+    }
+    result = record.get("result")
+    if isinstance(result, dict):
+        if "survivability" in result:  # faults-mode record
+            surv = result["survivability"]
+            row["traffic"] = record.get("faults", "-")
+            row["messages"] = result["totals"]["n_events"]
+            row["survival"] = surv["session_survival"]
+            row["retention"] = surv["guarantee_retention"]
+            row["status"] = (
+                f"{record['status']}/"
+                f"{'composable' if result['composability']['composable'] else 'diverged'}")
+        elif "area" in result:  # design-mode record
+            row["messages"] = result["n_channels"]
+            row["area_mm2"] = round(
+                result["area"]["total_um2"] / 1e6, 4)
+            row["mhz"] = result["operating_frequency_mhz"]
+        elif "totals" in result:  # serve-mode record
+            totals = result["totals"]
+            row["messages"] = totals["n_events"]
+            row["accept"] = totals["accept_rate"]
+        elif "composable" in result:  # replay-mode record
+            row["messages"] = result["n_channels"]
+            row["status"] = (
+                f"{record['status']}/"
+                f"{'composable' if result['composable'] else 'diverged'}")
+        elif "digest" in result:  # synthetic-mode record
+            row["digest"] = result["digest"] % 10 ** 6
+        else:
+            row["messages"] = result["messages_delivered"]
+            latency = result.get("latency_ns")
+            if latency:
+                row["p50_ns"] = latency["p50"]
+                row["p99_ns"] = latency["p99"]
+                row["max_ns"] = latency["max"]
+    return row
+
+
+#: Statuses that are search verdicts, not failures.
+_NON_FAILURE_STATUSES = ("ok", "pruned", "infeasible")
+
+
 @dataclass
 class CampaignResult:
     """The aggregated outcome of one campaign execution.
 
+    In the default keep-records mode ``records`` holds every run's
+    record, exactly as before.  Under streaming aggregation
+    (``CampaignRunner(..., keep_records=False)``) ``records`` stays
+    empty and the canonical report streams from the workdir's shard
+    journals instead — same bytes, O(shard) memory.
+
     ``meta`` carries the execution's wall-clock observability — the
     per-stage timing table, per-worker run counts, completion
-    heartbeats and straggler flags — and is deliberately **excluded**
-    from :meth:`to_json`, so the determinism contract (serial ==
-    parallel, run-to-run byte-identity) is untouched by how long
-    anything took.
+    heartbeats, shard progress, steal/death counts and straggler flags
+    — and is deliberately **excluded** from :meth:`to_json`, so the
+    determinism contract (serial == parallel == resumed, run-to-run
+    byte-identity) is untouched by how long anything took.
     """
 
     campaign: str
     base_seed: int
     records: list[dict[str, object]] = field(default_factory=list)
     meta: dict[str, object] = field(default_factory=dict)
+    status_counts: dict[str, int] | None = None
+    workdir: str | None = None
+    shards: tuple[Shard, ...] = ()
 
     @property
     def n_runs(self) -> int:
-        """Total runs executed."""
-        return len(self.records)
+        """Total runs executed (journal-backed when streaming)."""
+        if self.records or self.status_counts is None:
+            return len(self.records)
+        return sum(self.status_counts.values())
 
     @property
     def n_failed(self) -> int:
@@ -290,195 +455,629 @@ class CampaignResult:
         Design-mode screening verdicts (``pruned`` / ``infeasible``)
         are *results* of a search, not failures — a dimensioning sweep
         that rejects most of its grid worked exactly as designed.
+        Identical in streaming and keep-records modes: both fold the
+        same status counters from the same envelopes.
         """
+        if self.status_counts is not None:
+            return sum(count for status, count in
+                       self.status_counts.items()
+                       if status not in _NON_FAILURE_STATUSES)
         return sum(1 for r in self.records
-                   if r["status"] not in ("ok", "pruned", "infeasible"))
+                   if r["status"] not in _NON_FAILURE_STATUSES)
+
+    def iter_records(self) -> Iterator[dict[str, object]]:
+        """Records in canonical (run-id-sorted) order.
+
+        Keep-records mode iterates the in-memory list; streaming mode
+        replays the shard journals, one shard in memory at a time.
+        """
+        if self.records or self.workdir is None:
+            yield from self.records
+            return
+        yield from CampaignWorkdir(self.workdir).iter_records(self.shards)
+
+    def report_chunks(self) -> Iterator[str]:
+        """The canonical JSON report as a stream of text chunks."""
+        return iter_report_chunks(self.campaign, self.base_seed,
+                                  self.n_runs, self.n_failed,
+                                  self.iter_records())
 
     def to_json(self, *, indent: int = 2) -> str:
         """Canonical JSON report: sorted keys, ordered records.
 
-        Byte-identical across serial and parallel executions of the same
-        spec — record contents carry no wall-clock or process state.
+        Byte-identical across serial, parallel and killed-then-resumed
+        executions of the same spec — record contents carry no
+        wall-clock or process state.  (``indent`` other than 2 falls
+        back to a non-streaming dump; the canonical form is 2.)
         """
-        return json.dumps(
-            {"campaign": self.campaign, "base_seed": self.base_seed,
-             "n_runs": self.n_runs, "n_failed": self.n_failed,
-             "records": self.records},
-            indent=indent, sort_keys=True)
+        if indent != 2:
+            return json.dumps(
+                {"campaign": self.campaign, "base_seed": self.base_seed,
+                 "n_runs": self.n_runs, "n_failed": self.n_failed,
+                 "records": list(self.iter_records())},
+                indent=indent, sort_keys=True)
+        return "".join(self.report_chunks())
+
+    def digest(self) -> str:
+        """SHA-256 of the canonical report, computed streamingly."""
+        h = hashlib.sha256()
+        for chunk in self.report_chunks():
+            h.update(chunk.encode())
+        return h.hexdigest()
 
     def write(self, path: str) -> None:
-        """Write the canonical JSON report to a file."""
+        """Stream the canonical JSON report to a file.
+
+        Never materialises the full report string, so writing a
+        100k-run report costs one record of memory.
+        """
         with open(path, "w", encoding="utf-8") as handle:
-            handle.write(self.to_json())
+            for chunk in self.report_chunks():
+                handle.write(chunk)
             handle.write("\n")
 
     def summary_rows(self) -> list[dict[str, object]]:
         """Per-run table rows for :func:`~repro.experiments.report.
         format_table`."""
-        rows = []
-        for record in self.records:
-            row: dict[str, object] = {
-                "run": record["run_id"],
-                "backend": record.get("backend",
-                                      record.get("mode", "serve")),
-                "topology": record["topology"],
-                "traffic": record.get("traffic", record.get("churn", "-")),
-                "status": record["status"],
-            }
-            result = record.get("result")
-            if isinstance(result, dict):
-                if "survivability" in result:  # faults-mode record
-                    surv = result["survivability"]
-                    row["traffic"] = record.get("faults", "-")
-                    row["messages"] = result["totals"]["n_events"]
-                    row["survival"] = surv["session_survival"]
-                    row["retention"] = surv["guarantee_retention"]
-                    row["status"] = (
-                        f"{record['status']}/"
-                        f"{'composable' if result['composability']['composable'] else 'diverged'}")
-                elif "area" in result:  # design-mode record
-                    row["messages"] = result["n_channels"]
-                    row["area_mm2"] = round(
-                        result["area"]["total_um2"] / 1e6, 4)
-                    row["mhz"] = result["operating_frequency_mhz"]
-                elif "totals" in result:  # serve-mode record
-                    totals = result["totals"]
-                    row["messages"] = totals["n_events"]
-                    row["accept"] = totals["accept_rate"]
-                elif "composable" in result:  # replay-mode record
-                    row["messages"] = result["n_channels"]
-                    row["status"] = (
-                        f"{record['status']}/"
-                        f"{'composable' if result['composable'] else 'diverged'}")
-                else:
-                    row["messages"] = result["messages_delivered"]
-                    latency = result.get("latency_ns")
-                    if latency:
-                        row["p50_ns"] = latency["p50"]
-                        row["p99_ns"] = latency["p99"]
-                        row["max_ns"] = latency["max"]
-            rows.append(row)
-        return rows
+        return [_summary_row(record) for record in self.iter_records()]
+
+
+class _Aggregate:
+    """Streaming fold of completed-run envelopes.
+
+    Owns everything the runner accumulates per envelope: the optional
+    record list, status counters, journal appends, heartbeat and
+    telemetry emission, per-worker/straggler wall accounting and
+    per-shard progress.  Memory is O(shards + workers + heartbeats) —
+    plus the record list only in keep-records mode.
+    """
+
+    def __init__(self, *, n_runs: int, keep_records: bool,
+                 workdir: CampaignWorkdir | None,
+                 shards: tuple[Shard, ...], telemetry, t0: float):
+        self.n_runs = n_runs
+        self.keep = keep_records
+        self.workdir = workdir
+        self.records: list[dict[str, object]] = []
+        self.status_counts: dict[str, int] = {}
+        self.telemetry = telemetry
+        self.t0 = t0
+        self.done = 0
+        self.n_resumed = 0
+        self.heartbeats: list[dict[str, object]] = []
+        self._stride = max(1, n_runs // 100)
+        self._queue_gauge = telemetry.gauge("campaign.queue_depth",
+                                            wall=True)
+        self._queue_gauge.set(n_runs)
+        # wall accounting: full wall list for the median, bounded heap
+        # of the slowest runs for the straggler report
+        self.walls: list[float] = []
+        self._top: list[tuple[float, str, int]] = []
+        self.worker_table: dict[int, dict[str, float]] = {}
+        # shard progress: run_id -> shard index, plus per-shard state
+        self._shard_of = {run_id: shard.index for shard in shards
+                          for run_id in shard.run_ids}
+        self._shards = shards
+        self._shard_done = [0] * len(shards)
+        self._shard_t: list[list[float | None]] = [
+            [None, None] for _ in shards]
+        self.peak_resident_records = 0
+
+    def add(self, envelope: dict[str, object], *,
+            resumed: bool = False) -> None:
+        """Fold one completed envelope into every accumulator."""
+        record = envelope["record"]
+        run_id = str(record["run_id"])
+        if self.keep:
+            self.records.append(record)
+        else:
+            self.peak_resident_records = max(self.peak_resident_records, 1)
+        if self.workdir is not None and not resumed:
+            shard_index = self._shard_of[run_id]
+            self.workdir.append(self._shards[shard_index].shard_id,
+                                record)
+        status = str(record["status"])
+        self.status_counts[status] = \
+            self.status_counts.get(status, 0) + 1
+        self.done += 1
+        self._queue_gauge.set(self.n_runs - self.done)
+        t_s = time.perf_counter() - self.t0
+        if resumed:
+            self.n_resumed += 1
+        else:
+            pid = int(envelope.get("pid", 0))
+            wall = float(envelope.get("wall_s", 0.0))
+            self.walls.append(wall)
+            entry = self.worker_table.setdefault(
+                pid, {"runs": 0, "wall_s": 0.0})
+            entry["runs"] += 1
+            entry["wall_s"] += wall
+            heapq.heappush(self._top, (wall, run_id, pid))
+            if len(self._top) > _TOP_WALLS:
+                heapq.heappop(self._top)
+            if (self.done % self._stride == 0
+                    or self.done == self.n_runs):
+                self.heartbeats.append({
+                    "done": self.done, "total": self.n_runs,
+                    "t_s": round(t_s, 6), "run_id": run_id, "pid": pid})
+            if self.telemetry.enabled:
+                end_ms = t_s * 1e3
+                self.telemetry.span(run_id, end_ms - wall * 1e3, end_ms,
+                                    track=f"worker {pid}", unit="ms",
+                                    wall=True, status=status)
+        self._fold_shard(run_id, t_s)
+
+    def _fold_shard(self, run_id: str, t_s: float) -> None:
+        """Advance (and possibly close out) the run's shard."""
+        index = self._shard_of.get(run_id)
+        if index is None:
+            return
+        times = self._shard_t[index]
+        if times[0] is None:
+            times[0] = t_s
+        times[1] = t_s
+        self._shard_done[index] += 1
+        if (self._shard_done[index] == self._shards[index].n_runs
+                and self.telemetry.enabled):
+            self.telemetry.span(
+                self._shards[index].shard_id, times[0] * 1e3,
+                times[1] * 1e3, track="shards", unit="ms", wall=True,
+                runs=self._shards[index].n_runs)
+            self.telemetry.counter("campaign.shards",
+                                   status="completed", wall=True).inc()
+
+    def median_wall_s(self) -> float:
+        """Median executed-run wall time (resumed runs excluded)."""
+        if not self.walls:
+            return 0.0
+        return sorted(self.walls)[len(self.walls) // 2]
+
+    def stragglers(self) -> list[dict[str, object]]:
+        """Runs at >= 3x the median wall (slowest ``_TOP_WALLS`` only)."""
+        median = self.median_wall_s()
+        threshold = max(_STRAGGLER_RATIO * median, _STRAGGLER_FLOOR_S)
+        flagged = [{"run_id": run_id, "wall_s": round(wall, 6),
+                    "median_s": round(median, 6), "pid": pid}
+                   for wall, run_id, pid in self._top
+                   if wall >= threshold]
+        flagged.sort(key=lambda s: s["run_id"])
+        return flagged
+
+    def shard_meta(self) -> dict[str, object]:
+        """Per-shard progress summary for ``CampaignResult.meta``."""
+        meta: dict[str, object] = {
+            "n_shards": len(self._shards),
+            "completed": sum(
+                1 for index, shard in enumerate(self._shards)
+                if self._shard_done[index] == shard.n_runs),
+        }
+        if len(self._shards) <= 256:
+            meta["table"] = [
+                {"id": shard.shard_id, "runs": shard.n_runs,
+                 "done": self._shard_done[index]}
+                for index, shard in enumerate(self._shards)]
+        return meta
+
+
+class _WorkerHandle:
+    """Parent-side state of one worker process."""
+
+    def __init__(self, proc: multiprocessing.Process, conn):
+        self.proc = proc
+        self.conn = conn
+        self.outstanding: dict[int, dict[str, float]] = {}
+        self.dead = False
+
+    @property
+    def n_outstanding(self) -> int:
+        """Dispatched-but-unfinished runs currently owned."""
+        return sum(len(batch) for batch in self.outstanding.values())
+
+
+#: Completed envelopes a worker accumulates before flushing one result
+#: message to the parent — the return-path analogue of batched
+#: dispatch.  Small enough that heartbeats and checkpoint journals lag
+#: the work by at most this many microsecond-scale runs; large enough
+#: that a 10k-run grid costs hundreds of IPC messages, not tens of
+#: thousands.
+_RESULT_FLUSH = 32
+
+
+def _worker_main(conn, scenarios, base_seed: int) -> None:
+    """Worker loop: pull batches, push batched result envelopes.
+
+    ``scenarios`` — the shared immutable scenario library — arrives
+    once at spawn (inherited by fork, pickled once under spawn), so a
+    batch item is just ``(run_id, scenario_name, seed)`` and the
+    per-run pickling cost of shipping whole ``RunSpec`` s is gone.
+    Results flow back in chunks of at most ``_RESULT_FLUSH`` runs, so
+    neither direction pays one pipe round-trip per microsecond-scale
+    run.
+    """
+    try:
+        while True:
+            try:
+                message = conn.recv()
+            except (EOFError, OSError):
+                return
+            if message[0] == "stop":
+                return
+            _, batch_id, items = message
+            results: list[tuple[str, dict[str, object]]] = []
+            for run_id, scenario_name, seed in items:
+                run = RunSpec(run_id=run_id,
+                              scenario=scenarios[scenario_name],
+                              seed=seed, base_seed=base_seed)
+                results.append((run_id, _timed_execute_run(run)))
+                if len(results) >= _RESULT_FLUSH:
+                    try:
+                        conn.send(("runs", batch_id, results))
+                    except (BrokenPipeError, OSError):
+                        return
+                    results = []
+            try:
+                if results:
+                    conn.send(("runs", batch_id, results))
+                conn.send(("batch_done", batch_id))
+            except (BrokenPipeError, OSError):
+                return
+    finally:
+        try:
+            conn.close()
+        except OSError:
+            pass
 
 
 class CampaignRunner:
     """Fan a campaign's run grid out over worker processes.
 
     ``workers=1`` executes in-process (handy under profilers and in
-    tests); ``workers>1`` uses a :mod:`multiprocessing` pool with one
-    task per run.  Both paths produce identical results — the pool only
-    changes wall-clock time.
+    tests); ``workers>1`` spawns a worker pool fed by a work-stealing
+    dispatch loop.  All paths — serial, parallel, killed-then-resumed —
+    produce byte-identical canonical reports; scheduling only changes
+    wall-clock time.
+
+    Parameters beyond the original ``spec``/``workers``/``telemetry``:
+
+    * ``workdir`` — checkpoint directory; completed runs journal into
+      per-shard JSONL files and an atomic manifest pins the grid.
+    * ``resume`` — continue a killed campaign from ``workdir``: journaled
+      runs are folded back into the aggregate and skipped.
+    * ``keep_records`` — ``False`` enables streaming aggregation: the
+      result holds no record list and the canonical report streams from
+      the journals (requires a ``workdir``).
+    * ``shard_size`` — runs per shard; defaults to a pure function of
+      the grid size so shard ids never depend on worker count.
     """
 
     def __init__(self, spec: CampaignSpec, *, workers: int = 1,
-                 telemetry=None):
+                 telemetry=None, workdir: str | os.PathLike | None = None,
+                 resume: bool = False, keep_records: bool = True,
+                 shard_size: int | None = None,
+                 max_batch: int = _MAX_BATCH):
         if workers < 1:
             raise ConfigurationError(
                 f"workers must be >= 1, got {workers}")
+        if max_batch < 1:
+            raise ConfigurationError(
+                f"max_batch must be >= 1, got {max_batch}")
+        if not keep_records and workdir is None:
+            raise ConfigurationError(
+                "streaming aggregation (keep_records=False) needs a "
+                "workdir: the shard journals are the record store the "
+                "canonical report streams from")
+        if resume and workdir is None:
+            raise ConfigurationError("resume needs a workdir")
         self.spec = spec
         self.workers = workers
         self.telemetry = coalesce(telemetry)
+        self.workdir = None if workdir is None else os.fspath(workdir)
+        self.resume = resume
+        self.keep_records = keep_records
+        self.shard_size = shard_size
+        self.max_batch = max_batch
+        self._live_pids: list[int] = []
 
-    def run(self) -> CampaignResult:
-        """Execute every run and aggregate the ordered record set.
+    def worker_pids(self) -> list[int]:
+        """Pids of currently live worker processes (observability and
+        fault-injection tests; empty when running in-process)."""
+        return list(self._live_pids)
 
-        Alongside the deterministic records the result's ``meta``
-        section reports how the execution went: per-stage wall timings,
-        completion heartbeats (at most ~100, strided), a per-worker
-        run/wall table and straggler flags.  None of it enters
+    # -- execution -----------------------------------------------------
+
+    def run(self, *, resume: bool | None = None) -> CampaignResult:
+        """Execute every (remaining) run and aggregate the record set.
+
+        ``resume`` overrides the constructor flag.  Alongside the
+        deterministic records the result's ``meta`` section reports how
+        the execution went: per-stage wall timings, completion
+        heartbeats (at most ~100, strided), a per-worker run/wall
+        table, shard progress, steal/death/duplicate counts and
+        straggler flags.  None of it enters
         :meth:`CampaignResult.to_json`.
         """
+        resume = self.resume if resume is None else resume
+        if resume and self.workdir is None:
+            raise ConfigurationError("resume needs a workdir")
         tel = self.telemetry
         t0 = time.perf_counter()
-        runs = self.spec.expand()
+        runs = sorted(self.spec.expand(), key=lambda r: r.run_id)
+        by_id = {run.run_id: run for run in runs}
+
+        workdir: CampaignWorkdir | None = None
+        if self.workdir is not None:
+            workdir = CampaignWorkdir(self.workdir)
+        shard_size = self.shard_size or default_shard_size(len(runs))
+        if workdir is not None and resume and workdir.has_manifest():
+            shard_size = workdir.resume(self.spec)
+        shards = shard_campaign(self.spec, shard_size=shard_size)
+        if workdir is not None and not (resume and
+                                        workdir.has_manifest()):
+            workdir.initialise(self.spec, shards, shard_size)
         expand_s = time.perf_counter() - t0
 
-        workers = min(self.workers, len(runs))
-        n_runs = len(runs)
-        stride = max(1, n_runs // 100)
-        queue_gauge = tel.gauge("campaign.queue_depth", wall=True)
-        queue_gauge.set(n_runs)
-        heartbeats: list[dict[str, object]] = []
-        envelopes: list[dict[str, object]] = []
+        aggregate = _Aggregate(n_runs=len(runs),
+                               keep_records=self.keep_records,
+                               workdir=workdir, shards=shards,
+                               telemetry=tel, t0=t0)
+        completed: set[str] = set()
+        resume_start = time.perf_counter()
+        if workdir is not None and resume:
+            for shard in shards:
+                journaled = workdir.load_shard(shard)
+                for run_id in sorted(journaled):
+                    aggregate.add({"record": journaled[run_id]},
+                                  resumed=True)
+                    completed.add(run_id)
+        resume_s = time.perf_counter() - resume_start
 
-        def collect(envelope: dict[str, object]) -> None:
-            envelope["t_s"] = time.perf_counter() - t0
-            envelopes.append(envelope)
-            done = len(envelopes)
-            queue_gauge.set(n_runs - done)
-            if done % stride == 0 or done == n_runs:
-                heartbeats.append({
-                    "done": done, "total": n_runs,
-                    "t_s": round(envelope["t_s"], 6),
-                    "run_id": envelope["record"]["run_id"],
-                    "pid": envelope["pid"]})
-
+        pending = [run for run in runs if run.run_id not in completed]
         execute_start = time.perf_counter()
-        if workers > 1:
-            with multiprocessing.Pool(processes=workers) as pool:
-                for envelope in pool.imap_unordered(
-                        _timed_execute_run, runs, chunksize=1):
-                    collect(envelope)
-        else:
-            for run_spec in runs:
-                collect(_timed_execute_run(run_spec))
+        dispatch_meta: dict[str, object] = {}
+        workers = min(self.workers, max(1, len(pending)))
+        if pending:
+            if workers > 1:
+                dispatch_meta = self._run_parallel(
+                    pending, workers, aggregate, completed)
+            else:
+                for run_spec in pending:
+                    aggregate.add(_timed_execute_run(run_spec))
+                    completed.add(run_spec.run_id)
         execute_s = time.perf_counter() - execute_start
 
         aggregate_start = time.perf_counter()
-        records = [env["record"] for env in envelopes]
-        meta = self._build_meta(envelopes, workers)
+        records = aggregate.records
         records.sort(key=lambda r: r["run_id"])
-        # Status counters are fed from the *sorted* records, so the
-        # telemetry stream stays byte-identical across serial/parallel.
-        status_counts: dict[str, int] = {}
-        for record in records:
-            status = str(record["status"])
-            status_counts[status] = status_counts.get(status, 0) + 1
-        for status in sorted(status_counts):
-            tel.counter("campaign.runs",
-                        status=status).inc(status_counts[status])
-        meta["stages"] = {
-            "expand_s": round(expand_s, 6),
-            "execute_s": round(execute_s, 6),
-            "aggregate_s": round(time.perf_counter() - aggregate_start, 6),
-            "total_s": round(time.perf_counter() - t0, 6)}
-        meta["heartbeats"] = heartbeats
-        return CampaignResult(campaign=self.spec.name,
-                              base_seed=self.spec.base_seed,
-                              records=records, meta=meta)
+        # Status counters are folded in sorted-status order, so the
+        # telemetry stream stays byte-identical however the runs were
+        # scheduled (or resumed).
+        for status in sorted(aggregate.status_counts):
+            tel.counter("campaign.runs", status=status).inc(
+                aggregate.status_counts[status])
+        if workdir is not None:
+            workdir.close()
 
-    def _build_meta(self, envelopes: list[dict[str, object]],
-                    workers: int) -> dict[str, object]:
-        """Per-worker table, straggler flags and wall spans."""
-        tel = self.telemetry
-        worker_table: dict[int, dict[str, object]] = {}
-        walls = sorted(env["wall_s"] for env in envelopes)
-        median = walls[len(walls) // 2] if walls else 0.0
-        threshold = max(_STRAGGLER_RATIO * median, _STRAGGLER_FLOOR_S)
-        stragglers = []
-        for env in envelopes:
-            pid = env["pid"]
-            entry = worker_table.setdefault(
-                pid, {"runs": 0, "wall_s": 0.0})
-            entry["runs"] += 1
-            entry["wall_s"] += env["wall_s"]
-            if env["wall_s"] >= threshold:
-                stragglers.append({
-                    "run_id": env["record"]["run_id"],
-                    "wall_s": round(env["wall_s"], 6),
-                    "median_s": round(median, 6), "pid": pid})
-            if tel.enabled:
-                end_ms = env["t_s"] * 1e3
-                tel.span(str(env["record"]["run_id"]),
-                         end_ms - env["wall_s"] * 1e3, end_ms,
-                         track=f"worker {pid}", unit="ms", wall=True,
-                         status=str(env["record"]["status"]))
-        stragglers.sort(key=lambda s: s["run_id"])
-        return {
+        meta: dict[str, object] = {
             "workers": workers,
             "worker_table": {
-                str(pid): {"runs": entry["runs"],
+                str(pid): {"runs": int(entry["runs"]),
                            "wall_s": round(entry["wall_s"], 6)}
-                for pid, entry in sorted(worker_table.items())},
-            "median_run_wall_s": round(median, 6),
-            "stragglers": stragglers}
+                for pid, entry in sorted(
+                    aggregate.worker_table.items())},
+            "median_run_wall_s": round(aggregate.median_wall_s(), 6),
+            "stragglers": aggregate.stragglers(),
+            "shards": aggregate.shard_meta(),
+            "resume": {"enabled": bool(resume),
+                       "n_resumed": aggregate.n_resumed},
+            "dispatch": dispatch_meta,
+            "heartbeats": aggregate.heartbeats,
+        }
+        if not self.keep_records:
+            meta["aggregate"] = {
+                "streaming": True,
+                "peak_resident_records":
+                    aggregate.peak_resident_records}
+        meta["stages"] = {
+            "expand_s": round(expand_s, 6),
+            "resume_s": round(resume_s, 6),
+            "execute_s": round(execute_s, 6),
+            "aggregate_s": round(
+                time.perf_counter() - aggregate_start, 6),
+            "total_s": round(time.perf_counter() - t0, 6)}
+        return CampaignResult(campaign=self.spec.name,
+                              base_seed=self.spec.base_seed,
+                              records=records, meta=meta,
+                              status_counts=dict(aggregate.status_counts),
+                              workdir=self.workdir, shards=shards)
+
+    # -- parallel dispatch ---------------------------------------------
+
+    def _run_parallel(self, pending: list[RunSpec], workers: int,
+                      aggregate: _Aggregate, completed: set[str]
+                      ) -> dict[str, object]:
+        """The work-stealing dispatch loop.
+
+        The parent owns scheduling: it feeds adaptively-sized batches
+        through per-worker pipes, re-queues the work of dead workers,
+        lets idle workers steal the uncompleted tail of the slowest
+        outstanding batch, and — if every worker dies — finishes the
+        remainder in-process, so a campaign always completes.
+        """
+        scenarios = {s.name: s for s in self.spec.scenarios}
+        base_seed = self.spec.base_seed
+        queue: list[tuple[str, str, int]] = [
+            (run.run_id, run.scenario.name, run.seed) for run in pending]
+        queue.reverse()  # pop() from the end == sorted dispatch order
+        # Cheap run-id lookups for re-queue and steal dispatch.
+        scenario_of = {run.run_id: run.scenario.name for run in pending}
+        seed_of = {run.run_id: run.seed for run in pending}
+        handles: list[_WorkerHandle] = []
+        for _ in range(workers):
+            parent_conn, child_conn = multiprocessing.Pipe()
+            proc = multiprocessing.Process(
+                target=_worker_main,
+                args=(child_conn, scenarios, base_seed), daemon=True)
+            proc.start()
+            child_conn.close()
+            handles.append(_WorkerHandle(proc, parent_conn))
+        self._live_pids = [h.proc.pid for h in handles
+                           if h.proc.pid is not None]
+
+        next_batch_id = 0
+        dispatched_extra: set[str] = set()  # runs already stolen once
+        n_steals = n_duplicates = n_deaths = 0
+        target = len(pending) + len(completed)
+
+        def batch_size() -> int:
+            live = max(1, sum(1 for h in handles if not h.dead))
+            return max(1, min(self.max_batch,
+                              len(queue) // (live * 4) or 1))
+
+        def send_batch(handle: _WorkerHandle,
+                       items: list[tuple[str, str, int]]) -> bool:
+            nonlocal next_batch_id
+            batch_id = next_batch_id
+            next_batch_id += 1
+            try:
+                handle.conn.send(("batch", batch_id, items))
+            except (BrokenPipeError, OSError):
+                reap(handle)
+                return False
+            handle.outstanding[batch_id] = {
+                item[0]: 0.0 for item in items}
+            return True
+
+        def reap(handle: _WorkerHandle) -> None:
+            """Mark a worker dead and re-queue its unfinished runs."""
+            nonlocal n_deaths
+            if handle.dead:
+                return
+            handle.dead = True
+            n_deaths += 1
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+            for batch in handle.outstanding.values():
+                for run_id in batch:
+                    if run_id not in completed:
+                        queue.append((run_id, scenario_of[run_id],
+                                      seed_of[run_id]))
+            handle.outstanding.clear()
+            self._live_pids = [h.proc.pid for h in handles
+                               if not h.dead and h.proc.pid is not None]
+
+        def fill() -> None:
+            for handle in handles:
+                if handle.dead:
+                    continue
+                while (queue and
+                       len(handle.outstanding) < _PIPELINE_DEPTH):
+                    size = batch_size()
+                    items = [queue.pop() for _ in range(
+                        min(size, len(queue)))]
+                    if not send_batch(handle, items):
+                        queue.extend(reversed(items))
+                        break
+
+        def steal() -> None:
+            """Give an idle worker the tail of the largest batch."""
+            nonlocal n_steals
+            idle = [h for h in handles
+                    if not h.dead and not h.outstanding]
+            if not idle or queue:
+                return
+            victim_runs: list[str] = []
+            for handle in handles:
+                if handle.dead:
+                    continue
+                for batch in handle.outstanding.values():
+                    remaining = [run_id for run_id in batch
+                                 if run_id not in completed
+                                 and run_id not in dispatched_extra]
+                    if len(remaining) > len(victim_runs):
+                        victim_runs = remaining
+            if len(victim_runs) < 2:
+                return
+            tail = victim_runs[len(victim_runs) // 2:]
+            thief = idle[0]
+            items = [(run_id, scenario_of[run_id], seed_of[run_id])
+                     for run_id in tail]
+            if send_batch(thief, items):
+                dispatched_extra.update(tail)
+                n_steals += 1
+
+        def drain(handle: _WorkerHandle) -> None:
+            nonlocal n_duplicates
+            while True:
+                try:
+                    if not handle.conn.poll():
+                        return
+                    message = handle.conn.recv()
+                except (EOFError, OSError):
+                    reap(handle)
+                    return
+                if message[0] == "runs":
+                    _, batch_id, results = message
+                    batch = handle.outstanding.get(batch_id)
+                    for run_id, envelope in results:
+                        if batch is not None:
+                            batch.pop(run_id, None)
+                        if run_id in completed:
+                            n_duplicates += 1
+                        else:
+                            completed.add(run_id)
+                            aggregate.add(envelope)
+                elif message[0] == "batch_done":
+                    handle.outstanding.pop(message[1], None)
+
+        try:
+            fill()
+            while len(completed) < target:
+                live = [h for h in handles if not h.dead]
+                if not live:
+                    # Every worker died: finish in-process so the
+                    # campaign still completes (and journals).
+                    leftovers = sorted({run_id for run_id, _, _ in queue}
+                                       - completed)
+                    for run_id in leftovers:
+                        run = RunSpec(
+                            run_id=run_id,
+                            scenario=scenarios[scenario_of[run_id]],
+                            seed=seed_of[run_id],
+                            base_seed=base_seed)
+                        aggregate.add(_timed_execute_run(run))
+                        completed.add(run_id)
+                    break
+                ready = multiprocessing.connection.wait(
+                    [h.conn for h in live], timeout=0.05)
+                for handle in live:
+                    if handle.conn in ready:
+                        drain(handle)
+                for handle in handles:
+                    if (not handle.dead
+                            and not handle.proc.is_alive()):
+                        drain(handle)   # flush anything buffered
+                        reap(handle)
+                fill()
+                steal()
+        finally:
+            for handle in handles:
+                if not handle.dead:
+                    try:
+                        handle.conn.send(("stop",))
+                    except (BrokenPipeError, OSError):
+                        pass
+            for handle in handles:
+                handle.proc.join(timeout=5.0)
+                if handle.proc.is_alive():
+                    handle.proc.terminate()
+                    handle.proc.join(timeout=5.0)
+                try:
+                    handle.conn.close()
+                except OSError:
+                    pass
+            self._live_pids = []
+        return {"steals": n_steals, "duplicates": n_duplicates,
+                "worker_deaths": n_deaths,
+                "batches": next_batch_id}

@@ -34,8 +34,9 @@ from repro.topology.builders import (concentrated_mesh, line, mesh, ring,
 from repro.topology.graph import Topology
 from repro.topology.mapping import Mapping, round_robin
 
-__all__ = ["TopologySpec", "WorkloadSpec", "TrafficSpec", "ScenarioSpec",
-           "RunSpec", "CampaignSpec", "scenario_grid", "derive_seed"]
+__all__ = ["TopologySpec", "WorkloadSpec", "TrafficSpec", "SyntheticSpec",
+           "ScenarioSpec", "RunSpec", "CampaignSpec", "scenario_grid",
+           "derive_seed"]
 
 
 def derive_seed(base_seed: int, *labels: object) -> int:
@@ -198,6 +199,27 @@ class TrafficSpec:
 
 
 @dataclass(frozen=True)
+class SyntheticSpec:
+    """Parameters of a ``mode="synthetic"`` scenario.
+
+    Synthetic runs execute a seed-deterministic hash chain instead of a
+    simulation — microseconds per run — which is what lets dispatch
+    overhead, checkpointing and resume be exercised (and benchmarked)
+    on grids of tens of thousands of runs.  ``work`` counts SHA-256
+    rounds per run; ``fail_seeds`` names seeds whose runs raise inside
+    the worker, the deterministic probe for the fabric's
+    failed-envelope (graceful-degradation) path.
+    """
+
+    work: int = 200
+    fail_seeds: tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise ConfigurationError("synthetic work must be >= 0")
+
+
+@dataclass(frozen=True)
 class ScenarioSpec:
     """One cell of the campaign grid (before seed expansion).
 
@@ -227,7 +249,13 @@ class ScenarioSpec:
       the fault-free baseline run of the identical churn, and replay
       the churn+fault timeline on ``backend`` for the fault-survivor
       composability verdict.  Reports are survivability records
-      (admission retention, guarantee retention, session survival).
+      (admission retention, guarantee retention, session survival);
+    * ``mode="synthetic"`` — execute a seed-deterministic hash chain
+      (``synthetic``, a :class:`SyntheticSpec`; defaults apply when
+      ``None``).  Costs microseconds per run, which makes it the grid
+      filler for fabric-scale benchmarks, crash/resume drills and CI
+      smoke checks; every other axis except ``topology`` (used only
+      for its label) is ignored.
     """
 
     name: str
@@ -239,18 +267,24 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
-    mode: str = "simulate"    # simulate | serve | replay | design | faults
+    mode: str = "simulate"  # simulate|serve|replay|design|faults|synthetic
     churn: ChurnSpec | None = None  # serve / replay / faults modes
     design: object | None = None    # design mode only (a DesignSpec)
     faults: FaultSpec | None = None  # faults mode only
+    synthetic: SyntheticSpec | None = None  # synthetic mode only
 
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
         if self.mode not in ("simulate", "serve", "replay", "design",
-                             "faults"):
+                             "faults", "synthetic"):
             raise ConfigurationError(
                 f"unknown scenario mode {self.mode!r}; expected "
-                "'simulate', 'serve', 'replay', 'design' or 'faults'")
+                "'simulate', 'serve', 'replay', 'design', 'faults' or "
+                "'synthetic'")
+        if self.synthetic is not None and self.mode != "synthetic":
+            raise ConfigurationError(
+                "synthetic spec only applies to mode='synthetic' "
+                "scenarios")
         if self.churn is not None and self.mode not in (
                 "serve", "replay", "faults"):
             raise ConfigurationError(

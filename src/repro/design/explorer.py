@@ -377,7 +377,9 @@ class DesignExplorer:
     def __init__(self, design: DesignSpec | None = None, *,
                  use_case=None, space: DesignSpace, workers: int = 1,
                  name: str = "design", seed: int = 1,
-                 base_seed: int = 2009, telemetry=None):
+                 base_seed: int = 2009, telemetry=None,
+                 workdir=None, resume: bool = False,
+                 shard_size: int | None = None):
         if design is None:
             if use_case is None:
                 raise ConfigurationError(
@@ -396,6 +398,9 @@ class DesignExplorer:
         self.seed = seed
         self.base_seed = base_seed
         self.telemetry = telemetry
+        self.workdir = workdir
+        self.resume = resume
+        self.shard_size = shard_size
 
     def campaign_spec(self) -> CampaignSpec:
         """One ``mode="design"`` scenario per candidate of the space.
@@ -428,10 +433,19 @@ class DesignExplorer:
                             seeds=(self.seed,), base_seed=self.base_seed)
 
     def explore(self) -> DesignReport:
-        """Evaluate every candidate and aggregate the Pareto report."""
+        """Evaluate every candidate and aggregate the Pareto report.
+
+        The sweep inherits the campaign fabric wholesale: with a
+        ``workdir`` each evaluated candidate checkpoints into the shard
+        journals, and ``resume=True`` picks a killed exploration back
+        up without re-evaluating finished candidates.
+        """
         result = CampaignRunner(self.campaign_spec(),
                                 workers=self.workers,
-                                telemetry=self.telemetry).run()
+                                telemetry=self.telemetry,
+                                workdir=self.workdir,
+                                resume=self.resume,
+                                shard_size=self.shard_size).run()
         return DesignReport(problem=self.design.use_case.name,
                             base_seed=self.base_seed,
                             records=result.records, meta=result.meta)

@@ -1,0 +1,344 @@
+"""Campaign fabric: sharding, checkpointing, resume, work stealing.
+
+The contract under test is byte-determinism against every scheduling
+accident the fabric is built to absorb: worker counts, batch and steal
+order, SIGKILLed workers, a SIGKILLed parent resumed from its
+journals, and runs that crash inside a worker.  Every path must
+reproduce the serial report byte for byte.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.campaign.fabric import (CampaignWorkdir, ShardJournal,
+                                   default_shard_size, iter_report_chunks,
+                                   shard_campaign, spec_fingerprint)
+from repro.campaign.presets import synthetic_campaign
+from repro.campaign.runner import CampaignRunner
+from repro.campaign.spec import (CampaignSpec, ScenarioSpec, SyntheticSpec,
+                                 derive_seed)
+from repro.core.exceptions import ConfigurationError
+
+
+def _grid(n_scenarios=6, seeds=(1, 2), work=20, fail_seeds=()):
+    return synthetic_campaign(n_scenarios=n_scenarios, seeds=seeds,
+                              work=work, fail_seeds=fail_seeds)
+
+
+class TestSharding:
+    def test_shards_partition_the_sorted_run_list(self):
+        spec = _grid(n_scenarios=5, seeds=(1, 2, 3))
+        shards = shard_campaign(spec, shard_size=4)
+        run_ids = [run_id for shard in shards for run_id in shard.run_ids]
+        assert run_ids == sorted(r.run_id for r in spec.expand())
+        assert [s.index for s in shards] == list(range(len(shards)))
+
+    def test_shard_ids_derive_from_run_keys_not_declaration_order(self):
+        # The same scenario set declared in reverse yields the same
+        # shards: ids hash the sorted run keys, not enumeration order.
+        scenarios = tuple(
+            ScenarioSpec(name=f"synth-{i:04d}", mode="synthetic",
+                         synthetic=SyntheticSpec(work=1))
+            for i in range(6))
+        fwd = CampaignSpec(name="s", scenarios=scenarios, seeds=(1, 2))
+        rev = CampaignSpec(name="s", scenarios=scenarios[::-1],
+                           seeds=(1, 2))
+        assert shard_campaign(fwd, shard_size=5) == \
+            shard_campaign(rev, shard_size=5)
+        assert spec_fingerprint(fwd) == spec_fingerprint(rev)
+
+    @settings(max_examples=25, deadline=None)
+    @given(n_runs=st.integers(1, 3_000_000))
+    def test_default_shard_size_is_pure_and_bounded(self, n_runs):
+        size = default_shard_size(n_runs)
+        assert size == default_shard_size(n_runs)  # pure in n_runs
+        assert 1 <= size <= 512
+
+    @settings(max_examples=20, deadline=None)
+    @given(n_scenarios=st.integers(1, 7), n_seeds=st.integers(1, 4),
+           shard_size=st.integers(1, 10))
+    def test_shard_ids_stable_across_expansions(self, n_scenarios,
+                                                n_seeds, shard_size):
+        spec = _grid(n_scenarios=n_scenarios,
+                     seeds=tuple(range(1, n_seeds + 1)))
+        first = shard_campaign(spec, shard_size=shard_size)
+        again = shard_campaign(spec, shard_size=shard_size)
+        assert first == again
+        assert sum(s.n_runs for s in first) == n_scenarios * n_seeds
+
+
+class TestDeterminism:
+    def test_report_bytes_independent_of_worker_count(self, tmp_path):
+        spec = _grid(n_scenarios=6, seeds=(1, 2, 3))
+        reference = CampaignRunner(spec, workers=1).run().to_json()
+        for workers in (2, 3, 5):
+            result = CampaignRunner(
+                spec, workers=workers,
+                workdir=tmp_path / f"wd{workers}").run()
+            assert result.to_json() == reference
+
+    def test_report_bytes_survive_steals(self):
+        # A grid engineered so idle workers must steal: a tail batch of
+        # slow runs (sorted last) while every other run is instant.
+        scenarios = tuple(
+            ScenarioSpec(name=f"synth-{i:04d}", mode="synthetic",
+                         synthetic=SyntheticSpec(work=0))
+            for i in range(24)) + tuple(
+            ScenarioSpec(name=f"zz-slow-{i}", mode="synthetic",
+                         synthetic=SyntheticSpec(work=60_000))
+            for i in range(4))
+        spec = CampaignSpec(name="steal", scenarios=scenarios,
+                            seeds=(1, 2))
+        reference = CampaignRunner(spec, workers=1).run().to_json()
+        result = CampaignRunner(spec, workers=4).run()
+        assert result.to_json() == reference
+        dispatch = result.meta["dispatch"]
+        # Stolen work may double-complete; dedup keeps one record.
+        assert dispatch["duplicates"] >= 0
+        assert result.n_runs == len(scenarios) * 2
+
+    def test_streaming_report_matches_json_dumps(self, tmp_path):
+        spec = _grid(n_scenarios=4, seeds=(1, 2), fail_seeds=(2,))
+        result = CampaignRunner(spec, workers=2, workdir=tmp_path / "wd",
+                                keep_records=False).run()
+        expected = json.dumps(
+            {"campaign": result.campaign, "base_seed": result.base_seed,
+             "n_runs": result.n_runs, "n_failed": result.n_failed,
+             "records": list(result.iter_records())},
+            indent=2, sort_keys=True)
+        assert result.to_json() == expected
+        assert result.records == []
+
+    def test_iter_report_chunks_equals_json_dumps(self):
+        records = [{"run_id": f"r{i}", "status": "ok",
+                    "nested": {"b": [1, 2], "a": None}}
+                   for i in range(3)]
+        chunks = "".join(iter_report_chunks("c", 7, 3, 0, iter(records)))
+        assert chunks == json.dumps(
+            {"campaign": "c", "base_seed": 7, "n_runs": 3, "n_failed": 0,
+             "records": records}, indent=2, sort_keys=True)
+
+
+class TestCheckpointResume:
+    def test_resume_skips_journaled_runs_and_matches_serial(self,
+                                                            tmp_path):
+        spec = _grid(n_scenarios=6, seeds=(1, 2))
+        serial = CampaignRunner(spec, workers=1).run().to_json()
+        wd = tmp_path / "wd"
+        shards = shard_campaign(spec,
+                                shard_size=default_shard_size(12))
+        # Simulate a killed campaign: initialise the workdir and
+        # journal only the first shard's runs, then resume.
+        workdir = CampaignWorkdir(wd)
+        workdir.initialise(spec, shards, default_shard_size(12))
+        runs = {r.run_id: r for r in spec.expand()}
+        from repro.campaign.runner import _safe_execute_run
+        for run_id in shards[0].run_ids:
+            workdir.append(shards[0].shard_id,
+                           _safe_execute_run(runs[run_id]))
+        workdir.close()
+        resumed = CampaignRunner(spec, workers=2, workdir=wd,
+                                 resume=True).run()
+        assert resumed.to_json() == serial
+        assert resumed.meta["resume"]["n_resumed"] == \
+            len(shards[0].run_ids)
+
+    def test_resume_of_complete_campaign_is_a_noop(self, tmp_path):
+        spec = _grid()
+        wd = tmp_path / "wd"
+        first = CampaignRunner(spec, workers=2, workdir=wd).run()
+        again = CampaignRunner(spec, workers=2, workdir=wd,
+                               resume=True).run()
+        assert again.to_json() == first.to_json()
+        assert again.meta["resume"]["n_resumed"] == first.n_runs
+        assert again.meta["worker_table"] == {}
+
+    def test_resume_tolerates_corrupt_journal_lines(self, tmp_path):
+        spec = _grid(n_scenarios=4, seeds=(1,))
+        wd = tmp_path / "wd"
+        serial = CampaignRunner(spec, workers=1, workdir=wd).run()
+        journal = next((wd / "shards").glob("*.jsonl"))
+        with open(journal, "a", encoding="utf-8") as handle:
+            handle.write('{"truncated mid-wri')
+        resumed = CampaignRunner(spec, workers=1, workdir=wd,
+                                 resume=True).run()
+        assert resumed.to_json() == serial.to_json()
+
+    def test_existing_manifest_without_resume_refuses(self, tmp_path):
+        spec = _grid()
+        wd = tmp_path / "wd"
+        CampaignRunner(spec, workers=1, workdir=wd).run()
+        with pytest.raises(ConfigurationError, match="resume"):
+            CampaignRunner(spec, workers=1, workdir=wd).run()
+
+    def test_resume_rejects_a_different_campaign(self, tmp_path):
+        wd = tmp_path / "wd"
+        CampaignRunner(_grid(n_scenarios=3), workers=1,
+                       workdir=wd).run()
+        with pytest.raises(ConfigurationError, match="fingerprint"):
+            CampaignRunner(_grid(n_scenarios=4), workers=1, workdir=wd,
+                           resume=True).run()
+
+    def test_streaming_needs_a_workdir(self):
+        with pytest.raises(ConfigurationError, match="workdir"):
+            CampaignRunner(_grid(), keep_records=False)
+
+    def test_resume_needs_a_workdir(self):
+        with pytest.raises(ConfigurationError, match="workdir"):
+            CampaignRunner(_grid(), resume=True)
+
+
+class TestCrashResilience:
+    def test_sigkilled_worker_requeues_and_report_matches(self):
+        spec = _grid(n_scenarios=10, seeds=tuple(range(1, 11)),
+                     work=8_000)
+        serial = CampaignRunner(spec, workers=1).run().to_json()
+        runner = CampaignRunner(spec, workers=3)
+        box: dict[str, object] = {}
+
+        def execute():
+            box["result"] = runner.run()
+
+        thread = threading.Thread(target=execute)
+        thread.start()
+        deadline = time.time() + 30.0
+        killed = False
+        while not killed and time.time() < deadline:
+            pids = runner.worker_pids()
+            if pids:
+                os.kill(pids[0], signal.SIGKILL)
+                killed = True
+            time.sleep(0.005)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        result = box["result"]
+        assert killed
+        assert result.to_json() == serial
+        assert result.meta["dispatch"]["worker_deaths"] >= 1
+
+    def test_all_workers_dead_falls_back_in_process(self):
+        spec = _grid(n_scenarios=8, seeds=tuple(range(1, 9)),
+                     work=12_000)
+        serial = CampaignRunner(spec, workers=1).run().to_json()
+        runner = CampaignRunner(spec, workers=2)
+        box: dict[str, object] = {}
+
+        def execute():
+            box["result"] = runner.run()
+
+        thread = threading.Thread(target=execute)
+        thread.start()
+        killed: set[int] = set()
+        deadline = time.time() + 30.0
+        while len(killed) < 2 and time.time() < deadline:
+            for pid in runner.worker_pids():
+                if pid not in killed:
+                    try:
+                        os.kill(pid, signal.SIGKILL)
+                    except ProcessLookupError:
+                        pass
+                    killed.add(pid)
+            time.sleep(0.005)
+        thread.join(timeout=60.0)
+        assert not thread.is_alive()
+        assert box["result"].to_json() == serial
+
+    def test_sigkilled_parent_resumes_byte_identical(self, tmp_path):
+        spec_args = "n_scenarios=20, seeds=tuple(range(1, 21)), work=3000"
+        wd = tmp_path / "wd"
+        script = (
+            "from repro.campaign.presets import synthetic_campaign\n"
+            "from repro.campaign.runner import CampaignRunner\n"
+            f"spec = synthetic_campaign({spec_args})\n"
+            f"CampaignRunner(spec, workers=2, workdir={str(wd)!r}).run()\n")
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parent.parent
+        env["PYTHONPATH"] = str(root / "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen([sys.executable, "-c", script], env=env)
+        try:
+            deadline = time.time() + 60.0
+            journaled = 0
+            while time.time() < deadline and proc.poll() is None:
+                journaled = sum(
+                    1 for journal in (wd / "shards").glob("*.jsonl")
+                    for line in open(journal, encoding="utf-8")
+                    if line.strip()
+                ) if (wd / "shards").is_dir() else 0
+                if journaled >= 3:
+                    break
+                time.sleep(0.01)
+            mid_flight = proc.poll() is None and journaled >= 3
+        finally:
+            proc.kill()
+            proc.wait(timeout=30.0)
+        assert mid_flight, "campaign finished before the SIGKILL landed"
+        spec = synthetic_campaign(n_scenarios=20,
+                                  seeds=tuple(range(1, 21)), work=3000)
+        serial = CampaignRunner(spec, workers=1).run().to_json()
+        resumed = CampaignRunner(spec, workers=2, workdir=wd,
+                                 resume=True).run()
+        assert resumed.to_json() == serial
+        assert 0 < resumed.meta["resume"]["n_resumed"] < 400
+
+
+class TestGracefulDegradation:
+    def test_crashed_run_is_enveloped_not_poisoning(self, tmp_path):
+        spec = _grid(n_scenarios=8, seeds=(1, 2, 3), fail_seeds=(2,))
+        serial = CampaignRunner(spec, workers=1).run()
+        parallel = CampaignRunner(spec, workers=3).run()
+        assert parallel.to_json() == serial.to_json()
+        crashed = [r for r in serial.records if r["status"] == "crashed"]
+        assert len(crashed) == 8          # one per scenario at seed 2
+        assert serial.n_failed == 8
+        for record in crashed:
+            assert record["error"].startswith("RuntimeError")
+            assert len(record["traceback_digest"]) == 16
+        # Batch mates of the crashed runs all completed normally.
+        ok = [r for r in serial.records if r["status"] == "ok"]
+        assert len(ok) == serial.n_runs - 8
+
+    def test_failure_accounting_identical_in_streaming_mode(self,
+                                                            tmp_path):
+        spec = _grid(n_scenarios=5, seeds=(1, 2), fail_seeds=(1,))
+        keep = CampaignRunner(spec, workers=2).run()
+        stream = CampaignRunner(spec, workers=2,
+                                workdir=tmp_path / "wd",
+                                keep_records=False).run()
+        assert stream.n_failed == keep.n_failed == 5
+        assert stream.n_runs == keep.n_runs
+        assert stream.summary_rows() == keep.summary_rows()
+        assert stream.to_json() == keep.to_json()
+        assert stream.digest() == keep.digest()
+
+
+class TestJournal:
+    def test_journal_first_write_wins_on_duplicates(self, tmp_path):
+        journal = ShardJournal(tmp_path / "s.jsonl")
+        with open(journal.path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps({"run_id": "a", "status": "ok"}))
+            handle.write("\n")
+            handle.write(json.dumps({"run_id": "a", "status": "dup"}))
+            handle.write("\n")
+        assert journal.load() == {"a": {"run_id": "a", "status": "ok"}}
+
+    def test_scenario_context_not_pickled_per_run(self):
+        # The per-batch payload is compact triples; a worker rebuilds
+        # RunSpecs from its interned scenario library.  Guard the
+        # derived seed path that rebuild depends on.
+        spec = _grid(n_scenarios=2, seeds=(5,))
+        run = spec.expand()[0]
+        assert run.run_seed == derive_seed(spec.base_seed, run.run_id)
