@@ -65,6 +65,11 @@ def pytest_addoption(parser: pytest.Parser) -> None:
              "workload (tier-2; asserts enabled-mode overhead < 5% "
              "and telemetry-on/off report byte-identity)")
     parser.addoption(
+        "--monitor-overhead", action="store_true", default=False,
+        help="run the conformance-monitor overhead gate on the "
+             "admission churn workload (tier-2; asserts armed-monitor "
+             "overhead < 5% and monitor-on/off report byte-identity)")
+    parser.addoption(
         "--campaign-bench", action="store_true", default=False,
         help="run the campaign-fabric benchmark on a ~10k-run "
              "synthetic grid (tier-2; asserts the sharded batching "

@@ -15,6 +15,8 @@ Usage::
     python -m repro replay ...    # dynamic composability replay (below)
     python -m repro design ...    # design-space explorer (below)
     python -m repro faults ...    # fault injection + survivability (below)
+    python -m repro monitor ...   # conformance watchdog + heatmaps (below)
+    python -m repro bench-check   # perf-regression sentinel (below)
 
 Running campaigns
 -----------------
@@ -113,6 +115,36 @@ retention and session survival; the churn+fault timeline replays on the
 flit-level backend and every fault-survivor's trace must be
 bit-identical to its solo reference.  The flow runs twice and the two
 canonical JSON reports must match byte for byte.
+
+Monitoring guarantees
+---------------------
+
+The ``monitor`` subcommand runs the :mod:`repro.telemetry.monitor`
+analysis tier over the Section VII use case: every channel's observed
+worst-case service latency and delivered throughput are classified
+against the quoted analytical bounds (``within_bounds`` / ``tight`` /
+``violated``), and the fabric's per-link / per-NI slot occupancy is
+folded into hotspot heatmaps::
+
+    python -m repro monitor --demo                # watchdog + heatmaps
+    python -m repro monitor --demo --slots 1500 --top 5
+    python -m repro monitor --demo --output conformance.json
+
+On the GS backend zero channels may classify ``violated``; the
+conformance report is byte-deterministic and the demo verifies that by
+running the flow twice.  ``serve``, ``replay``, ``faults`` and
+``campaign`` accept ``--monitor`` (and ``--monitor-output PATH``,
+``--monitor-slack F``) to arm the same watchdog on their own flows; the
+canonical demo reports stay byte-identical with the monitor on or off.
+
+The ``bench-check`` subcommand is the perf-regression sentinel: it
+reads the committed ``benchmarks/records/BENCH_*.json`` trajectories,
+fits a robust baseline (median of prior entries) per benchmark, and
+exits non-zero when the newest entry's throughput regressed more than
+the tolerance::
+
+    python -m repro bench-check                   # default 15% tolerance
+    python -m repro bench-check --tolerance 0.15 --records benchmarks/records
 
 Observability
 -------------
@@ -352,6 +384,7 @@ def _campaign(args: argparse.Namespace) -> int:
                        title=f"campaign {spec.name!r} — {result.n_runs} "
                              f"runs on {workers} workers "
                              f"({result.n_failed} failed)"))
+    print("\n" + result.summary())
     agree = True
     if workers > 1 and args.demo and workdir is None:
         with tel.phase("serial-verify"):
@@ -363,13 +396,19 @@ def _campaign(args: argparse.Namespace) -> int:
         print("\nworkers=1: in-process run, serial/parallel "
               "determinism check skipped")
     _print_campaign_meta(result.meta)
+    monitor = _monitor_spec(args)
+    conformance_ok = True
+    if monitor is not None:
+        from repro.telemetry.monitor import campaign_conformance
+        conformance_ok = _print_conformance(
+            campaign_conformance(result, spec=monitor), args)
     if args.output:
         result.write(args.output)
         print(f"aggregated JSON report written to {args.output}")
     else:
         print("\n" + result.to_json())
     _finish_telemetry(tel, args)
-    return 0 if agree else 1
+    return 0 if agree and conformance_ok else 1
 
 
 def _design(args: argparse.Namespace) -> int:
@@ -431,9 +470,11 @@ def _faults(args: argparse.Namespace) -> int:
               "Allocation.rebuild_excluding)", file=sys.stderr)
         return 2
     tel = _demo_telemetry("faults")
+    monitor = _monitor_spec(args)
     record, report_json, identical = run_faults_demo(
         n_events=args.events, n_slots=args.slots,
-        n_faults=args.faults, seed=args.seed, telemetry=tel)
+        n_faults=args.faults, seed=args.seed, telemetry=tel,
+        monitor=monitor)
     schedule = record["fault_schedule"]
     rows = [{
         "t_ms": e["t_ms"],
@@ -470,6 +511,10 @@ def _faults(args: argparse.Namespace) -> int:
           f"{'yes' if invariant_ok else 'NO — ISOLATION BUG'}")
     print(f"repeated-run reports byte-identical: "
           f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    conformance_ok = True
+    if monitor is not None:
+        conformance_ok = _print_conformance(
+            record.get("_conformance"), args)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report_json)
@@ -477,7 +522,7 @@ def _faults(args: argparse.Namespace) -> int:
         print(f"canonical JSON report written to {args.output}")
     _finish_telemetry(tel, args)
     return 0 if (identical and composable and invariant_ok
-                 and rebuild_ok) else 1
+                 and rebuild_ok and conformance_ok) else 1
 
 
 def _serve(args: argparse.Namespace) -> int:
@@ -488,8 +533,9 @@ def _serve(args: argparse.Namespace) -> int:
               "Python", file=sys.stderr)
         return 2
     tel = _demo_telemetry("serve")
+    monitor = _monitor_spec(args)
     report, identical = run_demo(n_events=args.events, seed=args.seed,
-                                 telemetry=tel)
+                                 telemetry=tel, monitor=monitor)
     print(format_table(
         report.summary_rows(),
         title=f"serve demo — {report.totals['n_events']} events on "
@@ -506,11 +552,15 @@ def _serve(args: argparse.Namespace) -> int:
           f"(admission mean {timing.get('admit_mean_us', 0.0):.1f} us, "
           f"p99 {timing.get('admit_p99_us', 0.0):.1f} us) "
           "[wall-clock; excluded from the canonical report]")
+    conformance_ok = True
+    if monitor is not None:
+        conformance_ok = _print_conformance(
+            getattr(report, "conformance", None), args)
     if args.output:
         report.write(args.output)
         print(f"canonical JSON report written to {args.output}")
     _finish_telemetry(tel, args)
-    return 0 if (identical and invariant_ok) else 1
+    return 0 if (identical and invariant_ok and conformance_ok) else 1
 
 
 def _replay(args: argparse.Namespace) -> int:
@@ -524,9 +574,10 @@ def _replay(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
     tel = _demo_telemetry("replay")
+    monitor = _monitor_spec(args)
     record, report_json, identical = run_replay_demo(
         n_events=args.events, n_slots=args.slots, seed=args.seed,
-        telemetry=tel)
+        telemetry=tel, monitor=monitor)
     verdicts = record["verdicts"]
     rows = [{
         "backend": name,
@@ -551,6 +602,10 @@ def _replay(args: argparse.Namespace) -> int:
           f"{'yes' if be_diverged else 'NO — expected divergence missing'}")
     print(f"repeated-run reports byte-identical: "
           f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    conformance_ok = True
+    if monitor is not None:
+        conformance_ok = _print_conformance(
+            record.get("_conformance"), args)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             handle.write(report_json)
@@ -562,7 +617,77 @@ def _replay(args: argparse.Namespace) -> int:
              "n_transitions": len(timeline["events"])},
             indent=2, sort_keys=True))
     _finish_telemetry(tel, args)
-    return 0 if (flit_ok and be_diverged and identical) else 1
+    return 0 if (flit_ok and be_diverged and identical
+                 and conformance_ok) else 1
+
+
+def _monitor(args: argparse.Namespace) -> int:
+    from repro.experiments.section7 import section7_setup
+    from repro.telemetry.monitor import (FabricRollup, MonitorSpec,
+                                         conformance_from_result)
+    from repro.usecase.runner import run_gs
+    if not args.demo:
+        print("monitor: only the built-in --demo flow is runnable from "
+              "the CLI; build custom watchdogs with "
+              "repro.telemetry.monitor in Python (MonitorSpec, "
+              "conformance_from_result, timeline_conformance, "
+              "FabricRollup)", file=sys.stderr)
+        return 2
+    tel = _demo_telemetry("monitor")
+    spec = MonitorSpec(slack_fraction=args.slack)
+    with tel.phase("configure"):
+        _, config = section7_setup()
+    with tel.phase("simulate"):
+        outcome = run_gs(config, n_slots=args.slots)
+    with tel.phase("conformance"):
+        conformance = conformance_from_result(config, outcome.result,
+                                              spec=spec)
+        rerun = conformance_from_result(
+            config, run_gs(config, n_slots=args.slots).result, spec=spec)
+        identical = conformance.to_json() == rerun.to_json()
+    rollup = FabricRollup.from_allocation(config.allocation)
+    rollup.emit_counter_tracks(tel)
+    print(conformance.summary())
+    print()
+    print(format_table(conformance.summary_rows(args.top),
+                       title="least-headroom channels"))
+    print()
+    print(format_table(rollup.link_rows(args.top),
+                       title="hottest links (slot occupancy)"))
+    print()
+    print(format_table(rollup.ni_rows(args.top),
+                       title="busiest source NIs (slot occupancy)"))
+    print(f"\nzero violated channels on the GS backend: "
+          f"{'yes' if conformance.n_violated == 0 else 'NO — BOUNDS BUG'}")
+    print(f"repeated-run conformance byte-identical: "
+          f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    if args.output:
+        conformance.write(args.output)
+        print(f"conformance report written to {args.output}")
+    _finish_telemetry(tel, args)
+    return 0 if (identical and conformance.n_violated == 0) else 1
+
+
+def _bench_check(args: argparse.Namespace) -> int:
+    from repro.telemetry.monitor import bench_check
+    try:
+        report = bench_check(args.records, tolerance=args.tolerance)
+    except (OSError, ValueError) as exc:
+        print(f"bench-check: {exc}", file=sys.stderr)
+        return 2
+    rows = report.summary_rows()
+    if rows:
+        print(format_table(
+            rows, title=f"bench-check — {len(rows)} recorded "
+                        f"trajectories in {args.records}"))
+        print()
+    print(report.summary())
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report.to_json())
+            handle.write("\n")
+        print(f"sentinel report written to {args.output}")
+    return 0 if report.ok else 1
 
 
 _COMMANDS = {
@@ -584,6 +709,51 @@ def _add_observability_flags(subparser: argparse.ArgumentParser) -> None:
     subparser.add_argument("--trace", default=None, metavar="PATH",
                            help="write a Chrome trace-event JSON here "
                                 "(load in Perfetto or chrome://tracing)")
+
+
+def _add_monitor_flags(subparser: argparse.ArgumentParser) -> None:
+    """``--monitor`` conformance watchdog flags, shared by the demos."""
+    subparser.add_argument("--monitor", action="store_true",
+                           help="arm the guarantee-conformance watchdog: "
+                                "classify observed/quoted behaviour "
+                                "against the analytical bounds "
+                                "(within_bounds / tight / violated); "
+                                "the canonical report stays "
+                                "byte-identical")
+    subparser.add_argument("--monitor-output", default=None,
+                           dest="monitor_output", metavar="PATH",
+                           help="write the canonical conformance report "
+                                "JSON here (implies --monitor)")
+    subparser.add_argument("--monitor-slack", type=float, default=0.2,
+                           dest="monitor_slack", metavar="FRACTION",
+                           help="headroom fraction under which a "
+                                "channel classifies as 'tight' "
+                                "(default 0.2)")
+
+
+def _monitor_spec(args: argparse.Namespace):
+    """The armed :class:`MonitorSpec`, or ``None`` when monitoring is off."""
+    if not (getattr(args, "monitor", False)
+            or getattr(args, "monitor_output", None)):
+        return None
+    from repro.telemetry.monitor import MonitorSpec
+    return MonitorSpec(slack_fraction=args.monitor_slack)
+
+
+def _print_conformance(conformance, args: argparse.Namespace) -> bool:
+    """Print one conformance verdict; write it if asked.  True when ok."""
+    if conformance is None:
+        print("\nconformance: monitor armed but no report was produced")
+        return False
+    print("\n" + conformance.summary())
+    rows = conformance.summary_rows()
+    if rows:
+        print(format_table(rows, title="least-headroom channels"))
+    output = getattr(args, "monitor_output", None)
+    if output:
+        conformance.write(output)
+        print(f"conformance report written to {output}")
+    return conformance.ok
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -643,6 +813,7 @@ def main(argv: list[str] | None = None) -> int:
     campaign.add_argument("--list", action="store_true",
                           help="print the expanded run grid and exit")
     _add_observability_flags(campaign)
+    _add_monitor_flags(campaign)
     serve = sub.add_parser(
         "serve", help="run the online admission service over a churn "
                       "trace")
@@ -658,6 +829,7 @@ def main(argv: list[str] | None = None) -> int:
     serve.add_argument("--output", default=None,
                        help="write the canonical JSON report here")
     _add_observability_flags(serve)
+    _add_monitor_flags(serve)
     replay = sub.add_parser(
         "replay", help="record a churn trace and replay it as a "
                        "reconfiguration timeline at cycle level")
@@ -678,6 +850,7 @@ def main(argv: list[str] | None = None) -> int:
     replay.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
     _add_observability_flags(replay)
+    _add_monitor_flags(replay)
     design = sub.add_parser(
         "design", help="dimension a network from a workload: explore "
                        "the design space and emit the Pareto front")
@@ -723,6 +896,47 @@ def main(argv: list[str] | None = None) -> int:
     faults.add_argument("--output", default=None,
                         help="write the canonical JSON report here")
     _add_observability_flags(faults)
+    _add_monitor_flags(faults)
+    monitor = sub.add_parser(
+        "monitor", help="guarantee-conformance watchdog + fabric "
+                        "introspection over the Section VII use case")
+    monitor.add_argument("--demo", action="store_true",
+                         help="run the Section VII GS use case, classify "
+                              "every channel's observed worst-case "
+                              "latency and delivered throughput against "
+                              "its analytical bounds (twice; the "
+                              "conformance reports must be "
+                              "byte-identical and zero channels "
+                              "violated), and print the fabric "
+                              "utilisation heatmaps")
+    monitor.add_argument("--slots", type=int, default=3000,
+                         help="simulation horizon in TDM slots "
+                              "(default 3000)")
+    monitor.add_argument("--slack", type=float, default=0.2,
+                         metavar="FRACTION",
+                         help="headroom fraction under which a channel "
+                              "classifies as 'tight' (default 0.2)")
+    monitor.add_argument("--top", type=int, default=8,
+                         help="rows per heatmap/headroom table "
+                              "(default 8)")
+    monitor.add_argument("--output", default=None,
+                         help="write the canonical conformance report "
+                              "JSON here")
+    _add_observability_flags(monitor)
+    bench = sub.add_parser(
+        "bench-check", help="perf-regression sentinel over the recorded "
+                            "benchmark trajectories")
+    bench.add_argument("--records", default="benchmarks/records",
+                       metavar="DIR",
+                       help="directory holding BENCH_*.json trajectory "
+                            "records (default benchmarks/records)")
+    bench.add_argument("--tolerance", type=float, default=0.15,
+                       metavar="FRACTION",
+                       help="fail when current throughput drops more "
+                            "than this fraction below the median of "
+                            "prior entries (default 0.15)")
+    bench.add_argument("--output", default=None,
+                       help="write the sentinel verdict JSON here")
     args = parser.parse_args(argv)
     if args.profile:
         from repro.telemetry.profiling import run_profiled
@@ -742,6 +956,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         return _design(args)
     if args.experiment == "faults":
         return _faults(args)
+    if args.experiment == "monitor":
+        return _monitor(args)
+    if args.experiment == "bench-check":
+        return _bench_check(args)
     if args.experiment == "all":
         for name in ("fig5", "fig6a", "fig6b", "costs", "usecase",
                      "sweep", "ablations"):

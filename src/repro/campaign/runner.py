@@ -521,6 +521,43 @@ class CampaignResult:
         format_table`."""
         return [_summary_row(record) for record in self.iter_records()]
 
+    def summary(self, *, top_k: int = 3) -> str:
+        """One-line digest: totals, per-status counts, stragglers.
+
+        Unlike :meth:`to_json` this is allowed to read ``meta`` — it is
+        an operator's glance, not a canonical artifact.  Crash and
+        timeout statuses appear by name (``crashed=2``), and the
+        ``top_k`` slowest flagged stragglers ride along with their
+        wall-to-median ratio.
+        """
+        if self.status_counts is not None:
+            counts = dict(self.status_counts)
+        else:
+            counts = {}
+            for record in self.records:
+                status = str(record["status"])
+                counts[status] = counts.get(status, 0) + 1
+        line = (f"campaign[{self.campaign}]: {self.n_runs} runs, "
+                f"{self.n_failed} failed")
+        if counts:
+            status_part = ", ".join(
+                f"{status}={counts[status]}" for status in sorted(counts))
+            line += f" ({status_part})"
+        stragglers = list(self.meta.get("stragglers") or ())
+        if stragglers:
+            stragglers.sort(
+                key=lambda s: (-float(s.get("wall_s", 0.0)),
+                               str(s.get("run_id", ""))))
+            parts = []
+            for straggler in stragglers[:top_k]:
+                wall = float(straggler.get("wall_s", 0.0))
+                median = float(straggler.get("median_s", 0.0))
+                ratio = wall / median if median > 0 else float("inf")
+                parts.append(f"{straggler.get('run_id')} "
+                             f"{wall:.2f}s ({ratio:.1f}x median)")
+            line += "; stragglers: " + ", ".join(parts)
+        return line
+
 
 class _Aggregate:
     """Streaming fold of completed-run envelopes.

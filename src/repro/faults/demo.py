@@ -98,8 +98,8 @@ def run_churn_with_faults(topology, events, schedule, *,
                           table_size: int, frequency_hz: float,
                           horizon_slots: int, name: str = "faults",
                           seed: int = 0, backend_factory=None,
-                          scenario: str | None = None, telemetry=None
-                          ) -> FaultRunOutcome:
+                          scenario: str | None = None, telemetry=None,
+                          monitor=None) -> FaultRunOutcome:
     """Run identical churn healthy and degraded, then replay and verify.
 
     The single orchestration shared by the demo and the campaign's
@@ -109,38 +109,49 @@ def run_churn_with_faults(topology, events, schedule, *,
     fault-survivor composability check on ``backend_factory`` (default:
     the flit-level TDM backend).  ``telemetry`` instruments the
     *degraded* run — that is the one whose admission/fault behaviour is
-    under study.
+    under study.  ``monitor`` (a :class:`~repro.telemetry.monitor.
+    MonitorSpec`) arms the conformance watchdog on the degraded service
+    (quote conformance via ``outcome.service.conformance_report()``)
+    and on the replay verification (``outcome.verdict.conformance``).
     """
     from repro.service.controller import SessionService, merge_events
     from repro.telemetry.hub import coalesce
 
+    if monitor is True:
+        from repro.telemetry.monitor import MonitorSpec
+        monitor = MonitorSpec()
+    elif monitor is False:
+        monitor = None
     tel = coalesce(telemetry)
 
-    def service(record_timeline: bool,
-                run_telemetry=None) -> SessionService:
+    def service(record_timeline: bool, run_telemetry=None,
+                run_monitor=None) -> SessionService:
         return SessionService(
             topology, table_size=table_size, frequency_hz=frequency_hz,
             name=name, seed=seed, record_events=False,
-            record_timeline=record_timeline, telemetry=run_telemetry)
+            record_timeline=record_timeline, telemetry=run_telemetry,
+            monitor=run_monitor)
 
     with tel.phase("baseline"):
         baseline_report = service(False).run(events)
     with tel.phase("degraded"):
-        faulty = service(True, telemetry)
+        faulty = service(True, telemetry, monitor)
         faulty_report = faulty.run(
             merge_events(events, schedule.events()))
     with tel.phase("verify"):
         timeline = faulty.timeline(horizon_slots=horizon_slots)
         verdict = verify_timeline(timeline, replay_traffic(timeline),
                                   backend_factory=backend_factory,
-                                  scenario=scenario or name)
+                                  scenario=scenario or name,
+                                  monitor=monitor)
     return FaultRunOutcome(baseline=baseline_report,
                            faulty=faulty_report, timeline=timeline,
                            verdict=verdict, service=faulty)
 
 
 def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
-                    n_faults: int = 6, seed: int = 2009, telemetry=None
+                    n_faults: int = 6, seed: int = 2009, telemetry=None,
+                    monitor=None
                     ) -> tuple[dict[str, object], str, bool]:
     """Run the fault demo twice; return (record, json, byte-identical?).
 
@@ -149,7 +160,12 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
     composability verdict for the churn+fault timeline, and the static
     ``rebuild_excluding`` study around the schedule's first failure.
     ``telemetry`` instruments the *first* run only, so byte-identity
-    doubles as the telemetry-leak check.
+    doubles as the telemetry-leak check.  ``monitor`` arms the
+    conformance watchdog on the first run; its fault-survivor
+    :class:`~repro.telemetry.monitor.ConformanceReport` is stashed
+    under the record's ``"_conformance"`` key *after* the canonical
+    JSON is rendered, so the demo report stays byte-identical with the
+    monitor on or off.
     """
     # Local imports: campaign.spec imports service.churn which would
     # cycle through the package __init__s at module scope.
@@ -168,12 +184,16 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
             demo_fault_spec(n_faults), topology,
             derive_seed(seed, "faults-demo", "schedule"))
 
-    def one_run(run_telemetry=None) -> dict[str, object]:
+    conformance: list = []
+
+    def one_run(run_telemetry=None, run_monitor=None) -> dict[str, object]:
         outcome = run_churn_with_faults(
             topology, events, schedule, table_size=DEMO_TABLE_SIZE,
             frequency_hz=DEMO_FREQUENCY_HZ, horizon_slots=n_slots,
             name="faults-demo", seed=seed, scenario="faults-demo",
-            telemetry=run_telemetry)
+            telemetry=run_telemetry, monitor=run_monitor)
+        if outcome.verdict.conformance is not None:
+            conformance.append(outcome.verdict.conformance)
         baseline_report = outcome.baseline
         faulty_report = outcome.faulty
         timeline = outcome.timeline
@@ -205,8 +225,12 @@ def run_faults_demo(*, n_events: int = 240, n_slots: int = 3000,
             "rebuild_first_failure": rebuild.to_record(),
         }
 
-    first = one_run(telemetry)
+    first = one_run(telemetry, monitor)
     with tel.phase("re-run"):
         first_json = json.dumps(first, indent=2, sort_keys=True)
         second_json = json.dumps(one_run(), indent=2, sort_keys=True)
+    if conformance:
+        # Added after both dumps on purpose: the conformance artifact
+        # rides along for the CLI without entering the canonical record.
+        first["_conformance"] = conformance[0]
     return first, first_json, first_json == second_json

@@ -43,6 +43,7 @@ from repro.service.churn import SessionEvent
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
 from repro.telemetry.hub import coalesce
+from repro.telemetry.monitor import MonitorSpec, quote_conformance
 from repro.telemetry.spans import Span
 from repro.topology.graph import Topology
 
@@ -90,7 +91,8 @@ class SessionService:
                  validate_every: int = 512,
                  record_timeline: bool = False,
                  timeline_slot_rate: float | None = None,
-                 telemetry=None):
+                 telemetry=None,
+                 monitor: MonitorSpec | bool | None = None):
         if allocator is None:
             allocator = SlotAllocator(
                 topology,
@@ -161,6 +163,19 @@ class SessionService:
             self.allocation, validate_every=validate_every)
         self.metrics = ServiceMetrics(window=window,
                                       record_events=record_events)
+        # The guarantee-conformance watchdog: when armed, every accepted
+        # admission (and fault re-admission) is retained for quoting.
+        # Deferred like the span/histogram capture above: the hot path
+        # appends the (immutable) ChannelAllocation and the analytical
+        # bounds are computed in conformance_report(), so arming the
+        # watchdog costs one tuple append per accept.  A plain ``True``
+        # arms the default spec.
+        if monitor is True:
+            monitor = MonitorSpec()
+        elif monitor is False:
+            monitor = None
+        self.monitor: MonitorSpec | None = monitor
+        self._quotes: list[tuple] = []
         self.active: dict[str, object] = {}
         self.peak_active = 0
         self._last_time_s = 0.0
@@ -351,6 +366,8 @@ class SessionService:
         new_bounds = channel_bounds(new_ca, self.allocator.table_size,
                                     self.allocator.frequency_hz,
                                     self.allocator.fmt)
+        if self.monitor is not None:
+            self._quotes.append((session_id, "relocated", new_ca))
         same = (new_bounds.throughput_bytes_per_s >=
                 old_bounds.throughput_bytes_per_s * (1 - 1e-9)
                 and new_bounds.latency_ns <=
@@ -389,6 +406,9 @@ class SessionService:
             accepted = False
         else:
             wall = time.perf_counter() - start
+            if self.monitor is not None:
+                self._quotes.append((session.session_id,
+                                     session.qos.name, ca))
             if record is not None:
                 bounds = channel_bounds(ca, self.allocator.table_size,
                                         self.allocator.frequency_hz,
@@ -442,6 +462,33 @@ class SessionService:
                 "released": released,
             }
         self.metrics.record_close(record, released=released)
+
+    def conformance_report(self, *, scenario: str = "service"):
+        """Classify every accepted quote against its session's QoS needs.
+
+        Requires the service to have been constructed with ``monitor``
+        set; returns the canonical byte-deterministic
+        :class:`~repro.telemetry.monitor.ConformanceReport` over all
+        admissions (including fault re-admissions) so far.  The
+        analytical bounds are quoted *here*, not on the admission hot
+        path — the retained allocations are immutable, so the deferred
+        quote is identical to an inline one.
+        """
+        if self.monitor is None:
+            raise ConfigurationError(
+                "conformance monitoring is off; construct the service "
+                "with monitor=MonitorSpec() (or monitor=True)")
+        quotes = []
+        for session_id, qos_name, ca in self._quotes:
+            bounds = channel_bounds(ca, self.allocator.table_size,
+                                    self.allocator.frequency_hz,
+                                    self.allocator.fmt)
+            quotes.append((session_id, qos_name, bounds.latency_ns,
+                           ca.spec.max_latency_ns,
+                           bounds.throughput_bytes_per_s,
+                           ca.spec.throughput_bytes_per_s))
+        return quote_conformance(quotes, spec=self.monitor,
+                                 scenario=scenario)
 
     # -- batch execution ------------------------------------------------------
 

@@ -30,13 +30,17 @@ def demo_churn_spec(n_events: int) -> ChurnSpec:
 
 
 def run_demo(*, n_events: int = 2000, seed: int = 2009,
-             record_events: bool = True, telemetry=None
+             record_events: bool = True, telemetry=None, monitor=None
              ) -> tuple[ServiceReport, bool]:
     """Run the demo trace twice; return (report, byte-identical?).
 
     ``telemetry`` instruments the *first* run only; the second run is
     always bare, so the byte-identity verdict doubles as proof that
-    instrumentation never leaks into the report.
+    instrumentation never leaks into the report.  ``monitor`` (a
+    :class:`~repro.telemetry.monitor.MonitorSpec`, or ``True`` for the
+    default) arms the conformance watchdog on the first run and
+    attaches its quote verdict as ``report.conformance`` — outside the
+    canonical record, so the byte-identity check still holds.
     """
     # Local import: campaign.spec imports service.churn, so importing it
     # at module scope would cycle through the package __init__s.
@@ -51,16 +55,20 @@ def run_demo(*, n_events: int = 2000, seed: int = 2009,
                                  derive_seed(seed, "serve-demo"))
         events = workload.events(limit=n_events)
 
-    def one_run(run_telemetry=None) -> ServiceReport:
+    def one_run(run_telemetry=None, run_monitor=None) -> ServiceReport:
         service = SessionService(
             topology, table_size=DEMO_TABLE_SIZE,
             frequency_hz=DEMO_FREQUENCY_HZ, name="serve-demo",
             seed=seed, record_events=record_events,
-            telemetry=run_telemetry)
-        return service.run(events)
+            telemetry=run_telemetry, monitor=run_monitor)
+        report = service.run(events)
+        if service.monitor is not None:
+            report.conformance = service.conformance_report(
+                scenario="serve-demo")
+        return report
 
     with tel.phase("serve"):
-        first = one_run(telemetry)
+        first = one_run(telemetry, monitor)
     with tel.phase("verify"):
         second = one_run()
     return first, first.to_json() == second.to_json()

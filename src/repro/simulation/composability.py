@@ -36,7 +36,7 @@ the channels a comparison actually touches.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Iterable
 
 from repro.core.configuration import NocConfiguration
@@ -156,6 +156,12 @@ class DynamicComposabilityReport:
     survivors: tuple[str, ...]
     identical: tuple[str, ...]
     diverged: tuple[str, ...]
+    #: Optional guarantee-conformance verdict over the survivors
+    #: (:class:`~repro.telemetry.monitor.ConformanceReport`), populated
+    #: when :func:`verify_timeline` runs with a ``monitor`` spec.
+    #: Deliberately excluded from :meth:`to_record`, so monitored runs
+    #: serialise byte-identically to unmonitored ones.
+    conformance: object = field(default=None, compare=False, repr=False)
 
     @property
     def is_composable(self) -> bool:
@@ -196,7 +202,8 @@ def verify_timeline(timeline: ReconfigurationTimeline,
                     survivors: Iterable[str] | None = None,
                     n_slots: int | None = None,
                     backend_factory: BackendFactory | None = None,
-                    scenario: str = "churn-vs-solo"
+                    scenario: str = "churn-vs-solo",
+                    monitor: object | None = None
                     ) -> DynamicComposabilityReport:
     """Replay a churn timeline and check survivors against a solo run.
 
@@ -206,6 +213,13 @@ def verify_timeline(timeline: ReconfigurationTimeline,
     horizon).  A TDM backend must produce bit-identical survivor traces;
     the best-effort baseline (:class:`~repro.simulation.backend.
     BestEffortBackend` via ``backend_factory``) demonstrably does not.
+
+    ``monitor`` (a :class:`~repro.telemetry.monitor.MonitorSpec`) adds
+    the guarantee-conformance watchdog: the churn run's observed
+    latencies and delivered throughput, restricted to the survivors
+    (whose allocations never change, so the static bounds apply), are
+    checked against the analytical bounds and attached as
+    ``report.conformance``.  The canonical record is unaffected.
     """
     config = replay_configuration(timeline)
     if backend_factory is None:
@@ -223,9 +237,9 @@ def verify_timeline(timeline: ReconfigurationTimeline,
     if unknown:
         raise ValueError(
             f"survivors name channels outside the timeline: {unknown}")
-    churn = backend.run(SimRequest(
-        n_slots=n_slots, traffic=traffic,
-        timeline=timeline)).composability_trace()
+    churn_result = backend.run(SimRequest(
+        n_slots=n_slots, traffic=traffic, timeline=timeline))
+    churn = churn_result.composability_trace()
     survivor_set = set(survivors)
     solo = backend.run(SimRequest(
         n_slots=n_slots,
@@ -241,7 +255,16 @@ def verify_timeline(timeline: ReconfigurationTimeline,
     # truncated window were never simulated).
     n_epochs = sum(1 for boundary in timeline.epoch_boundaries()
                    if boundary < n_slots)
+    conformance = None
+    if monitor is not None and monitor is not False:
+        from repro.telemetry.monitor import MonitorSpec, timeline_conformance
+        if monitor is True:
+            monitor = MonitorSpec()
+        conformance = timeline_conformance(
+            timeline, churn_result, n_slots=n_slots, channels=survivors,
+            spec=monitor, scenario=scenario)
     return DynamicComposabilityReport(
         scenario=scenario, backend=backend.name,
         n_epochs=n_epochs, survivors=survivors,
-        identical=tuple(identical), diverged=tuple(diverged))
+        identical=tuple(identical), diverged=tuple(diverged),
+        conformance=conformance)

@@ -39,7 +39,7 @@ DEMO_FREQUENCY_HZ = 500e6
 
 
 def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
-                    seed: int = 2009, telemetry=None
+                    seed: int = 2009, telemetry=None, monitor=None
                     ) -> tuple[dict[str, object], str, bool]:
     """Run the replay demo twice; return (record, json, byte-identical?).
 
@@ -47,7 +47,12 @@ def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
     its route and slots) plus the churn-vs-solo verdict per backend; the
     JSON string is its canonical serialisation.  ``telemetry``
     instruments the *first* run only (control plane and flit backend),
-    so byte-identity doubles as the telemetry-leak check.
+    so byte-identity doubles as the telemetry-leak check.  ``monitor``
+    arms the conformance watchdog on the first run's flit-level
+    verification; the resulting
+    :class:`~repro.telemetry.monitor.ConformanceReport` is stashed
+    under the record's ``"_conformance"`` key after the canonical JSON
+    is rendered, preserving byte-identity monitor-on vs monitor-off.
     """
     # Local imports: campaign.spec imports service.churn which would
     # cycle through the package __init__s at module scope.
@@ -68,7 +73,9 @@ def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
                                  derive_seed(seed, "replay-demo"))
         events = workload.events(limit=n_events)
 
-    def one_run(run_telemetry=None) -> dict[str, object]:
+    conformance: list = []
+
+    def one_run(run_telemetry=None, run_monitor=None) -> dict[str, object]:
         run_tel = coalesce(run_telemetry)
         service = SessionService(
             topology, table_size=DEMO_TABLE_SIZE,
@@ -80,8 +87,11 @@ def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
         traffic = replay_traffic(timeline)
         flit = verify_timeline(
             timeline, traffic, scenario="replay-demo",
+            monitor=run_monitor,
             backend_factory=lambda config: FlitLevelBackend(
                 config, telemetry=run_telemetry))
+        if flit.conformance is not None:
+            conformance.append(flit.conformance)
         with run_tel.phase("best-effort"):
             be = verify_timeline(timeline, traffic,
                                  backend_factory=BestEffortBackend,
@@ -97,8 +107,12 @@ def run_replay_demo(*, n_events: int = 240, n_slots: int = 3000,
         }
 
     with tel.phase("replay"):
-        first = one_run(telemetry)
+        first = one_run(telemetry, monitor)
     with tel.phase("verify"):
         first_json = json.dumps(first, indent=2, sort_keys=True)
         second_json = json.dumps(one_run(), indent=2, sort_keys=True)
+    if conformance:
+        # Added after both dumps on purpose: the conformance artifact
+        # rides along for the CLI without entering the canonical record.
+        first["_conformance"] = conformance[0]
     return first, first_json, first_json == second_json

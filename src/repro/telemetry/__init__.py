@@ -15,6 +15,11 @@ admission (:mod:`repro.service.admission`), allocation
   repo's byte-determinism; wall-clock data is quarantined in ``meta``;
 * :mod:`repro.telemetry.export` — JSONL, Prometheus text exposition,
   and Perfetto-loadable Chrome trace-event JSON;
+* :mod:`repro.telemetry.monitor` — the analysis tier: the
+  guarantee-conformance watchdog (observed latency/throughput vs the
+  quoted analytical bounds, classified ``within_bounds`` / ``tight`` /
+  ``violated``), fabric utilisation rollups, and the ``bench-check``
+  perf-regression sentinel over ``benchmarks/records/BENCH_*.json``;
 * :mod:`repro.telemetry.profiling` — the CLI ``--profile`` wrapper.
 
 Disabled is the default: every instrumented constructor takes
@@ -29,11 +34,24 @@ from repro.telemetry.hub import (NULL_TELEMETRY, NullTelemetry, Telemetry,
                                  coalesce)
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricRegistry)
+from repro.telemetry.monitor import (BenchCheckReport, BenchVerdict,
+                                     ChannelConformance,
+                                     ConformanceReport, FabricRollup,
+                                     MonitorSpec, bench_check,
+                                     campaign_conformance,
+                                     conformance_from_result,
+                                     quote_conformance,
+                                     timeline_conformance)
 from repro.telemetry.profiling import run_profiled
-from repro.telemetry.spans import Span
+from repro.telemetry.spans import CounterTrack, Span
 
 __all__ = [
     "Telemetry", "NullTelemetry", "NULL_TELEMETRY", "coalesce",
     "Counter", "Gauge", "Histogram", "MetricRegistry", "Span",
+    "CounterTrack",
     "to_jsonl", "prometheus_text", "chrome_trace", "run_profiled",
+    "MonitorSpec", "ChannelConformance", "ConformanceReport",
+    "conformance_from_result", "timeline_conformance",
+    "quote_conformance", "campaign_conformance", "FabricRollup",
+    "BenchVerdict", "BenchCheckReport", "bench_check",
 ]

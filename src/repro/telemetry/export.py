@@ -51,11 +51,19 @@ def to_jsonl(tel) -> str:
             wall_spans.append(span.to_record())
         else:
             lines.append(_dumps(span.to_record()))
+    wall_counters = []
+    for counter in getattr(tel, "counter_tracks", ()):
+        if counter.wall:
+            wall_counters.append(counter.to_record())
+        else:
+            lines.append(_dumps(counter.to_record()))
     meta = {"kind": "meta", **tel.meta}
     if wall_metrics:
         meta["wall_metrics"] = wall_metrics
     if wall_spans:
         meta["wall_spans"] = wall_spans
+    if wall_counters:
+        meta["wall_counter_tracks"] = wall_counters
     lines.append(_dumps(meta))
     return "\n".join(lines) + "\n"
 
@@ -64,8 +72,20 @@ def _prom_name(name: str) -> str:
     return _PROM_BAD.sub("_", name)
 
 
+def _prom_label_value(value) -> str:
+    """Escape one label value per the text exposition format.
+
+    The format requires ``\\`` -> ``\\\\``, newline -> ``\\n`` and
+    ``"`` -> ``\\"`` inside the double-quoted value; anything else
+    passes through (values are UTF-8, not restricted like names).
+    """
+    return (str(value).replace("\\", "\\\\").replace("\n", "\\n")
+            .replace('"', '\\"'))
+
+
 def _prom_labels(labels, extra: str = "") -> str:
-    parts = [f'{_prom_name(k)}="{v}"' for k, v in labels]
+    parts = [f'{_prom_name(k)}="{_prom_label_value(v)}"'
+             for k, v in labels]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -138,6 +158,14 @@ def chrome_trace(tel) -> dict:
         else:
             event.update(ph="i", s="t")
         events.append(event)
+    for counter in getattr(tel, "counter_tracks", ()):
+        pid = 2 if counter.wall else 1
+        scale = SPAN_UNITS[counter.unit]
+        for ts, value in counter.points:
+            events.append({"ph": "C", "name": counter.name,
+                           "cat": counter.track, "pid": pid, "tid": 0,
+                           "ts": round(ts * scale, 3),
+                           "args": {counter.name: value}})
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -24,7 +24,7 @@ from repro.telemetry import export as _export
 from repro.telemetry.metrics import (Counter, Gauge, Histogram,
                                      MetricRegistry, NULL_COUNTER,
                                      NULL_GAUGE, NULL_HISTOGRAM)
-from repro.telemetry.spans import Span
+from repro.telemetry.spans import CounterTrack, Span
 
 __all__ = ["Telemetry", "NullTelemetry", "NULL_TELEMETRY", "coalesce"]
 
@@ -47,6 +47,7 @@ class Telemetry:
         self.name = name
         self.registry = MetricRegistry()
         self.spans: list[Span] = []
+        self.counter_tracks: list[CounterTrack] = []
         self.meta: dict = {}
         self._wall_epoch = time.perf_counter()
         self._flush_callbacks: list = []
@@ -77,6 +78,23 @@ class Telemetry:
         """Record one traced interval (``end == start`` → instant)."""
         self.spans.append(Span(name, track, unit, start, end, wall,
                                args))
+
+    def counter_track(self, name: str, points, *, track: str = "counters",
+                      unit: str = "slot", wall: bool = False) -> None:
+        """Record one sampled value series as a Perfetto counter track.
+
+        ``points`` is an iterable of ``(timestamp, value)`` samples in
+        the track's ``unit`` timebase (time-ordered); the Chrome-trace
+        export renders them as ``ph: "C"`` counter events and the JSONL
+        export as one ``counter_track`` line.
+
+        >>> tel = Telemetry("doc")
+        >>> tel.counter_track("util", [(0, 0.25), (64, 0.5)])
+        >>> tel.counter_tracks[0].name
+        'util'
+        """
+        self.counter_tracks.append(
+            CounterTrack(name, track, unit, tuple(points), wall))
 
     @contextmanager
     def phase(self, name: str) -> Iterator[None]:
@@ -203,6 +221,10 @@ class NullTelemetry(Telemetry):
              track: str = "main", unit: str = "ms", wall: bool = False,
              **args) -> None:
         """Discard the span."""
+
+    def counter_track(self, name: str, points, *, track: str = "counters",
+                      unit: str = "slot", wall: bool = False) -> None:
+        """Discard the counter series."""
 
     def register_flush(self, callback) -> None:
         """Discard the callback (nothing will ever read this hub)."""

@@ -1,0 +1,831 @@
+"""Guarantee-conformance monitoring: turning telemetry into verdicts.
+
+The paper's headline property is *predictability*: every admitted
+connection carries an analytical worst-case latency and a guaranteed
+throughput (:func:`~repro.core.analysis.channel_bounds`), and
+composability means observed behaviour must stay inside those quotes no
+matter what anyone else does.  PR 7's telemetry records raw metrics but
+draws no conclusions; this module is the analysis tier that closes the
+loop — it consumes the existing artifacts (``SimResult`` stats,
+``ReconfigurationTimeline`` schedules, service quote streams, campaign
+records, ``BENCH_*.json`` perf trajectories) and emits *classified
+verdicts*:
+
+* **guarantee conformance** — per channel/session, compare observed
+  worst-case and mean service latency and delivered throughput against
+  the quoted analytical bounds, classifying each into ``within_bounds``
+  / ``tight`` / ``violated`` (:class:`ChannelConformance`), folded into
+  one canonical, byte-deterministic :class:`ConformanceReport`.
+  Builders exist for every artifact the repo produces: a static GS run
+  (:func:`conformance_from_result`), a churn timeline replay
+  (:func:`timeline_conformance`), a live service's quote stream
+  (:func:`quote_conformance`) and a campaign's aggregated records
+  (:func:`campaign_conformance`);
+* **fabric introspection** — :class:`FabricRollup` folds slot schedules
+  into per-link utilisation and per-NI slot-occupancy tables with
+  hotspot top-K views, plus Chrome-trace counter tracks on the existing
+  Perfetto export;
+* a **perf-regression sentinel** — :func:`bench_check` fits a robust
+  baseline (median of prior entries) over each recorded
+  ``benchmarks/records/BENCH_*.json`` trajectory and fails on
+  configurable ops/s regression, so the recorded perf history is a
+  gate, not just an artifact (``python -m repro bench-check``).
+
+Everything here inherits the repo's determinism contract: reports are
+pure functions of simulated quantities, canonically serialised (sorted
+keys, fixed rounding), byte-identical across repeated runs and across
+serial/parallel campaign executions.  Wall-clock never enters a
+conformance verdict — the only wall-derived consumer is the
+regression sentinel, which reads *recorded* trajectories from disk.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+
+__all__ = [
+    "MonitorSpec", "ChannelConformance", "ConformanceReport",
+    "conformance_from_result", "timeline_conformance",
+    "quote_conformance", "campaign_conformance", "FabricRollup",
+    "BenchVerdict", "BenchCheckReport", "bench_check",
+]
+
+#: Verdict severity order; combining verdicts takes the worst.
+VERDICTS = ("within_bounds", "tight", "violated")
+
+
+@dataclass(frozen=True)
+class MonitorSpec:
+    """Tunables of the conformance watchdog.
+
+    ``slack_fraction`` is the *remaining-headroom* threshold below
+    which an observation is flagged ``tight``: with the default 0.2, a
+    channel whose observed worst case consumes 80 % or more of its
+    quoted bound is tight.  ``eps`` is the relative tolerance for the
+    violation comparison itself (floating-point guard, same spirit as
+    :meth:`~repro.core.analysis.ChannelBounds.meets_latency`).
+
+    >>> spec = MonitorSpec()
+    >>> spec.classify(40.0, 100.0)
+    'within_bounds'
+    >>> spec.classify(85.0, 100.0)
+    'tight'
+    >>> spec.classify(100.5, 100.0)
+    'violated'
+    """
+
+    slack_fraction: float = 0.2
+    eps: float = 1e-9
+    top_k: int = 8
+
+    def __post_init__(self):
+        if not 0.0 <= self.slack_fraction < 1.0:
+            raise ValueError(
+                f"slack_fraction must be in [0, 1), got "
+                f"{self.slack_fraction}")
+        if self.top_k < 1:
+            raise ValueError(f"top_k must be >= 1, got {self.top_k}")
+
+    def classify(self, observed: float, bound: float) -> str:
+        """Classify one observation against its quoted bound.
+
+        ``observed`` and ``bound`` share any unit; ``bound <= 0`` (an
+        unbounded or unmeasured quote) always classifies as
+        ``within_bounds``.
+        """
+        if bound <= 0:
+            return "within_bounds"
+        if observed > bound * (1 + self.eps):
+            return "violated"
+        if observed >= bound * (1 - self.slack_fraction):
+            return "tight"
+        return "within_bounds"
+
+
+def _worst(*verdicts: str) -> str:
+    """The most severe of several verdicts."""
+    return max(verdicts, key=VERDICTS.index)
+
+
+@dataclass(frozen=True)
+class ChannelConformance:
+    """One channel's (or session's, or run's) conformance verdict.
+
+    ``kind`` names the artifact the verdict was folded from: ``trace``
+    (measured flit latencies vs analytical bound), ``quote`` (admission
+    quote vs QoS requirement) or ``run`` (a campaign record's folded
+    outcome).  Unused measurements stay ``None`` and are omitted from
+    the canonical record, so each kind serialises only what it measured.
+
+    >>> c = ChannelConformance(channel="c0", kind="trace",
+    ...                        verdict="within_bounds",
+    ...                        latency_bound_ns=120.0,
+    ...                        worst_latency_ns=48.0, n_messages=10)
+    >>> c.to_record()["channel"]
+    'c0'
+    """
+
+    channel: str
+    kind: str
+    verdict: str
+    latency_bound_ns: float | None = None
+    worst_latency_ns: float | None = None
+    mean_latency_ns: float | None = None
+    n_messages: int | None = None
+    quoted_mb_s: float | None = None
+    required_mb_s: float | None = None
+    delivered_mb_s: float | None = None
+    detail: str | None = None
+
+    def __post_init__(self):
+        if self.verdict not in VERDICTS:
+            raise ValueError(
+                f"verdict {self.verdict!r} not one of {VERDICTS}")
+
+    @property
+    def latency_headroom(self) -> float | None:
+        """Remaining latency slack as a fraction of the bound."""
+        if not self.latency_bound_ns or self.worst_latency_ns is None:
+            return None
+        return 1.0 - self.worst_latency_ns / self.latency_bound_ns
+
+    def to_record(self) -> dict[str, object]:
+        """Canonical JSON-ready form (``None`` measurements omitted)."""
+        record: dict[str, object] = {
+            "channel": self.channel,
+            "kind": self.kind,
+            "verdict": self.verdict,
+        }
+        for key, value, digits in (
+                ("latency_bound_ns", self.latency_bound_ns, 3),
+                ("worst_latency_ns", self.worst_latency_ns, 3),
+                ("mean_latency_ns", self.mean_latency_ns, 3),
+                ("quoted_mb_s", self.quoted_mb_s, 3),
+                ("required_mb_s", self.required_mb_s, 3),
+                ("delivered_mb_s", self.delivered_mb_s, 3)):
+            if value is not None:
+                record[key] = round(value, digits)
+        if self.n_messages is not None:
+            record["n_messages"] = self.n_messages
+        headroom = self.latency_headroom
+        if headroom is not None:
+            record["latency_headroom"] = round(headroom, 4)
+        if self.detail:
+            record["detail"] = self.detail
+        return record
+
+
+@dataclass(frozen=True)
+class ConformanceReport:
+    """The canonical, byte-deterministic conformance verdict set.
+
+    ``channels`` holds one :class:`ChannelConformance` per monitored
+    channel/session/run, in a deterministic order (the builders sort).
+    The report serialises with sorted keys and fixed rounding, so two
+    runs over the same simulated inputs produce identical bytes — the
+    same contract as every other report in the repo.
+
+    >>> report = ConformanceReport(source="doc", scenario="s", channels=(
+    ...     ChannelConformance("c0", "trace", "within_bounds"),
+    ...     ChannelConformance("c1", "trace", "tight")))
+    >>> report.ok, report.n_violated
+    (True, 0)
+    >>> report.counts["tight"]
+    1
+    """
+
+    source: str
+    scenario: str
+    channels: tuple[ChannelConformance, ...] = ()
+    slack_fraction: float = MonitorSpec.slack_fraction
+
+    @property
+    def counts(self) -> dict[str, int]:
+        """Verdict histogram over every monitored channel."""
+        counts = {verdict: 0 for verdict in VERDICTS}
+        for entry in self.channels:
+            counts[entry.verdict] += 1
+        return counts
+
+    @property
+    def n_violated(self) -> int:
+        """Channels whose observation broke the quoted bound."""
+        return self.counts["violated"]
+
+    @property
+    def ok(self) -> bool:
+        """True when no channel violated its bound."""
+        return self.n_violated == 0
+
+    def worst_channels(self, k: int = MonitorSpec.top_k
+                       ) -> tuple[ChannelConformance, ...]:
+        """The ``k`` entries with the least latency headroom first.
+
+        Entries without a latency measurement sort last; ties break on
+        the channel name, keeping the selection deterministic.
+        """
+        def key(entry: ChannelConformance):
+            headroom = entry.latency_headroom
+            return (headroom is None, headroom, entry.channel)
+        return tuple(sorted(self.channels, key=key)[:k])
+
+    def to_record(self) -> dict[str, object]:
+        """Canonical JSON-ready form."""
+        return {
+            "source": self.source,
+            "scenario": self.scenario,
+            "slack_fraction": round(self.slack_fraction, 4),
+            "n_channels": len(self.channels),
+            "verdicts": self.counts,
+            "ok": self.ok,
+            "channels": [entry.to_record() for entry in self.channels],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, two-space indent."""
+        return json.dumps(self.to_record(), indent=2, sort_keys=True)
+
+    def write(self, path) -> None:
+        """Write :meth:`to_json` (plus a trailing newline) to ``path``."""
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def summary(self) -> str:
+        """One-line operator view of the verdict histogram."""
+        counts = self.counts
+        head = (f"conformance[{self.source}/{self.scenario}]: "
+                f"{len(self.channels)} monitored, "
+                f"{counts['within_bounds']} within bounds, "
+                f"{counts['tight']} tight, "
+                f"{counts['violated']} violated")
+        if not self.ok:
+            worst = self.worst_channels(1)
+            if worst:
+                head += f" (worst: {worst[0].channel})"
+        return head
+
+    def summary_rows(self, k: int = MonitorSpec.top_k
+                     ) -> list[dict[str, object]]:
+        """Top-K least-headroom table rows for ``format_table``."""
+        rows = []
+        for entry in self.worst_channels(k):
+            headroom = entry.latency_headroom
+            rows.append({
+                "channel": entry.channel,
+                "verdict": entry.verdict,
+                "bound_ns": ("-" if entry.latency_bound_ns is None
+                             else round(entry.latency_bound_ns, 1)),
+                "worst_ns": ("-" if entry.worst_latency_ns is None
+                             else round(entry.worst_latency_ns, 1)),
+                "headroom": ("-" if headroom is None
+                             else f"{headroom:.1%}"),
+            })
+        return rows
+
+
+def _trace_conformance(name: str, bounds, stats, simulated_ns: float,
+                       spec: MonitorSpec, *,
+                       active_fraction: float = 1.0
+                       ) -> ChannelConformance:
+    """Fold one channel's measured latencies against one bound quote.
+
+    The latency metric is the *service* latency (queueing behind the
+    channel's own earlier messages excluded — exactly the quantity the
+    analytical bound covers, see :func:`repro.usecase.runner.
+    service_latencies_ns`).  Delivered throughput is additionally
+    checked against the quoted TDM capacity scaled by the channel's
+    ``active_fraction`` of the simulated window: delivering *more* than
+    the reserved slots allow is physically impossible on a
+    contention-free TDM fabric, so an overdelivery is a monitor-level
+    violation in its own right.
+    """
+    from repro.usecase.runner import service_latencies_ns
+
+    latencies = service_latencies_ns(stats, name)
+    channel_stats = stats.channel(name)
+    delivered_mb_s = None
+    verdict = "within_bounds"
+    worst = mean = None
+    if latencies:
+        worst = max(latencies)
+        mean = sum(latencies) / len(latencies)
+        verdict = spec.classify(worst, bounds.latency_ns)
+    if simulated_ns > 0 and active_fraction > 0:
+        delivered_mb_s = (channel_stats.delivered_bytes /
+                          (simulated_ns * active_fraction) * 1e9 / 1e6)
+        quoted_mb_s = bounds.throughput_bytes_per_s / 1e6
+        if delivered_mb_s > quoted_mb_s * (1 + 1e-6):
+            verdict = _worst(verdict, "violated")
+    return ChannelConformance(
+        channel=name, kind="trace", verdict=verdict,
+        latency_bound_ns=bounds.latency_ns,
+        worst_latency_ns=worst, mean_latency_ns=mean,
+        n_messages=len(latencies) if latencies else 0,
+        quoted_mb_s=bounds.throughput_bytes_per_s / 1e6,
+        required_mb_s=bounds.required_throughput_bytes_per_s / 1e6,
+        delivered_mb_s=delivered_mb_s)
+
+
+def conformance_from_result(config, result, *,
+                            spec: MonitorSpec | None = None,
+                            scenario: str = "usecase-gs"
+                            ) -> ConformanceReport:
+    """Watchdog a static guaranteed-service run against its bounds.
+
+    ``config`` is the :class:`~repro.core.configuration.
+    NocConfiguration` whose analytical bounds were quoted; ``result``
+    the :class:`~repro.simulation.backend.SimResult` of simulating it.
+    Every allocated channel appears in the report — silent channels
+    (no traffic offered) conform trivially with ``n_messages`` 0.
+    """
+    spec = spec or MonitorSpec()
+    bounds = config.bounds()
+    entries = [
+        _trace_conformance(name, bounds[name], result.stats,
+                           result.simulated_ns, spec)
+        for name in sorted(config.allocation.channels)]
+    return ConformanceReport(source="simulation", scenario=scenario,
+                             channels=tuple(entries),
+                             slack_fraction=spec.slack_fraction)
+
+
+def timeline_conformance(timeline, result, *,
+                         n_slots: int | None = None,
+                         channels=None,
+                         spec: MonitorSpec | None = None,
+                         scenario: str = "timeline"
+                         ) -> ConformanceReport:
+    """Watchdog a churn-timeline replay against per-channel bounds.
+
+    Bounds come from each channel's recorded allocation
+    (:func:`~repro.core.analysis.channel_bounds` at the timeline's
+    operating point); delivered throughput is normalised by each
+    channel's *active* fraction of the simulated window, folded from
+    :meth:`~repro.core.timeline.ReconfigurationTimeline.
+    channel_intervals`.  ``channels`` restricts the check (the dynamic
+    composability flow passes the survivors — the channels whose
+    guarantees are live across every epoch); the default monitors every
+    timeline channel.
+    """
+    from repro.core.analysis import channel_bounds
+
+    spec = spec or MonitorSpec()
+    horizon = n_slots if n_slots is not None else timeline.horizon_slots
+    allocations = timeline.channel_allocations()
+    intervals = timeline.channel_intervals()
+    monitored = (sorted(channels) if channels is not None
+                 else sorted(allocations))
+    slot_ns = timeline.fmt.flit_size / timeline.frequency_hz * 1e9
+    entries = []
+    for name in monitored:
+        ca = allocations[name]
+        bounds = channel_bounds(ca, timeline.table_size,
+                                timeline.frequency_hz, timeline.fmt)
+        active_slots = sum(
+            max(0, min(end, horizon) - min(start, horizon))
+            for start, end, _ in intervals.get(name, ()))
+        fraction = active_slots / horizon if horizon > 0 else 0.0
+        entries.append(_trace_conformance(
+            name, bounds, result.stats, horizon * slot_ns, spec,
+            active_fraction=fraction))
+    return ConformanceReport(source="timeline", scenario=scenario,
+                             channels=tuple(entries),
+                             slack_fraction=spec.slack_fraction)
+
+
+def quote_conformance(quotes, *, spec: MonitorSpec | None = None,
+                      source: str = "service",
+                      scenario: str = "quotes") -> ConformanceReport:
+    """Watchdog an admission quote stream against the QoS requirements.
+
+    ``quotes`` is an iterable of ``(session_id, qos_class,
+    latency_bound_ns, required_latency_ns, quoted_bytes_per_s,
+    required_bytes_per_s)`` tuples, as accumulated by a monitored
+    :class:`~repro.service.controller.SessionService`.  A quote whose
+    bound exceeds the session's requirement — or whose guaranteed
+    throughput undershoots it — is an admission-control *violation*:
+    the controller promised something the analysis says it cannot hold.
+
+    >>> report = quote_conformance([
+    ...     ("s0", "voice", 800.0, 1000.0, 64e6, 64e6),
+    ...     ("s1", "bulk", 500.0, None, 32e6, 32e6)])
+    >>> report.ok, len(report.channels)
+    (True, 2)
+    """
+    spec = spec or MonitorSpec()
+    entries = []
+    for (session_id, qos_name, bound_ns, required_ns,
+         quoted_bps, required_bps) in quotes:
+        if required_ns is None:
+            latency_verdict = "within_bounds"
+        else:
+            latency_verdict = spec.classify(bound_ns, required_ns)
+        throughput_verdict = "within_bounds"
+        if quoted_bps < required_bps * (1 - spec.eps):
+            throughput_verdict = "violated"
+        entries.append(ChannelConformance(
+            channel=session_id, kind="quote",
+            verdict=_worst(latency_verdict, throughput_verdict),
+            latency_bound_ns=bound_ns,
+            worst_latency_ns=None, mean_latency_ns=None,
+            quoted_mb_s=quoted_bps / 1e6,
+            required_mb_s=required_bps / 1e6,
+            detail=qos_name))
+    entries.sort(key=lambda e: e.channel)
+    return ConformanceReport(source=source, scenario=scenario,
+                             channels=tuple(entries),
+                             slack_fraction=spec.slack_fraction)
+
+
+def campaign_conformance(records, *, spec: MonitorSpec | None = None,
+                         scenario: str = "campaign"
+                         ) -> ConformanceReport:
+    """Fold campaign run records into per-run conformance verdicts.
+
+    Accepts an iterable of campaign record dicts (or a
+    :class:`~repro.campaign.runner.CampaignResult`, whose
+    ``iter_records()`` is used).  A run is ``violated`` when it failed
+    outright, diverged in a composability check, or broke the
+    composition invariant; ``tight`` when it survived but degraded
+    (guarantee retention below 1, or rerouted sessions re-admitted with
+    worse bounds); ``within_bounds`` otherwise.  Records are already
+    canonically ordered and wall-clock-free, so the rollup inherits the
+    campaign's serial == parallel byte-determinism.
+    """
+    spec = spec or MonitorSpec()
+    iter_records = getattr(records, "iter_records", None)
+    if iter_records is not None:
+        records = iter_records()
+    entries = []
+    for record in records:
+        entries.append(_run_conformance(record))
+    return ConformanceReport(source="campaign", scenario=scenario,
+                             channels=tuple(entries),
+                             slack_fraction=spec.slack_fraction)
+
+
+#: Campaign statuses that are search verdicts, not failures (mirrors
+#: ``repro.campaign.runner._NON_FAILURE_STATUSES``).
+_RUN_OK_STATUSES = ("ok", "pruned", "infeasible")
+
+
+def _run_conformance(record: dict) -> ChannelConformance:
+    """Classify one campaign record into a run-level verdict."""
+    run_id = str(record.get("run", record.get("scenario", "?")))
+    status = record.get("status", "ok")
+    if status not in _RUN_OK_STATUSES:
+        return ChannelConformance(channel=run_id, kind="run",
+                                  verdict="violated",
+                                  detail=f"status={status}")
+    result = record.get("result") or {}
+    details = []
+    verdict = "within_bounds"
+    composability = result.get("composability")
+    if composability is not None and not composability.get("composable",
+                                                           True):
+        verdict = "violated"
+        details.append("composability diverged")
+    invariant = result.get("invariant")
+    if invariant is not None and not invariant.get("ok", True):
+        verdict = "violated"
+        details.append("invariant broken")
+    survivability = result.get("survivability")
+    if survivability is not None and verdict != "violated":
+        retention = float(survivability.get("guarantee_retention", 1.0))
+        if retention < 1.0:
+            verdict = "tight"
+            details.append(f"guarantee_retention={retention:g}")
+    return ChannelConformance(
+        channel=run_id, kind="run", verdict=verdict,
+        detail="; ".join(details) if details else None)
+
+
+# -- fabric introspection -------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FabricRollup:
+    """Per-link and per-NI slot-occupancy folded from schedules.
+
+    ``link_slots`` maps ``"src->dst"`` to the number of reserved TDM
+    slots on that link per table rotation; ``ni_slots`` maps each
+    network interface to the injection slots its channels hold.
+    ``utilisation`` of an entry is its slot count over ``table_size``.
+    ``series`` optionally carries a ``(slot, mean_utilisation)`` time
+    line (one point per reconfiguration epoch) for timeline rollups.
+
+    >>> rollup = FabricRollup(table_size=4, n_channels=1,
+    ...                       link_slots=(("a->b", 2),),
+    ...                       ni_slots=(("a", 2),))
+    >>> rollup.link_rows()[0]["utilisation"]
+    '50.0%'
+    """
+
+    table_size: int
+    n_channels: int
+    link_slots: tuple[tuple[str, int], ...] = ()
+    ni_slots: tuple[tuple[str, int], ...] = ()
+    series: tuple[tuple[int, float], ...] = ()
+
+    @classmethod
+    def from_allocation(cls, allocation) -> "FabricRollup":
+        """Fold one live :class:`~repro.core.allocation.Allocation`.
+
+        Occupancy is derived from each channel's
+        :meth:`~repro.core.allocation.ChannelAllocation.link_slots`
+        union, so the rollup sees exactly what the link tables enforce.
+        """
+        table_size = allocation.table_size
+        per_link: dict[tuple[str, str], set[int]] = {}
+        per_ni: dict[str, int] = {}
+        channels = allocation.channels
+        for name in sorted(channels):
+            ca = channels[name]
+            for link, slots in ca.link_slots(table_size).items():
+                per_link.setdefault(link, set()).update(slots)
+            per_ni[ca.path.source] = (per_ni.get(ca.path.source, 0) +
+                                      ca.n_slots)
+        return cls(
+            table_size=table_size,
+            n_channels=len(channels),
+            link_slots=tuple(sorted(
+                (f"{src}->{dst}", len(slots))
+                for (src, dst), slots in per_link.items())),
+            ni_slots=tuple(sorted(per_ni.items())))
+
+    @classmethod
+    def from_timeline(cls, timeline, *, n_slots: int | None = None
+                      ) -> "FabricRollup":
+        """Fold a churn timeline into time-weighted occupancy.
+
+        Each channel contributes its slots weighted by the fraction of
+        the simulated window it was active; ``series`` samples the mean
+        link utilisation of the instantaneously-active channel set at
+        slot 0 and at every reconfiguration epoch boundary inside the
+        window.
+        """
+        horizon = n_slots if n_slots is not None else \
+            timeline.horizon_slots
+        table_size = timeline.table_size
+        intervals = timeline.channel_intervals()
+        per_link: dict[tuple[str, str], float] = {}
+        per_ni: dict[str, float] = {}
+        for name in sorted(intervals):
+            for start, end, ca in intervals[name]:
+                active = max(0, min(end, horizon) - min(start, horizon))
+                if not active or horizon <= 0:
+                    continue
+                weight = active / horizon
+                for link, slots in ca.link_slots(table_size).items():
+                    per_link[link] = (per_link.get(link, 0.0) +
+                                      len(slots) * weight)
+                per_ni[ca.path.source] = (
+                    per_ni.get(ca.path.source, 0.0) +
+                    ca.n_slots * weight)
+        boundaries = [0] + [b for b in timeline.epoch_boundaries()
+                            if 0 < b < horizon]
+        series = []
+        for boundary in boundaries:
+            slots_live = sum(
+                ca.n_slots * len(ca.path.links)
+                for name, spans in intervals.items()
+                for start, end, ca in spans
+                if start <= boundary < end)
+            n_links = max(1, len(timeline.topology.links))
+            series.append((boundary, round(
+                slots_live / (n_links * table_size), 6)))
+        return cls(
+            table_size=table_size,
+            n_channels=len(intervals),
+            link_slots=tuple(sorted(
+                (f"{src}->{dst}", round(slots, 4))
+                for (src, dst), slots in per_link.items())),
+            ni_slots=tuple(sorted(
+                (ni, round(slots, 4)) for ni, slots in per_ni.items())),
+            series=tuple(series))
+
+    def hotspots(self, k: int = MonitorSpec.top_k
+                 ) -> tuple[tuple[str, float], ...]:
+        """The ``k`` busiest links, most-occupied first (name-stable)."""
+        return tuple(sorted(self.link_slots,
+                            key=lambda item: (-item[1], item[0]))[:k])
+
+    def link_rows(self, k: int = MonitorSpec.top_k
+                  ) -> list[dict[str, object]]:
+        """Top-K link heatmap rows for ``format_table``."""
+        return [{"link": name, "slots": slots,
+                 "utilisation": f"{slots / self.table_size:.1%}"}
+                for name, slots in self.hotspots(k)]
+
+    def ni_rows(self, k: int = MonitorSpec.top_k
+                ) -> list[dict[str, object]]:
+        """Top-K NI slot-occupancy rows for ``format_table``."""
+        busiest = sorted(self.ni_slots,
+                         key=lambda item: (-item[1], item[0]))[:k]
+        return [{"ni": name, "slots": slots,
+                 "occupancy": f"{slots / self.table_size:.1%}"}
+                for name, slots in busiest]
+
+    def to_record(self) -> dict[str, object]:
+        """Canonical JSON-ready form."""
+        record: dict[str, object] = {
+            "table_size": self.table_size,
+            "n_channels": self.n_channels,
+            "links": {name: slots for name, slots in self.link_slots},
+            "nis": {name: slots for name, slots in self.ni_slots},
+        }
+        if self.series:
+            record["mean_utilisation_series"] = [
+                {"slot": slot, "mean_utilisation": value}
+                for slot, value in self.series]
+        return record
+
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, two-space indent."""
+        return json.dumps(self.to_record(), indent=2, sort_keys=True)
+
+    def emit_counter_tracks(self, telemetry, *,
+                            track: str = "fabric") -> None:
+        """Counter tracks onto a hub's Perfetto/Chrome-trace export.
+
+        The utilisation series becomes a ``ph: "C"`` counter track in
+        :func:`repro.telemetry.export.chrome_trace`; per-link occupancy
+        lands as a single-sample track per top-K hotspot so the heatmap
+        is visible on the trace timeline too.
+        """
+        if self.series:
+            telemetry.counter_track("fabric.mean_link_utilisation",
+                                    self.series, track=track,
+                                    unit="slot")
+        for name, slots in self.hotspots():
+            telemetry.counter_track(
+                f"fabric.link_slots {name}", ((0, slots),),
+                track=track, unit="slot")
+
+
+# -- perf-regression sentinel ---------------------------------------------
+
+
+@dataclass(frozen=True)
+class BenchVerdict:
+    """One benchmark trajectory's regression verdict.
+
+    ``status`` is ``ok`` (current throughput within tolerance of the
+    baseline), ``regressed`` (below it) or ``insufficient`` (fewer than
+    two usable entries — nothing to compare against yet).
+    """
+
+    benchmark: str
+    status: str
+    n_entries: int
+    baseline_ops_per_s: float | None = None
+    current_ops_per_s: float | None = None
+    ratio: float | None = None
+
+    def to_record(self) -> dict[str, object]:
+        """Canonical JSON-ready form."""
+        record: dict[str, object] = {
+            "benchmark": self.benchmark,
+            "status": self.status,
+            "n_entries": self.n_entries,
+        }
+        if self.baseline_ops_per_s is not None:
+            record["baseline_ops_per_s"] = round(
+                self.baseline_ops_per_s, 1)
+        if self.current_ops_per_s is not None:
+            record["current_ops_per_s"] = round(
+                self.current_ops_per_s, 1)
+        if self.ratio is not None:
+            record["ratio"] = round(self.ratio, 4)
+        return record
+
+
+@dataclass(frozen=True)
+class BenchCheckReport:
+    """The sentinel's verdict over every recorded trajectory."""
+
+    tolerance: float
+    verdicts: tuple[BenchVerdict, ...] = ()
+
+    @property
+    def regressions(self) -> tuple[BenchVerdict, ...]:
+        """The trajectories that regressed beyond the tolerance."""
+        return tuple(v for v in self.verdicts if v.status == "regressed")
+
+    @property
+    def ok(self) -> bool:
+        """True when nothing regressed (insufficient data passes)."""
+        return not self.regressions
+
+    def to_record(self) -> dict[str, object]:
+        """Canonical JSON-ready form."""
+        return {
+            "tolerance": round(self.tolerance, 4),
+            "ok": self.ok,
+            "n_benchmarks": len(self.verdicts),
+            "n_regressed": len(self.regressions),
+            "verdicts": [v.to_record() for v in self.verdicts],
+        }
+
+    def to_json(self) -> str:
+        """Canonical serialisation: sorted keys, two-space indent."""
+        return json.dumps(self.to_record(), indent=2, sort_keys=True)
+
+    def summary_rows(self) -> list[dict[str, object]]:
+        """Per-benchmark table rows for ``format_table``."""
+        return [{
+            "benchmark": v.benchmark,
+            "entries": v.n_entries,
+            "baseline_ops_s": ("-" if v.baseline_ops_per_s is None
+                               else round(v.baseline_ops_per_s, 1)),
+            "current_ops_s": ("-" if v.current_ops_per_s is None
+                              else round(v.current_ops_per_s, 1)),
+            "ratio": "-" if v.ratio is None else round(v.ratio, 3),
+            "status": v.status,
+        } for v in self.verdicts]
+
+    def summary(self) -> str:
+        """One-line operator view of the sentinel outcome."""
+        if self.ok:
+            return (f"bench-check: {len(self.verdicts)} trajectories "
+                    f"within {self.tolerance:.0%} of baseline")
+        names = ", ".join(v.benchmark for v in self.regressions)
+        return (f"bench-check: {len(self.regressions)} of "
+                f"{len(self.verdicts)} trajectories regressed beyond "
+                f"{self.tolerance:.0%}: {names}")
+
+
+def _entry_rate(entry: dict) -> float | None:
+    """One record entry's throughput (ops/s; fall back to 1/wall)."""
+    ops = entry.get("ops_per_s")
+    if ops is not None:
+        return float(ops)
+    wall = entry.get("wall_s")
+    if wall:
+        return 1.0 / float(wall)
+    return None
+
+
+def _median(values: list[float]) -> float:
+    """Median without :mod:`statistics` (tiny lists, exact halves)."""
+    data = sorted(values)
+    mid = len(data) // 2
+    if len(data) % 2:
+        return data[mid]
+    return (data[mid - 1] + data[mid]) / 2.0
+
+
+def bench_check(records_dir, *, tolerance: float = 0.15
+                ) -> BenchCheckReport:
+    """Gate the recorded perf trajectories against robust baselines.
+
+    Reads every ``BENCH_*.json`` under ``records_dir`` (each a
+    time-ordered list of entries appended by the ``bench_record``
+    fixture), takes the *newest* entry as the current measurement and
+    the **median of all prior entries** as the baseline — the median is
+    robust to a single outlier run poisoning the gate — and flags
+    ``regressed`` when current ops/s falls more than ``tolerance``
+    below baseline.  Trajectories with fewer than two usable entries
+    are ``insufficient`` (reported, never failed: a fresh benchmark
+    must be recordable before it can be gated).
+
+    >>> import json, tempfile, pathlib
+    >>> d = pathlib.Path(tempfile.mkdtemp())
+    >>> _ = (d / "BENCH_demo.json").write_text(json.dumps(
+    ...     [{"ops_per_s": 100.0}, {"ops_per_s": 104.0},
+    ...      {"ops_per_s": 50.0}]))
+    >>> report = bench_check(d, tolerance=0.15)
+    >>> report.verdicts[0].status
+    'regressed'
+    >>> report.ok
+    False
+    """
+    if not 0.0 < tolerance < 1.0:
+        raise ValueError(
+            f"tolerance must be in (0, 1), got {tolerance}")
+    records_dir = Path(records_dir)
+    verdicts = []
+    for path in sorted(records_dir.glob("BENCH_*.json")):
+        name = path.stem[len("BENCH_"):]
+        entries = json.loads(path.read_text(encoding="utf-8"))
+        rates = [rate for rate in map(_entry_rate, entries)
+                 if rate is not None]
+        if len(rates) < 2:
+            verdicts.append(BenchVerdict(
+                benchmark=name, status="insufficient",
+                n_entries=len(entries),
+                current_ops_per_s=rates[-1] if rates else None))
+            continue
+        baseline = _median(rates[:-1])
+        current = rates[-1]
+        ratio = current / baseline if baseline > 0 else 1.0
+        status = "regressed" if ratio < (1 - tolerance) else "ok"
+        verdicts.append(BenchVerdict(
+            benchmark=name, status=status, n_entries=len(entries),
+            baseline_ops_per_s=baseline, current_ops_per_s=current,
+            ratio=ratio))
+    return BenchCheckReport(tolerance=tolerance,
+                            verdicts=tuple(verdicts))

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Span", "SPAN_UNITS"]
+__all__ = ["Span", "CounterTrack", "SPAN_UNITS"]
 
 # Recognised span time units and their scale to Chrome-trace
 # microseconds.  "slot" and "cycle" are unit-less simulation ticks;
@@ -62,3 +62,50 @@ class Span:
         if self.args:
             record["args"] = self.args
         return record
+
+
+@dataclass(slots=True)
+class CounterTrack:
+    """A sampled value series rendered as a Perfetto counter track.
+
+    ``points`` are ``(timestamp, value)`` samples in the track's
+    ``unit`` timebase, non-decreasing in time.  The Chrome-trace
+    exporter turns each sample into a ``ph: "C"`` counter event, so the
+    series plots as a stacked area chart alongside the span tracks —
+    the fabric-utilisation rollups of
+    :mod:`repro.telemetry.monitor` use this for per-epoch heatlines.
+
+    >>> ct = CounterTrack("util", track="fabric", unit="slot",
+    ...                   points=((0, 0.25), (64, 0.5)))
+    >>> len(ct.points)
+    2
+    """
+
+    name: str
+    track: str
+    unit: str
+    points: tuple[tuple[float, float], ...]
+    wall: bool = False
+
+    def __post_init__(self):
+        if self.unit not in SPAN_UNITS:
+            raise ValueError(
+                f"counter unit {self.unit!r} not one of "
+                f"{sorted(SPAN_UNITS)}")
+        self.points = tuple((float(ts), float(value))
+                            for ts, value in self.points)
+        if not self.points:
+            raise ValueError(
+                f"counter track {self.name!r} needs at least one point")
+        if any(b[0] < a[0] for a, b in zip(self.points,
+                                           self.points[1:])):
+            raise ValueError(
+                f"counter track {self.name!r} points must be "
+                "time-ordered")
+
+    def to_record(self) -> dict:
+        """Canonical JSON-ready form (used by the JSONL exporter)."""
+        return {"kind": "counter_track", "name": self.name,
+                "track": self.track, "unit": self.unit,
+                "points": [[round(ts, 6), round(value, 6)]
+                           for ts, value in self.points]}

@@ -26,7 +26,7 @@ from repro.campaign.fabric import (CampaignWorkdir, ShardJournal,
                                    default_shard_size, iter_report_chunks,
                                    shard_campaign, spec_fingerprint)
 from repro.campaign.presets import synthetic_campaign
-from repro.campaign.runner import CampaignRunner
+from repro.campaign.runner import CampaignResult, CampaignRunner
 from repro.campaign.spec import (CampaignSpec, ScenarioSpec, SyntheticSpec,
                                  derive_seed)
 from repro.core.exceptions import ConfigurationError
@@ -323,6 +323,40 @@ class TestGracefulDegradation:
         assert stream.summary_rows() == keep.summary_rows()
         assert stream.to_json() == keep.to_json()
         assert stream.digest() == keep.digest()
+
+
+class TestSummary:
+    def test_one_liner_counts_crashes_and_names_stragglers(self):
+        result = CampaignResult(
+            campaign="demo", base_seed=7,
+            records=[
+                {"run": "a/s1", "status": "ok"},
+                {"run": "a/s2", "status": "crashed", "error": "boom"},
+                {"run": "b/s1", "status": "ok"},
+            ],
+            meta={"stragglers": [
+                {"run_id": "a/s2", "wall_s": 4.0, "median_s": 0.5},
+                {"run_id": "b/s1", "wall_s": 9.0, "median_s": 0.5},
+            ]})
+        line = result.summary(top_k=1)
+        assert line.startswith("campaign[demo]: 3 runs, 1 failed")
+        assert "crashed=1" in line and "ok=2" in line
+        # Only the slowest straggler survives top_k=1, ratio included.
+        assert "b/s1 9.00s (18.0x median)" in line
+        assert "a/s2 4.00s" not in line
+
+    def test_summary_matches_between_record_and_streaming_modes(self,
+                                                                tmp_path):
+        spec = _grid(n_scenarios=4, seeds=(1, 2), fail_seeds=(2,))
+        keep = CampaignRunner(spec, workers=1).run()
+        stream = CampaignRunner(spec, workers=1,
+                                workdir=tmp_path / "wd",
+                                keep_records=False).run()
+        assert "crashed=4" in keep.summary()
+        # Straggler content is wall-clock (meta), so compare only the
+        # deterministic head of the line.
+        head = keep.summary().split("; stragglers")[0]
+        assert stream.summary().split("; stragglers")[0] == head
 
 
 class TestJournal:

@@ -1,0 +1,276 @@
+"""The telemetry analysis tier: conformance watchdog, rollups, sentinel.
+
+Pins the monitor's three contracts:
+
+* classification — the ``within_bounds`` / ``tight`` / ``violated``
+  verdict algebra, including the epsilon band that keeps an *attained*
+  bound (observed == analytical worst case, the TDM ideal) out of
+  ``violated``;
+* byte-determinism — conformance reports, fabric rollups and sentinel
+  verdicts serialise identically across repeated runs, and arming the
+  monitor never changes a flow's canonical report;
+* the regression sentinel — ``bench_check`` passes intact
+  trajectories, fails a synthetically regressed one, and treats
+  single-entry files as insufficient rather than wrong.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.simulation.backend import FlitLevelBackend, SimRequest
+from repro.simulation.traffic import ConstantBitRate
+from repro.telemetry.monitor import (BenchCheckReport, ConformanceReport,
+                                     FabricRollup, MonitorSpec,
+                                     bench_check, campaign_conformance,
+                                     conformance_from_result,
+                                     quote_conformance)
+
+
+def _cbr_traffic(config):
+    return {
+        name: ConstantBitRate.from_rate(
+            ca.spec.throughput_bytes_per_s, config.frequency_hz,
+            config.fmt)
+        for name, ca in config.allocation.channels.items()}
+
+
+def _gs_result(config, n_slots=800):
+    return FlitLevelBackend(config).run(
+        SimRequest(n_slots=n_slots, traffic=_cbr_traffic(config)))
+
+
+class TestClassification:
+
+    def test_verdict_bands(self):
+        spec = MonitorSpec(slack_fraction=0.2)
+        assert spec.classify(50.0, 100.0) == "within_bounds"
+        assert spec.classify(80.0, 100.0) == "tight"
+        assert spec.classify(100.0, 100.0) == "tight"
+        assert spec.classify(101.0, 100.0) == "violated"
+
+    def test_attained_bound_is_tight_not_violated(self):
+        # The paper's bounds are exact: burst traffic drives observed
+        # worst-case latency onto the analytical bound, with float fuzz
+        # on either side.  The eps band absorbs it.
+        spec = MonitorSpec()
+        bound = 216.0
+        assert spec.classify(bound * (1 - 1e-15), bound) == "tight"
+        assert spec.classify(bound * (1 + 1e-15), bound) == "tight"
+
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            MonitorSpec(slack_fraction=1.0)
+        with pytest.raises(ValueError):
+            MonitorSpec(top_k=0)
+
+    def test_worst_channels_orders_by_headroom(self):
+        from repro.telemetry.monitor import ChannelConformance
+
+        def entry(name, worst):
+            return ChannelConformance(
+                channel=name, kind="trace", verdict="within_bounds",
+                latency_bound_ns=100.0, worst_latency_ns=worst,
+                n_messages=1)
+        report = ConformanceReport(source="test", scenario="s", channels=(
+            entry("a", 90.0), entry("b", 50.0), entry("c", 99.0),
+            ChannelConformance(channel="d", kind="trace",
+                               verdict="within_bounds")))
+        worst = [c.channel for c in report.worst_channels(4)]
+        assert worst[0] == "c"  # least headroom first
+        assert worst[-1] == "d"  # unmeasured entries sort last
+
+
+class TestSimulationConformance:
+
+    def test_mesh_gs_within_bounds_and_deterministic(self, mesh_config):
+        result = _gs_result(mesh_config)
+        report = conformance_from_result(mesh_config, result)
+        assert isinstance(report, ConformanceReport)
+        assert len(report.channels) == 3
+        assert report.n_violated == 0
+        assert report.ok
+        # CBR at the required rate leaves slack: latency stays under
+        # the worst-case bound and throughput under the quota.
+        rerun = conformance_from_result(mesh_config,
+                                        _gs_result(mesh_config))
+        assert report.to_json() == rerun.to_json()
+
+    def test_section7_gs_zero_violated_byte_deterministic(self):
+        # The acceptance bar: the Section VII use case reports zero
+        # violated channels on the GS backend, twice-run identical.
+        from repro.experiments.section7 import section7_setup
+        from repro.usecase.runner import run_gs
+        _, config = section7_setup()
+        first = conformance_from_result(
+            config, run_gs(config, n_slots=1200).result)
+        second = conformance_from_result(
+            config, run_gs(config, n_slots=1200).result)
+        assert len(first.channels) == 200
+        assert first.n_violated == 0
+        assert first.to_json() == second.to_json()
+        # Burst traffic attains the worst case: every channel lands
+        # tight-or-better, none violated.
+        counts = first.counts
+        assert counts["within_bounds"] + counts["tight"] == 200
+
+    def test_invalid_verdict_rejected(self):
+        from repro.telemetry.monitor import ChannelConformance
+        with pytest.raises(ValueError):
+            ChannelConformance(channel="c0", kind="trace",
+                               verdict="fine")
+
+
+class TestServiceConformance:
+
+    def test_monitored_service_reports_and_stays_byte_identical(self):
+        from repro.service.demo import run_demo
+        plain, _ = run_demo(n_events=200)
+        monitored, identical = run_demo(n_events=200,
+                                        monitor=MonitorSpec())
+        assert identical
+        assert plain.to_json() == monitored.to_json()
+        conformance = monitored.conformance
+        assert conformance.n_violated == 0
+        assert all(c.kind == "quote" for c in conformance.channels)
+
+    def test_unarmed_service_refuses_conformance_report(self):
+        from repro.core.exceptions import ConfigurationError
+        from repro.service.controller import SessionService
+        from repro.topology.builders import mesh
+        service = SessionService(mesh(2, 2, nis_per_router=1))
+        with pytest.raises(ConfigurationError):
+            service.conformance_report()
+
+    def test_quote_violation_detected(self):
+        report = quote_conformance(
+            [("s0", "voice", 1200.0, 1000.0, 64e6, 64e6),
+             ("s1", "bulk", 100.0, None, 16e6, 32e6)])
+        verdicts = {c.channel: c.verdict for c in report.channels}
+        assert verdicts == {"s0": "violated", "s1": "violated"}
+        assert not report.ok
+
+
+class TestTimelineConformance:
+
+    def test_faults_demo_survivors_zero_violated(self):
+        from repro.faults.demo import run_faults_demo
+        record, plain_json, identical = run_faults_demo(
+            n_events=100, n_slots=1200, n_faults=4,
+            monitor=MonitorSpec())
+        assert identical
+        conformance = record["_conformance"]
+        assert conformance.n_violated == 0
+        assert conformance.source == "timeline"
+        # The stashed artifact never entered the canonical record.
+        assert "_conformance" not in json.loads(plain_json)
+
+    def test_monitor_off_report_bytes_unchanged(self):
+        from repro.faults.demo import run_faults_demo
+        _, on_json, _ = run_faults_demo(
+            n_events=100, n_slots=1200, n_faults=4,
+            monitor=MonitorSpec())
+        _, off_json, _ = run_faults_demo(
+            n_events=100, n_slots=1200, n_faults=4)
+        assert on_json == off_json
+
+
+class TestCampaignConformance:
+
+    def test_statuses_fold_to_verdicts(self):
+        records = [
+            {"run": "r0", "status": "ok", "result": {}},
+            {"run": "r1", "status": "crashed",
+             "error": "boom", "result": {}},
+            {"run": "r2", "status": "ok",
+             "result": {"composability": {"composable": False}}},
+        ]
+        report = campaign_conformance(records)
+        verdicts = {c.channel: c.verdict for c in report.channels}
+        assert verdicts["r0"] == "within_bounds"
+        assert verdicts["r1"] == "violated"
+        assert verdicts["r2"] == "violated"
+        assert report.n_violated == 2
+
+
+class TestFabricRollup:
+
+    def test_from_allocation_heatmap(self, mesh_config):
+        rollup = FabricRollup.from_allocation(mesh_config.allocation)
+        assert rollup.n_channels == 3
+        assert rollup.table_size == mesh_config.allocation.table_size
+        hot = rollup.hotspots(2)
+        assert len(hot) == 2
+        # Hotspots are sorted by occupancy, then name.
+        assert hot[0][1] >= hot[1][1]
+        assert rollup.to_json() == FabricRollup.from_allocation(
+            mesh_config.allocation).to_json()
+
+    def test_counter_tracks_reach_chrome_trace(self, mesh_config):
+        from repro.telemetry import Telemetry
+        tel = Telemetry("rollup")
+        FabricRollup.from_allocation(
+            mesh_config.allocation).emit_counter_tracks(tel)
+        trace = tel.chrome_trace()
+        counters = [e for e in trace["traceEvents"]
+                    if e.get("ph") == "C"]
+        assert counters
+        assert all(e["cat"] == "fabric" for e in counters)
+
+
+class TestBenchCheck:
+
+    def _write(self, tmp_path, name, rates):
+        entries = [{"benchmark": name, "wall_s": 1.0, "ops_per_s": rate,
+                    "speedup": None, "git_rev": "test",
+                    "timestamp": "2026-01-01T00:00:00Z"}
+                   for rate in rates]
+        (tmp_path / f"BENCH_{name}.json").write_text(
+            json.dumps(entries) + "\n")
+
+    def test_intact_trajectory_passes(self, tmp_path):
+        self._write(tmp_path, "steady", [100.0, 104.0, 98.0])
+        report = bench_check(tmp_path, tolerance=0.15)
+        assert report.ok
+        assert report.verdicts[0].status == "ok"
+
+    def test_synthetic_regression_fails(self, tmp_path):
+        self._write(tmp_path, "regressed", [100.0, 104.0, 50.0])
+        report = bench_check(tmp_path, tolerance=0.15)
+        assert not report.ok
+        verdict = report.verdicts[0]
+        assert verdict.status == "regressed"
+        assert verdict.ratio < 0.85
+        assert "regressed" in report.summary()
+
+    def test_single_entry_is_insufficient_not_failed(self, tmp_path):
+        self._write(tmp_path, "fresh", [100.0])
+        report = bench_check(tmp_path, tolerance=0.15)
+        assert report.ok
+        assert report.verdicts[0].status == "insufficient"
+
+    def test_committed_records_pass_the_ci_gate(self):
+        # The exact invocation CI runs must stay green on the committed
+        # trajectories (single-entry files count as insufficient).
+        report = bench_check("benchmarks/records", tolerance=0.15)
+        assert report.ok, report.summary()
+        assert len(report.verdicts) >= 4
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        from repro.__main__ import main
+        self._write(tmp_path, "regressed", [100.0, 104.0, 50.0])
+        assert main(["bench-check", "--records", str(tmp_path)]) == 1
+        self._write(tmp_path, "regressed", [100.0, 104.0, 99.0])
+        assert main(["bench-check", "--records", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "bench-check" in out
+
+    def test_report_roundtrip(self, tmp_path):
+        self._write(tmp_path, "steady", [100.0, 104.0, 98.0])
+        report = bench_check(tmp_path, tolerance=0.15)
+        record = json.loads(report.to_json())
+        assert record["ok"] is True
+        assert record["n_benchmarks"] == 1
+        assert isinstance(report, BenchCheckReport)

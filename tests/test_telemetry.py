@@ -187,6 +187,67 @@ class TestExporters:
                  if e["ph"] == "M" and e["name"] == "thread_name"}
         assert "epochs [slot]" in names
 
+    def test_prometheus_escapes_label_values(self):
+        # Exposition format: backslash, newline and double quote must
+        # escape inside the quoted label value, or the scrape breaks.
+        tel = Telemetry()
+        tel.counter("odd", path='a"b\nc\\d').inc()
+        text = prometheus_text(tel)
+        assert 'path="a\\"b\\nc\\\\d"' in text
+        assert "\n" not in text.splitlines()[1]  # sample stays one line
+        # The value is recoverable by undoing the three escapes.
+        raw = text.split('path="', 1)[1].rsplit('"', 1)[0]
+        unescaped = (raw.replace("\\\\", "\x00").replace("\\n", "\n")
+                     .replace('\\"', '"').replace("\x00", "\\"))
+        assert unescaped == 'a"b\nc\\d'
+
+
+class TestCounterTracks:
+    def test_jsonl_emits_counter_track_line(self):
+        tel = Telemetry("t")
+        tel.counter_track("util", [(0, 0.25), (64, 0.5)],
+                          track="fabric")
+        records = [json.loads(line)
+                   for line in tel.to_jsonl().splitlines()]
+        tracks = [r for r in records if r["kind"] == "counter_track"]
+        assert len(tracks) == 1
+        assert tracks[0]["name"] == "util"
+        assert tracks[0]["points"] == [[0, 0.25], [64, 0.5]]
+
+    def test_wall_counter_track_quarantined_into_meta(self):
+        tel = Telemetry("t")
+        tel.counter_track("rss", [(0.0, 10.0)], unit="s", wall=True)
+        records = [json.loads(line)
+                   for line in tel.to_jsonl().splitlines()]
+        assert all(r["kind"] != "counter_track" for r in records[:-1])
+        meta = records[-1]
+        assert meta["wall_counter_tracks"][0]["name"] == "rss"
+
+    def test_chrome_trace_renders_counter_events(self):
+        tel = Telemetry("t")
+        tel.counter_track("util", [(0, 0.25), (64, 0.5)],
+                          track="fabric")
+        counters = [e for e in chrome_trace(tel)["traceEvents"]
+                    if e.get("ph") == "C"]
+        assert [e["args"]["util"] for e in counters] == [0.25, 0.5]
+        assert all(e["cat"] == "fabric" for e in counters)
+
+    def test_counter_track_validation(self):
+        from repro.telemetry.spans import CounterTrack
+        with pytest.raises(ValueError):
+            CounterTrack("empty", track="t", unit="slot", points=())
+        with pytest.raises(ValueError):
+            CounterTrack("rev", track="t", unit="slot",
+                         points=((2, 1.0), (1, 2.0)))
+        with pytest.raises(ValueError):
+            CounterTrack("bad", track="t", unit="lightyear",
+                         points=((0, 1.0),))
+
+    def test_null_telemetry_discards_counter_tracks(self):
+        tel = NullTelemetry()
+        tel.counter_track("anything", [(0, 1.0)])
+        assert "counter_track" not in tel.to_jsonl()
+
 
 class TestReportByteIdentity:
     """Telemetry-on and telemetry-off reports must match byte for byte."""
