@@ -50,6 +50,12 @@ def pytest_addoption(parser: pytest.Parser) -> None:
              "VII mesh (tier-2; asserts >= 10k session events/sec on "
              "the warm admission path)")
     parser.addoption(
+        "--service-fairness", action="store_true", default=False,
+        help="run the weighted-fair admission overhead benchmark on "
+             "the Section VII mesh (tier-2; asserts the wfq policy "
+             "tier clears >= 10k session events/sec and costs < 15% "
+             "wall clock versus the FCFS baseline)")
+    parser.addoption(
         "--replay-epochs", action="store_true", default=False,
         help="run the epoch-replay benchmark on the Section VII use "
              "case (tier-2; asserts incremental schedule "

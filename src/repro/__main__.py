@@ -525,6 +525,75 @@ def _faults(args: argparse.Namespace) -> int:
                  and rebuild_ok and conformance_ok) else 1
 
 
+def _serve_fairness(args: argparse.Namespace) -> int:
+    """The ``serve --policy wfq --demo`` flow: the fairness verdict."""
+    from repro.service import run_fairness_demo
+    tel = _demo_telemetry("fairness")
+    monitor = _monitor_spec(args)
+    record, report_json, identical = run_fairness_demo(
+        n_events=args.events, seed=args.seed, telemetry=tel,
+        monitor=monitor)
+    wfq_totals = record["wfq"]["totals"]
+    fcfs_totals = record["fcfs"]["totals"]
+    per_tenant = record["wfq"]["fairness"]["per_tenant"]
+    rows = [{
+        "tenant": name,
+        "weight": stats["weight"],
+        "opens": stats["opens"],
+        "admitted": stats["admitted"],
+        "shed": stats["shed"],
+        "capacity_rejects": stats["rejected_capacity"],
+    } for name, stats in sorted(per_tenant.items())]
+    print(format_table(
+        rows,
+        title=f"fairness demo — {record['n_events']} events on "
+              f"{record['topology']} (wfq accept "
+              f"{wfq_totals['accept_rate']:.1%}, fcfs "
+              f"{fcfs_totals['accept_rate']:.1%})"))
+    retention_rows = [{
+        "tenant": name,
+        "behaved": "yes" if row["well_behaved"] else "ABUSIVE",
+        "solo": row["solo_rate"],
+        "wfq": row["wfq_rate"],
+        "fcfs": row["fcfs_rate"],
+        "wfq_retention": row["wfq_retention"],
+        "fcfs_retention": row["fcfs_retention"],
+    } for name, row in sorted(record["retention"].items())]
+    print()
+    print(format_table(retention_rows,
+                       title="admission retention vs solo baseline"))
+    checks = record["checks"]
+    wfq_ok = bool(checks["wfq_retention_ok"])
+    fcfs_fails = bool(checks["fcfs_fails"])
+    floor = checks["retention_floor"]
+    print(f"\nwell-behaved tenants retain >= {floor:.0%} of their solo "
+          f"admission rate under wfq: "
+          f"{'yes' if wfq_ok else 'NO — FAIRNESS BUG'} "
+          f"(min {checks['min_well_behaved_retention']:.1%})")
+    print(f"FCFS baseline fails the same bound (the policy earns its "
+          f"keep): {'yes' if fcfs_fails else 'NO — adversary too weak'}")
+    print(f"repeated-run reports byte-identical: "
+          f"{'yes' if identical else 'NO — DETERMINISM BUG'}")
+    conformance_ok = True
+    if monitor is not None:
+        conformance = record.get("_conformance")
+        conformance_ok = _print_conformance(conformance, args)
+        if conformance is not None:
+            tenant_rows = conformance.tenant_rows()
+            if tenant_rows:
+                print(format_table(
+                    tenant_rows,
+                    title="per-tenant guarantee retention"))
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(report_json)
+            handle.write("\n")
+        print(f"canonical JSON report written to {args.output}")
+    _finish_telemetry(tel, args)
+    return 0 if (identical and wfq_ok and fcfs_fails
+                 and conformance_ok) else 1
+
+
 def _serve(args: argparse.Namespace) -> int:
     from repro.service import run_demo
     if not args.demo:
@@ -532,6 +601,8 @@ def _serve(args: argparse.Namespace) -> int:
               "the CLI; drive custom workloads with repro.service in "
               "Python", file=sys.stderr)
         return 2
+    if args.policy == "wfq":
+        return _serve_fairness(args)
     tel = _demo_telemetry("serve")
     monitor = _monitor_spec(args)
     report, identical = run_demo(n_events=args.events, seed=args.seed,
@@ -826,6 +897,13 @@ def main(argv: list[str] | None = None) -> int:
                             "(default 2000)")
     serve.add_argument("--seed", type=int, default=2009,
                        help="workload seed (default 2009)")
+    serve.add_argument("--policy", choices=("fcfs", "wfq"),
+                       default="fcfs",
+                       help="admission policy: fcfs (default, the "
+                            "legacy single-tenant demo) or wfq (the "
+                            "multi-tenant weighted-fair demo: abusive "
+                            "tenant vs FCFS vs per-tenant solo "
+                            "baselines)")
     serve.add_argument("--output", default=None,
                        help="write the canonical JSON report here")
     _add_observability_flags(serve)

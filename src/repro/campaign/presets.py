@@ -18,7 +18,8 @@ from repro.service.qos import QosClass
 
 __all__ = ["demo_campaign", "micro_campaign", "churn_campaign",
            "replay_campaign", "design_campaign", "fault_campaign",
-           "synthetic_campaign", "PRESETS", "preset_by_name"]
+           "fairness_campaign", "synthetic_campaign", "PRESETS",
+           "preset_by_name"]
 
 
 def demo_campaign(*, n_slots: int = 600,
@@ -250,6 +251,50 @@ def fault_campaign(*, n_sessions: int = 80, n_slots: int = 1600,
                         seeds=seeds)
 
 
+def fairness_campaign(*, n_events: int = 800,
+                      seeds: tuple[int, ...] = (1, 2)) -> CampaignSpec:
+    """A multi-tenant fairness sweep: adversary intensity × weights.
+
+    Every scenario runs the ``mode="fairness"`` comparison — the
+    weighted-fair control plane versus the FCFS baseline versus
+    per-tenant solo references over one tenant-tagged churn stream —
+    on the Section VII mesh.  The grid crosses a mild against a severe
+    abuser (3x / 10x the honest arrival intensity) with equal against
+    skewed tenant weights, so the aggregated retention columns show
+    both knobs of the policy at work.
+    """
+    from repro.service.fairness import TenantSpec, abusive_tenant_mix
+
+    topology = TopologySpec(kind="cmesh", cols=4, rows=3,
+                            nis_per_router=4)
+    adversaries = {"mild": 3.0, "severe": 10.0}
+    weightings = {"equal": 1.0, "weighted": 2.0}
+    scenarios = []
+    for adv_label, multiplier in sorted(adversaries.items()):
+        for weight_label, weight in sorted(weightings.items()):
+            tenants = abusive_tenant_mix(
+                3, multiplier=multiplier, floor_opens_per_window=2)
+            if weight != 1.0:
+                # Skewed grid cells double every honest tenant's
+                # fair-share weight while the abuser keeps weight 1.
+                tenants = (tenants[0],) + tuple(
+                    TenantSpec(t.name, weight=weight,
+                               rate_multiplier=t.rate_multiplier,
+                               apps=t.apps,
+                               floor_opens_per_window=
+                               t.floor_opens_per_window)
+                    for t in tenants[1:])
+            churn = ChurnSpec(
+                n_sessions=max(1, (n_events + 1) // 2 + 8),
+                arrival_rate_per_s=18000.0, tenants=tenants)
+            scenarios.append(ScenarioSpec(
+                name=f"cmesh4x3-{adv_label}-{weight_label}-fairness",
+                mode="fairness", topology=topology, churn=churn,
+                table_size=32))
+    return CampaignSpec(name="fairness", scenarios=tuple(scenarios),
+                        seeds=seeds)
+
+
 def synthetic_campaign(*, n_scenarios: int = 8,
                        seeds: tuple[int, ...] = (1, 2),
                        work: int = 200,
@@ -285,6 +330,7 @@ PRESETS: dict[str, Callable[[], CampaignSpec]] = {
     "replay_campaign": replay_campaign,
     "design_campaign": design_campaign,
     "fault_campaign": fault_campaign,
+    "fairness_campaign": fairness_campaign,
     "synthetic_campaign": synthetic_campaign,
 }
 

@@ -95,6 +95,8 @@ def execute_run(run: RunSpec) -> dict[str, object]:
         return _execute_replay_run(run)
     if scenario.mode == "faults":
         return _execute_faults_run(run)
+    if scenario.mode == "fairness":
+        return _execute_fairness_run(run)
     if scenario.mode == "synthetic":
         return _execute_synthetic_run(run)
     if scenario.mode == "design":
@@ -231,6 +233,8 @@ def _execute_serve_run(run: RunSpec) -> dict[str, object]:
         "churn": churn.label,
         "table_size": scenario.table_size,
     }
+    if scenario.policy != "fcfs":
+        record["policy"] = scenario.policy
     try:
         topology = scenario.topology.build()
         workload = ChurnWorkload(
@@ -238,7 +242,9 @@ def _execute_serve_run(run: RunSpec) -> dict[str, object]:
         service = SessionService(
             topology, table_size=scenario.table_size,
             frequency_hz=scenario.frequency_mhz * 1e6,
-            name=scenario.name, seed=run.seed, record_events=False)
+            name=scenario.name, seed=run.seed, record_events=False,
+            policy=scenario.policy,
+            tenants=churn.tenants if scenario.policy == "wfq" else ())
         report = service.run(workload.events())
     except (AllocationError, ConfigurationError) as exc:
         record["status"] = "configuration_failed"
@@ -246,6 +252,53 @@ def _execute_serve_run(run: RunSpec) -> dict[str, object]:
         return record
     record["status"] = "ok"
     record["result"] = report.to_record()
+    return record
+
+
+def _execute_fairness_run(run: RunSpec) -> dict[str, object]:
+    """Execute one ``mode="fairness"`` run: wfq vs FCFS vs solo.
+
+    The identical tenant-tagged churn stream runs under the
+    weighted-fair policy, under the FCFS baseline, and once per tenant
+    in isolation; the record carries both contended reports plus the
+    per-tenant retention table and verdict flags (see
+    :func:`~repro.service.fairness_demo.fairness_comparison`).
+    """
+    from repro.service.churn import ChurnWorkload
+    from repro.service.fairness_demo import (demo_fairness_spec,
+                                             fairness_churn_spec,
+                                             fairness_comparison)
+
+    scenario = run.scenario
+    churn = scenario.churn or fairness_churn_spec(1000)
+    record: dict[str, object] = {
+        "run_id": run.run_id,
+        "scenario": scenario.name,
+        "seed": run.seed,
+        "mode": "fairness",
+        "policy": "wfq",
+        "topology": scenario.topology.label,
+        "churn": churn.label,
+        "table_size": scenario.table_size,
+    }
+    try:
+        topology = scenario.topology.build()
+        workload = ChurnWorkload(
+            churn, topology, derive_seed(run.run_seed, "churn", run.seed))
+        events = workload.events(limit=3 * churn.n_sessions // 2)
+        comparison = fairness_comparison(
+            topology, events, churn.tenants,
+            table_size=scenario.table_size,
+            frequency_hz=scenario.frequency_mhz * 1e6,
+            fairness=demo_fairness_spec(), name=scenario.name,
+            seed=run.seed)
+    except (AllocationError, ConfigurationError) as exc:
+        record["status"] = "configuration_failed"
+        record["error"] = str(exc)
+        return record
+    record["status"] = "ok"
+    record["result"] = {k: v for k, v in comparison.items()
+                        if not k.startswith("_")}
     return record
 
 
@@ -390,6 +443,14 @@ def _summary_row(record: dict[str, object]) -> dict[str, object]:
             row["area_mm2"] = round(
                 result["area"]["total_um2"] / 1e6, 4)
             row["mhz"] = result["operating_frequency_mhz"]
+        elif "retention" in result and "checks" in result:
+            # fairness-mode record
+            checks = result["checks"]
+            row["messages"] = result["wfq"]["totals"]["n_events"]
+            row["retention"] = checks["min_well_behaved_retention"]
+            row["status"] = (
+                f"{record['status']}/"
+                f"{'fair' if checks['wfq_retention_ok'] else 'unfair'}")
         elif "totals" in result:  # serve-mode record
             totals = result["totals"]
             row["messages"] = totals["n_events"]

@@ -250,12 +250,24 @@ class ScenarioSpec:
       the churn+fault timeline on ``backend`` for the fault-survivor
       composability verdict.  Reports are survivability records
       (admission retention, guarantee retention, session survival);
+    * ``mode="fairness"`` — run the multi-tenant fairness comparison
+      (:func:`~repro.service.fairness_demo.fairness_comparison`) over a
+      tenant-tagged churn stream: the ``policy="wfq"`` control plane
+      versus the FCFS baseline versus per-tenant solo references, with
+      per-tenant retention verdicts.  ``churn`` must carry a tenant
+      mix (defaults to the abusive-tenant adversary profile when
+      ``None``);
     * ``mode="synthetic"`` — execute a seed-deterministic hash chain
       (``synthetic``, a :class:`SyntheticSpec`; defaults apply when
       ``None``).  Costs microseconds per run, which makes it the grid
       filler for fabric-scale benchmarks, crash/resume drills and CI
       smoke checks; every other axis except ``topology`` (used only
       for its label) is ignored.
+
+    ``policy`` selects the admission policy of the control-plane modes:
+    ``"fcfs"`` (the default, byte-identical to the pre-fairness
+    reports) or ``"wfq"`` for ``mode="serve"`` runs over a tenant-
+    tagged churn spec; ``mode="fairness"`` always compares both.
     """
 
     name: str
@@ -267,8 +279,10 @@ class ScenarioSpec:
     n_slots: int = 800
     table_size: int = 16
     frequency_mhz: float = 500.0
-    mode: str = "simulate"  # simulate|serve|replay|design|faults|synthetic
-    churn: ChurnSpec | None = None  # serve / replay / faults modes
+    mode: str = "simulate"  # simulate|serve|replay|design|faults|
+    #                         fairness|synthetic
+    policy: str = "fcfs"    # serve / fairness modes: fcfs|wfq
+    churn: ChurnSpec | None = None  # serve/replay/faults/fairness modes
     design: object | None = None    # design mode only (a DesignSpec)
     faults: FaultSpec | None = None  # faults mode only
     synthetic: SyntheticSpec | None = None  # synthetic mode only
@@ -276,21 +290,41 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         from repro.simulation.backend import available_backends
         if self.mode not in ("simulate", "serve", "replay", "design",
-                             "faults", "synthetic"):
+                             "faults", "fairness", "synthetic"):
             raise ConfigurationError(
                 f"unknown scenario mode {self.mode!r}; expected "
-                "'simulate', 'serve', 'replay', 'design', 'faults' or "
-                "'synthetic'")
+                "'simulate', 'serve', 'replay', 'design', 'faults', "
+                "'fairness' or 'synthetic'")
+        if self.policy not in ("fcfs", "wfq"):
+            raise ConfigurationError(
+                f"unknown admission policy {self.policy!r}; expected "
+                "'fcfs' or 'wfq'")
+        if self.policy != "fcfs" and self.mode not in (
+                "serve", "fairness"):
+            raise ConfigurationError(
+                "policy='wfq' only applies to serve/fairness scenarios")
         if self.synthetic is not None and self.mode != "synthetic":
             raise ConfigurationError(
                 "synthetic spec only applies to mode='synthetic' "
                 "scenarios")
         if self.churn is not None and self.mode not in (
-                "serve", "replay", "faults"):
+                "serve", "replay", "faults", "fairness"):
             raise ConfigurationError(
-                "churn spec only applies to serve/replay/faults "
-                "scenarios; design scenarios take their workload from "
-                "the DesignSpec (see repro.design.workload_from_churn)")
+                "churn spec only applies to serve/replay/faults/"
+                "fairness scenarios; design scenarios take their "
+                "workload from the DesignSpec (see "
+                "repro.design.workload_from_churn)")
+        if (self.mode == "fairness" and self.churn is not None
+                and not self.churn.tenants):
+            raise ConfigurationError(
+                "mode='fairness' scenarios need a tenant-tagged churn "
+                "spec (ChurnSpec(tenants=...)) or churn=None for the "
+                "default adversary profile")
+        if (self.policy == "wfq" and self.mode == "serve"
+                and (self.churn is None or not self.churn.tenants)):
+            raise ConfigurationError(
+                "policy='wfq' serve scenarios need a tenant-tagged "
+                "churn spec (ChurnSpec(tenants=...))")
         if self.mode == "design":
             from repro.design.space import DesignSpec
             if not isinstance(self.design, DesignSpec):

@@ -5,7 +5,12 @@ allocated?" once; this package answers it continuously, for a stream of
 millions of user sessions opening and closing against a live network:
 
 * :mod:`repro.service.qos` — per-class session requirements;
-* :mod:`repro.service.churn` — seeded Poisson/heavy-tail workloads;
+* :mod:`repro.service.churn` — seeded Poisson/heavy-tail workloads,
+  optionally tagged with a multi-tenant mix;
+* :mod:`repro.service.fairness` — the multi-tenant admission policy
+  tier: weighted-fair queueing over virtual service credits, windowed
+  per-tenant/per-app throttling and QoS-class-aware overload shedding
+  with guaranteed per-tenant floors (``policy="wfq"``);
 * :mod:`repro.service.admission` — the bitmask + candidate-cache
   admission hot path over the existing contention-free allocator;
 * :mod:`repro.service.invariants` — the paper's composability claim
@@ -28,6 +33,11 @@ from repro.service.churn import (ChurnSpec, ChurnWorkload, SessionEvent,
                                  SessionRequest)
 from repro.service.controller import SessionService, merge_events
 from repro.service.demo import run_demo
+from repro.service.fairness import (FairnessSpec, PolicyEvent, TenantSpec,
+                                    WeightedFairScheduler,
+                                    abusive_tenant_mix, shed_rank,
+                                    tenant_events)
+from repro.service.fairness_demo import run_fairness_demo
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
 from repro.service.qos import DEFAULT_CLASSES, QosClass, class_by_name
@@ -35,7 +45,9 @@ from repro.service.qos import DEFAULT_CLASSES, QosClass, class_by_name
 __all__ = [
     "QosClass", "DEFAULT_CLASSES", "class_by_name",
     "ChurnSpec", "ChurnWorkload", "SessionRequest", "SessionEvent",
+    "TenantSpec", "FairnessSpec", "PolicyEvent", "WeightedFairScheduler",
+    "abusive_tenant_mix", "shed_rank", "tenant_events",
     "AdmissionController", "CompositionInvariantChecker",
     "ServiceMetrics", "ServiceReport", "SessionService", "merge_events",
-    "run_demo",
+    "run_demo", "run_fairness_demo",
 ]

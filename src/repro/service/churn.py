@@ -25,6 +25,7 @@ from dataclasses import dataclass
 
 from repro.core.connection import ChannelSpec
 from repro.core.exceptions import ConfigurationError
+from repro.service.fairness import TenantSpec
 from repro.service.qos import DEFAULT_CLASSES, QosClass
 from repro.topology.graph import Topology
 
@@ -51,9 +52,18 @@ class ChurnSpec:
         Truncation cap on a single session's duration.
     classes:
         The weighted QoS mix sessions are drawn from.
+    tenants:
+        Optional multi-tenant mix: every session is additionally tagged
+        with a tenant (drawn proportionally to each tenant's
+        ``rate_multiplier``) and one of that tenant's apps.  The empty
+        default adds no RNG draws, so untenanted streams — and their
+        reports — stay byte-identical to earlier releases.
 
     >>> ChurnSpec(n_sessions=100, arrival_rate_per_s=1000.0).label
     'churn100r1000d0.02'
+    >>> from repro.service.fairness import TenantSpec
+    >>> ChurnSpec(tenants=(TenantSpec("a"), TenantSpec("b"))).label
+    'churn1000r5000d0.02t2'
     """
 
     n_sessions: int = 1000
@@ -62,6 +72,7 @@ class ChurnSpec:
     pareto_shape: float = 1.5
     max_duration_s: float = 2.0
     classes: tuple[QosClass, ...] = DEFAULT_CLASSES
+    tenants: tuple[TenantSpec, ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_sessions < 1:
@@ -78,18 +89,29 @@ class ChurnSpec:
         names = [c.name for c in self.classes]
         if len(set(names)) != len(names):
             raise ConfigurationError("duplicate QoS class names")
+        tenant_names = [t.name for t in self.tenants]
+        if len(set(tenant_names)) != len(tenant_names):
+            raise ConfigurationError("duplicate tenant names")
 
     @property
     def label(self) -> str:
         """Compact identifier used in run ids and reports."""
-        return (f"churn{self.n_sessions}"
-                f"r{self.arrival_rate_per_s:g}"
-                f"d{self.mean_duration_s:g}")
+        label = (f"churn{self.n_sessions}"
+                 f"r{self.arrival_rate_per_s:g}"
+                 f"d{self.mean_duration_s:g}")
+        if self.tenants:
+            label += f"t{len(self.tenants)}"
+        return label
 
 
 @dataclass(frozen=True)
 class SessionRequest:
-    """One user session: who talks to whom, how, and for how long."""
+    """One user session: who talks to whom, how, and for how long.
+
+    ``tenant``/``app`` carry the multi-tenant tags of a tenanted churn
+    mix; both stay empty (and invisible in reports) for untenanted
+    workloads.
+    """
 
     session_id: str
     qos: QosClass
@@ -97,6 +119,8 @@ class SessionRequest:
     dst_ni: str
     arrival_s: float
     duration_s: float
+    tenant: str = ""
+    app: str = ""
 
     @property
     def departure_s(self) -> float:
@@ -146,6 +170,12 @@ class ChurnWorkload:
         shape = spec.pareto_shape
         scale = spec.mean_duration_s * (shape - 1.0) / shape
         clock = 0.0
+        # Tenant draws happen strictly *after* the legacy per-session
+        # draws and only when the mix is tenanted, so an untenanted
+        # spec consumes the identical RNG sequence as earlier releases
+        # (byte-identical streams and reports).
+        tenants = list(spec.tenants)
+        tenant_weights = [t.rate_multiplier for t in tenants]
         sessions = []
         for index in range(spec.n_sessions):
             clock += rng.expovariate(spec.arrival_rate_per_s)
@@ -153,9 +183,15 @@ class ChurnWorkload:
             src, dst = rng.sample(nis, 2)
             duration = min(scale * (1.0 - rng.random()) ** (-1.0 / shape),
                            spec.max_duration_s)
+            tenant = app = ""
+            if tenants:
+                owner = rng.choices(tenants, tenant_weights)[0]
+                tenant = owner.name
+                app = owner.apps[rng.randrange(len(owner.apps))]
             sessions.append(SessionRequest(
                 session_id=f"s{index:06d}", qos=qos, src_ni=src,
-                dst_ni=dst, arrival_s=clock, duration_s=duration))
+                dst_ni=dst, arrival_s=clock, duration_s=duration,
+                tenant=tenant, app=app))
         return tuple(sessions)
 
     def events(self, limit: int | None = None) -> tuple[SessionEvent, ...]:

@@ -40,6 +40,8 @@ from repro.core.words import WordFormat
 from repro.faults.model import FaultEvent
 from repro.service.admission import AdmissionController
 from repro.service.churn import SessionEvent
+from repro.service.fairness import (FairnessSpec, PolicyEvent, TenantSpec,
+                                    WeightedFairScheduler)
 from repro.service.invariants import CompositionInvariantChecker
 from repro.service.metrics import ServiceMetrics, ServiceReport
 from repro.telemetry.hub import coalesce
@@ -57,24 +59,46 @@ _HOLD_MS_BUCKETS = (0.1, 0.3, 1, 3, 10, 30, 100, 300, 1000, 3000)
 _QUOTE_NS_BUCKETS = (100, 200, 500, 1000, 2000, 5000, 10000)
 
 
-def merge_events(session_events, fault_events):
-    """Merge session and fault streams into one deterministic timeline.
+#: Equal-instant ordering of the merged timeline: closes free slots
+#: first, repairs restore fabric, policy updates re-tune the scheduler,
+#: then failures degrade and opens arrive last — so a close's slots are
+#: reusable by a same-instant arrival, a repaired resource serves it,
+#: and a re-weight at time ``t`` governs the arrivals of time ``t``.
+_MERGE_PRIORITY = {"close": 0, "repair": 1, "set_weight": 2,
+                   "set_floor": 2, "set_limit": 2, "fail": 3, "open": 4}
 
-    At equal instants the order is: session closes, repairs, failures,
-    session opens — so a close frees its slots before the fabric
-    degrades further, and a repaired resource is usable by an arrival at
-    the very same instant.
+
+def _merge_key(event):
+    """Total deterministic sort key ``(time, kind-priority, tag, id)``.
+
+    Every stream kind contributes a distinct priority band and an
+    id within it (session id, fault target, policy tenant), so ties at
+    equal instants break identically regardless of input stream order —
+    the property the tie-breaking regression tests pin down.
     """
-    _PRIORITY = {"close": 0, "repair": 1, "fail": 2, "open": 3}
+    if isinstance(event, FaultEvent):
+        return (event.time_s, _MERGE_PRIORITY[event.action], event.kind,
+                event.target_label)
+    if isinstance(event, PolicyEvent):
+        return (event.time_s, _MERGE_PRIORITY[event.action],
+                event.action, event.tenant)
+    return (event.time_s, _MERGE_PRIORITY[event.kind], "",
+            event.session.session_id)
 
-    def sort_key(event):
-        if isinstance(event, FaultEvent):
-            return (event.time_s, _PRIORITY[event.action], event.kind,
-                    event.target_label)
-        return (event.time_s, _PRIORITY[event.kind], "",
-                event.session.session_id)
 
-    return tuple(sorted([*session_events, *fault_events], key=sort_key))
+def merge_events(*event_streams):
+    """Merge session, fault and policy streams into one timeline.
+
+    Accepts any number of streams mixing
+    :class:`~repro.service.churn.SessionEvent`,
+    :class:`~repro.faults.model.FaultEvent` and
+    :class:`~repro.service.fairness.PolicyEvent`; the result is totally
+    ordered by :func:`_merge_key` and therefore independent of how the
+    events were split across the input streams.
+    """
+    return tuple(sorted(
+        [event for stream in event_streams for event in stream],
+        key=_merge_key))
 
 
 class SessionService:
@@ -92,7 +116,25 @@ class SessionService:
                  record_timeline: bool = False,
                  timeline_slot_rate: float | None = None,
                  telemetry=None,
-                 monitor: MonitorSpec | bool | None = None):
+                 monitor: MonitorSpec | bool | None = None,
+                 policy: str = "fcfs",
+                 fairness: FairnessSpec | None = None,
+                 tenants: tuple[TenantSpec, ...] = ()):
+        if policy not in ("fcfs", "wfq"):
+            raise ConfigurationError(
+                f"unknown admission policy {policy!r}; expected 'fcfs' "
+                "or 'wfq'")
+        if policy == "fcfs" and (fairness is not None or tenants):
+            raise ConfigurationError(
+                "fairness spec / tenant roster only apply to "
+                "policy='wfq' (FCFS must stay byte-identical to "
+                "policy-free runs)")
+        self.policy = policy
+        #: The weighted-fair gate; ``None`` keeps the FCFS hot path
+        #: untouched (not a single extra branch taken per event).
+        self._fairness: WeightedFairScheduler | None = (
+            WeightedFairScheduler(tenants, spec=fairness)
+            if policy == "wfq" else None)
         if allocator is None:
             allocator = SlotAllocator(
                 topology,
@@ -176,6 +218,9 @@ class SessionService:
             monitor = None
         self.monitor: MonitorSpec | None = monitor
         self._quotes: list[tuple] = []
+        #: Tenant tag of every admitted tenanted session, so fault
+        #: re-admissions can re-quote under the owning tenant.
+        self._session_tenant: dict[str, str] = {}
         self.active: dict[str, object] = {}
         self.peak_active = 0
         self._last_time_s = 0.0
@@ -252,6 +297,13 @@ class SessionService:
         self._last_time_s = event.time_s
         if isinstance(event, FaultEvent):
             self.process_fault(event)
+            return
+        if isinstance(event, PolicyEvent):
+            if self._fairness is None:
+                raise ConfigurationError(
+                    "policy events need policy='wfq'; the FCFS service "
+                    "has no scheduler to adjust")
+            self._fairness.apply_policy(event)
             return
         if event.kind == "open":
             self._open(event)
@@ -367,7 +419,9 @@ class SessionService:
                                     self.allocator.frequency_hz,
                                     self.allocator.fmt)
         if self.monitor is not None:
-            self._quotes.append((session_id, "relocated", new_ca))
+            self._quotes.append((session_id, "relocated", new_ca,
+                                 self._session_tenant.get(session_id,
+                                                          "")))
         same = (new_bounds.throughput_bytes_per_s >=
                 old_bounds.throughput_bytes_per_s * (1 - 1e-9)
                 and new_bounds.latency_ns <=
@@ -394,21 +448,49 @@ class SessionService:
                 "src": session.src_ni,
                 "dst": session.dst_ni,
             }
+            if session.tenant:
+                record["tenant"] = session.tenant
+                record["app"] = session.app
+        fairness = self._fairness
         start = time.perf_counter()
+        if fairness is not None and session.tenant:
+            verdict = fairness.admit_decision(event.time_s, session)
+            if verdict is not None:
+                # Policy shed: the allocator is never consulted, the
+                # network untouched — still a checked (no-op) transition
+                # and a rejected open in every rollup.
+                wall = time.perf_counter() - start
+                if record is not None:
+                    record["decision"] = "shed"
+                    record["shed"] = verdict[0]
+                    record["reason"] = verdict[1]
+                self.checker.check_transition(session.session_id)
+                if self._tel_enabled:
+                    self._pending_admit_us.append(wall * 1e6)
+                self.metrics.record_open(
+                    record, qos_name=session.qos.name, accepted=False,
+                    wall_s=wall, tenant=session.tenant,
+                    shed=verdict[0])
+                return
         try:
             ca = self.admission.admit(spec, session.src_ni,
                                       session.dst_ni)
         except AllocationError as exc:
             wall = time.perf_counter() - start
+            if fairness is not None and session.tenant:
+                fairness.on_capacity_reject(event.time_s, session)
             if record is not None:
                 record["decision"] = "reject"
                 record["reason"] = exc.reason
             accepted = False
         else:
             wall = time.perf_counter() - start
+            if fairness is not None and session.tenant:
+                fairness.on_admitted(event.time_s, session)
             if self.monitor is not None:
                 self._quotes.append((session.session_id,
-                                     session.qos.name, ca))
+                                     session.qos.name, ca,
+                                     session.tenant))
             if record is not None:
                 bounds = channel_bounds(ca, self.allocator.table_size,
                                         self.allocator.frequency_hz,
@@ -428,6 +510,8 @@ class SessionService:
                 self._session_open[session.session_id] = (
                     event.time_s, session.qos.name)
             self.active[session.session_id] = ca
+            if session.tenant:
+                self._session_tenant[session.session_id] = session.tenant
             self.peak_active = max(self.peak_active, len(self.active))
             accepted = True
             if self.recorder is not None:
@@ -437,7 +521,8 @@ class SessionService:
         if self._tel_enabled:
             self._pending_admit_us.append(wall * 1e6)
         self.metrics.record_open(record, qos_name=session.qos.name,
-                                 accepted=accepted, wall_s=wall)
+                                 accepted=accepted, wall_s=wall,
+                                 tenant=session.tenant)
 
     def _close(self, event: SessionEvent) -> None:
         session = event.session
@@ -479,14 +564,14 @@ class SessionService:
                 "conformance monitoring is off; construct the service "
                 "with monitor=MonitorSpec() (or monitor=True)")
         quotes = []
-        for session_id, qos_name, ca in self._quotes:
+        for session_id, qos_name, ca, tenant in self._quotes:
             bounds = channel_bounds(ca, self.allocator.table_size,
                                     self.allocator.frequency_hz,
                                     self.allocator.fmt)
             quotes.append((session_id, qos_name, bounds.latency_ns,
                            ca.spec.max_latency_ns,
                            bounds.throughput_bytes_per_s,
-                           ca.spec.throughput_bytes_per_s))
+                           ca.spec.throughput_bytes_per_s, tenant))
         return quote_conformance(quotes, spec=self.monitor,
                                  scenario=scenario)
 
@@ -530,6 +615,10 @@ class SessionService:
             "final_mean_link_utilisation": round(
                 self.allocation.mean_link_utilisation(), 4),
         }
+        if self._fairness is not None:
+            # Only policy-gated runs carry the shed total: FCFS totals
+            # keep their exact key set (byte-compatibility).
+            totals["n_shed"] = metrics.n_shed
         report = ServiceReport(
             service=self.name,
             topology=self.topology.name,
@@ -544,6 +633,11 @@ class SessionService:
             events=list(metrics.events),
             faults=(metrics.fault_totals()
                     if metrics.n_fault_events else None),
+            tenants=({k: dict(v)
+                      for k, v in sorted(metrics.per_tenant.items())}
+                     if metrics.per_tenant else None),
+            fairness=(self._fairness.to_record()
+                      if self._fairness is not None else None),
         )
         report.timing = metrics.timing(wall_s)
         return report

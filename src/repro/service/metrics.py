@@ -42,7 +42,9 @@ class ServiceMetrics:
         self.n_rejected = 0
         self.n_closes = 0
         self.n_released = 0
+        self.n_shed = 0
         self.per_class: dict[str, dict[str, int]] = {}
+        self.per_tenant: dict[str, dict[str, int]] = {}
         self.n_fault_events = 0
         self.n_failures = 0
         self.n_repairs = 0
@@ -60,9 +62,17 @@ class ServiceMetrics:
     # -- recording ------------------------------------------------------------
 
     def record_open(self, record: dict[str, object] | None, *,
-                    qos_name: str, accepted: bool, wall_s: float) -> None:
+                    qos_name: str, accepted: bool, wall_s: float,
+                    tenant: str = "", shed: str | None = None) -> None:
         """Record one admission decision (``record`` is JSON-ready, or
-        ``None`` when per-event recording is off)."""
+        ``None`` when per-event recording is off).
+
+        ``tenant`` feeds the per-tenant rollup of tenanted workloads
+        (empty keeps it out entirely, preserving untenanted report
+        bytes); ``shed`` names the policy layer that rejected the open
+        before it reached the allocator — sheds count into the
+        rejected totals *and* into their own ``shed`` tallies.
+        """
         self.n_events += 1
         self.n_opens += 1
         self._window_opens += 1
@@ -76,6 +86,22 @@ class ServiceMetrics:
         else:
             self.n_rejected += 1
             stats["rejected"] += 1
+            if shed is not None:
+                self.n_shed += 1
+                # Only classes that were actually shed grow the key, so
+                # policy-free reports keep their exact per-class shape.
+                stats["shed"] = stats.get("shed", 0) + 1
+        if tenant:
+            tstats = self.per_tenant.setdefault(
+                tenant, {"opens": 0, "accepted": 0, "rejected": 0,
+                         "shed": 0})
+            tstats["opens"] += 1
+            if accepted:
+                tstats["accepted"] += 1
+            else:
+                tstats["rejected"] += 1
+                if shed is not None:
+                    tstats["shed"] += 1
         self._admit_wall_s.append(wall_s)
         if self.record_events and record is not None:
             self.events.append(record)
@@ -202,6 +228,12 @@ class ServiceReport:
     #: fault injection (kept out of the JSON so fault-free reports are
     #: byte-compatible with earlier releases).
     faults: dict[str, object] | None = None
+    #: Per-tenant admission rollup; ``None`` for untenanted workloads
+    #: (same byte-compatibility contract as ``faults``).
+    tenants: dict[str, dict[str, int]] | None = None
+    #: Weighted-fair policy section (spec echo + per-tenant scheduler
+    #: state); ``None`` under the default FCFS policy.
+    fairness: dict[str, object] | None = None
     #: Wall-clock figures; machine-dependent, never serialised.
     timing: dict[str, float] = field(default_factory=dict)
 
@@ -220,6 +252,10 @@ class ServiceReport:
         }
         if self.faults is not None:
             record["faults"] = self.faults
+        if self.tenants is not None:
+            record["tenants"] = self.tenants
+        if self.fairness is not None:
+            record["fairness"] = self.fairness
         if self.events:
             record["events"] = self.events
         return record
@@ -245,6 +281,23 @@ class ServiceReport:
                 "opens": stats["opens"],
                 "accepted": stats["accepted"],
                 "rejected": stats["rejected"],
+                "accept_rate": round(
+                    stats["accepted"] / stats["opens"], 3)
+                if stats["opens"] else 1.0,
+            })
+        return rows
+
+    def tenant_rows(self) -> list[dict[str, object]]:
+        """Per-tenant table rows (empty for untenanted workloads)."""
+        rows = []
+        for name in sorted(self.tenants or {}):
+            stats = self.tenants[name]
+            rows.append({
+                "tenant": name,
+                "opens": stats["opens"],
+                "accepted": stats["accepted"],
+                "rejected": stats["rejected"],
+                "shed": stats["shed"],
                 "accept_rate": round(
                     stats["accepted"] / stats["opens"], 3)
                 if stats["opens"] else 1.0,

@@ -138,6 +138,9 @@ class ChannelConformance:
     required_mb_s: float | None = None
     delivered_mb_s: float | None = None
     detail: str | None = None
+    #: Owning tenant of a multi-tenant quote stream; ``None`` keeps the
+    #: record byte-identical to untenanted monitoring.
+    tenant: str | None = None
 
     def __post_init__(self):
         if self.verdict not in VERDICTS:
@@ -174,6 +177,8 @@ class ChannelConformance:
             record["latency_headroom"] = round(headroom, 4)
         if self.detail:
             record["detail"] = self.detail
+        if self.tenant:
+            record["tenant"] = self.tenant
         return record
 
 
@@ -231,9 +236,36 @@ class ConformanceReport:
             return (headroom is None, headroom, entry.channel)
         return tuple(sorted(self.channels, key=key)[:k])
 
+    @property
+    def tenant_retention(self) -> dict[str, dict[str, object]]:
+        """Per-tenant guarantee retention of a tenanted quote stream.
+
+        For each tenant that owns at least one monitored entry:
+        monitored count, violations, and ``retention`` — the fraction
+        of its quotes that did *not* violate their bound (the
+        multi-tenant analogue of the fault tier's guarantee-retention
+        figure).  Empty for untenanted reports.
+        """
+        folded: dict[str, dict[str, object]] = {}
+        for entry in self.channels:
+            if not entry.tenant:
+                continue
+            row = folded.setdefault(
+                entry.tenant, {"n_monitored": 0, "n_violated": 0,
+                               "n_tight": 0})
+            row["n_monitored"] += 1
+            if entry.verdict == "violated":
+                row["n_violated"] += 1
+            elif entry.verdict == "tight":
+                row["n_tight"] += 1
+        for row in folded.values():
+            row["retention"] = round(
+                1.0 - row["n_violated"] / row["n_monitored"], 4)
+        return dict(sorted(folded.items()))
+
     def to_record(self) -> dict[str, object]:
-        """Canonical JSON-ready form."""
-        return {
+        """Canonical JSON-ready form (``tenants`` only when tenanted)."""
+        record: dict[str, object] = {
             "source": self.source,
             "scenario": self.scenario,
             "slack_fraction": round(self.slack_fraction, 4),
@@ -242,6 +274,10 @@ class ConformanceReport:
             "ok": self.ok,
             "channels": [entry.to_record() for entry in self.channels],
         }
+        tenants = self.tenant_retention
+        if tenants:
+            record["tenants"] = tenants
+        return record
 
     def to_json(self) -> str:
         """Canonical serialisation: sorted keys, two-space indent."""
@@ -284,6 +320,17 @@ class ConformanceReport:
                              else f"{headroom:.1%}"),
             })
         return rows
+
+    def tenant_rows(self) -> list[dict[str, object]]:
+        """Per-tenant guarantee-retention table rows for
+        ``format_table`` (empty for untenanted reports)."""
+        return [{
+            "tenant": tenant,
+            "monitored": row["n_monitored"],
+            "violated": row["n_violated"],
+            "tight": row["n_tight"],
+            "retention": f"{row['retention']:.1%}",
+        } for tenant, row in self.tenant_retention.items()]
 
 
 def _trace_conformance(name: str, bounds, stats, simulated_ns: float,
@@ -403,22 +450,30 @@ def quote_conformance(quotes, *, spec: MonitorSpec | None = None,
 
     ``quotes`` is an iterable of ``(session_id, qos_class,
     latency_bound_ns, required_latency_ns, quoted_bytes_per_s,
-    required_bytes_per_s)`` tuples, as accumulated by a monitored
-    :class:`~repro.service.controller.SessionService`.  A quote whose
-    bound exceeds the session's requirement — or whose guaranteed
-    throughput undershoots it — is an admission-control *violation*:
-    the controller promised something the analysis says it cannot hold.
+    required_bytes_per_s)`` tuples — optionally extended with a seventh
+    ``tenant`` element for multi-tenant streams — as accumulated by a
+    monitored :class:`~repro.service.controller.SessionService`.  A
+    quote whose bound exceeds the session's requirement — or whose
+    guaranteed throughput undershoots it — is an admission-control
+    *violation*: the controller promised something the analysis says it
+    cannot hold.  Tenanted streams additionally fold into the report's
+    per-tenant guarantee-retention rows
+    (:attr:`ConformanceReport.tenant_retention`).
 
     >>> report = quote_conformance([
     ...     ("s0", "voice", 800.0, 1000.0, 64e6, 64e6),
-    ...     ("s1", "bulk", 500.0, None, 32e6, 32e6)])
+    ...     ("s1", "bulk", 500.0, None, 32e6, 32e6, "acme")])
     >>> report.ok, len(report.channels)
     (True, 2)
+    >>> report.tenant_retention["acme"]["retention"]
+    1.0
     """
     spec = spec or MonitorSpec()
     entries = []
-    for (session_id, qos_name, bound_ns, required_ns,
-         quoted_bps, required_bps) in quotes:
+    for quote in quotes:
+        (session_id, qos_name, bound_ns, required_ns,
+         quoted_bps, required_bps) = quote[:6]
+        tenant = quote[6] if len(quote) > 6 else None
         if required_ns is None:
             latency_verdict = "within_bounds"
         else:
@@ -433,7 +488,7 @@ def quote_conformance(quotes, *, spec: MonitorSpec | None = None,
             worst_latency_ns=None, mean_latency_ns=None,
             quoted_mb_s=quoted_bps / 1e6,
             required_mb_s=required_bps / 1e6,
-            detail=qos_name))
+            detail=qos_name, tenant=tenant or None))
     entries.sort(key=lambda e: e.channel)
     return ConformanceReport(source=source, scenario=scenario,
                              channels=tuple(entries),

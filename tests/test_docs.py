@@ -47,19 +47,24 @@ class TestDocPages:
     def test_docs_directory_is_populated(self):
         names = {p.name for p in DOC_PAGES}
         assert {"architecture.md", "cli.md", "guarantees.md",
-                "campaigns.md", "observability.md"} <= names
+                "campaigns.md", "observability.md",
+                "fairness.md"} <= names
 
     def test_docs_linked_from_readme(self):
         readme = (DOCS_DIR.parent / "README.md").read_text(
             encoding="utf-8")
         for page in ("docs/architecture.md", "docs/cli.md",
                      "docs/guarantees.md", "docs/campaigns.md",
-                     "docs/observability.md"):
+                     "docs/observability.md", "docs/fairness.md"):
             assert page in readme, f"README does not link {page}"
 
     def test_observability_linked_from_architecture(self):
         arch = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
         assert "observability.md" in arch
+
+    def test_fairness_linked_from_architecture(self):
+        arch = (DOCS_DIR / "architecture.md").read_text(encoding="utf-8")
+        assert "fairness.md" in arch
 
     @pytest.mark.parametrize("path", DOC_PAGES, ids=lambda p: p.name)
     def test_doc_examples_run(self, path):
